@@ -1,0 +1,88 @@
+// Command overhaul-ablate quantifies Overhaul's design choices: the δ
+// threshold, the shared-memory wait list, the window-visibility
+// clickjacking defence, the propagation policies P1/P2, and the ptrace
+// guard (the knobs DESIGN.md §6 calls out).
+//
+// Usage:
+//
+//	overhaul-ablate [-trials n] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overhaul/internal/ablation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-ablate:", err)
+		os.Exit(1)
+	}
+}
+
+func yesno(b bool) string {
+	if b {
+		return "works"
+	}
+	return "BROKEN"
+}
+
+func run() error {
+	trials := flag.Int("trials", 100, "trials per configuration")
+	seed := flag.Int64("seed", 7, "RNG seed")
+	flag.Parse()
+
+	fmt.Println("Ablation 1 — temporal-proximity threshold δ (paper picks 2 s):")
+	tp, err := ablation.ThresholdSweep(nil, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ablation.FormatThreshold(tp))
+
+	fmt.Println("Ablation 2 — shared-memory wait list (paper picks 500 ms):")
+	sp, err := ablation.ShmWaitSweep(nil, *trials/2, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ablation.FormatShmWait(sp))
+
+	fmt.Println("Ablation 3 — window-visibility clickjacking defence:")
+	cj, err := ablation.Clickjacking(*trials / 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  defence on : %d/%d interactions hijacked\n", cj.DefenceOn.Hijacked, cj.DefenceOn.Attempts)
+	fmt.Printf("  defence off: %d/%d interactions hijacked\n\n", cj.DefenceOff.Hijacked, cj.DefenceOff.Attempts)
+
+	fmt.Println("Ablation 4 — propagation policies:")
+	for _, cfg := range []struct {
+		policy  string
+		enabled bool
+	}{{"P1", true}, {"P1", false}, {"P2", true}, {"P2", false}} {
+		res, err := ablation.PropagationAblation(cfg.policy, cfg.enabled)
+		if err != nil {
+			return err
+		}
+		state := "on "
+		if !cfg.enabled {
+			state = "off"
+		}
+		fmt.Printf("  %s %s: direct=%s launcher=%s browser=%s cli=%s\n",
+			res.Policy, state, yesno(res.DirectAppsWork), yesno(res.LauncherWorks),
+			yesno(res.BrowserWorks), yesno(res.CLIToolWorks))
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation 5 — ptrace guard (launch-then-inject attack):")
+	for _, on := range []bool{true, false} {
+		res, err := ablation.PtraceGuard(on)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  guard=%-5v injected=%v\n", res.GuardOn, res.Injected)
+	}
+	return nil
+}

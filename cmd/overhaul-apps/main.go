@@ -1,0 +1,80 @@
+// Command overhaul-apps reproduces the §V-C applicability and
+// false-positive assessment: it drives the 58-application device/screen
+// pool and the 50-application clipboard pool through their core flows on
+// Overhaul machines, reporting breakage, spurious alerts, and known
+// limitations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"overhaul/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-apps:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	verbose := flag.Bool("v", false, "print every application result")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	flag.Parse()
+
+	rep, err := workload.RunApplicability()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		clip, err := workload.RunClipboard()
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"devicePool": rep, "clipboardPool": clip})
+	}
+
+	fmt.Println("Applicability & false-positive assessment (§V-C)")
+	fmt.Println()
+	if *verbose {
+		for _, r := range rep.Results {
+			status := "ok"
+			if !r.Worked {
+				status = "BROKEN"
+			}
+			extra := ""
+			if r.SpuriousAlert {
+				extra += " [spurious alert]"
+			}
+			if r.Limitation != "" {
+				extra += " [limitation]"
+			}
+			fmt.Printf("  %-24s %-20s %s%s\n", r.Spec.Name, r.Spec.Category, status, extra)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("Device/screen pool: %d applications tested   (paper: 58)\n", rep.Tested)
+	fmt.Printf("  malfunctioning:  %d   (paper: 0)\n", rep.Malfunctioning)
+	fmt.Printf("  spurious alerts: %d   (paper: 1 — Skype's camera probe on startup)\n", rep.SpuriousAlerts)
+	fmt.Printf("  known limitations (%d):\n", len(rep.Limitations))
+	for _, l := range rep.Limitations {
+		fmt.Printf("    - %s\n", l)
+	}
+	fmt.Println()
+
+	clip, err := workload.RunClipboard()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Clipboard pool: %d applications tested   (paper: 50)\n", clip.Tested)
+	fmt.Printf("  false positives: %d   (paper: 0)\n", clip.FalsePositives)
+	fmt.Printf("  misbehaviour:    %d   (paper: 0)\n", clip.Misbehaviour)
+	fmt.Printf("  alerts shown:    %d   (clipboard operations are silent by design)\n", clip.AlertsShown)
+	return nil
+}

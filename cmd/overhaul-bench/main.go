@@ -1,0 +1,85 @@
+// Command overhaul-bench reproduces Table I of the paper: the
+// performance overhead of Overhaul on device access, clipboard, screen
+// capture, shared memory, and filesystem (Bonnie++-style) workloads,
+// comparing an unmodified baseline against the full Overhaul system in
+// force-grant mode.
+//
+// Usage:
+//
+//	overhaul-bench [-scale quick|default|paper] [-runs n]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"overhaul/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.String("scale", "default", "iteration counts: quick, default, or paper")
+	runs := flag.Int("runs", 1, "number of full table runs")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	flag.Parse()
+
+	var counts bench.Counts
+	switch *scale {
+	case "quick":
+		counts = bench.Quick()
+	case "default":
+		counts = bench.Default()
+	case "paper":
+		counts = bench.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	if *asJSON {
+		type jsonRow struct {
+			bench.Row
+			OverheadPct float64 `json:"overheadPct"`
+		}
+		var all [][]jsonRow
+		for i := 0; i < *runs; i++ {
+			rows, err := bench.TableI(counts)
+			if err != nil {
+				return err
+			}
+			jr := make([]jsonRow, len(rows))
+			for j, r := range rows {
+				jr[j] = jsonRow{Row: r, OverheadPct: r.OverheadPct()}
+			}
+			all = append(all, jr)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	}
+
+	fmt.Println("Table I — Performance overhead of Overhaul (simulated substrate)")
+	fmt.Printf("counts: %+v\n\n", counts)
+	for i := 0; i < *runs; i++ {
+		rows, err := bench.TableI(counts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.Format(rows))
+		if *runs > 1 {
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nPaper (i7-930, real kernel + X.Org):")
+	for _, r := range bench.PaperTableI() {
+		fmt.Printf("  %-16s %12s -> %-12s %5.2f %%\n", r.Name, r.Baseline, r.Overhaul, r.OverheadPct)
+	}
+	return nil
+}

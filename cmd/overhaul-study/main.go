@@ -1,0 +1,78 @@
+// Command overhaul-study reproduces the §V-B usability experiment: 46
+// participants place a Skype call on an Overhaul machine (transparency,
+// 5-point Likert) and then perform a web search while a hidden process
+// triggers a blocked camera access and a visual alert (alert
+// effectiveness).
+//
+// Usage:
+//
+//	overhaul-study [-n 46] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"overhaul/internal/study"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-study:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", study.DefaultParticipants, "number of participants")
+	seed := flag.Int64("seed", 1, "attention-model RNG seed")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	fatigue := flag.Bool("fatigue", false, "also run the prompt-fatigue comparison (alerts vs prompts)")
+	flag.Parse()
+
+	res, err := study.Run(study.Config{Participants: *n, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	paper := study.PaperResult()
+
+	fmt.Printf("Usability study (§V-B), %d participants, seed %d\n\n", res.Participants, *seed)
+
+	identical := 0
+	for _, s := range res.LikertScores {
+		if s == 1 {
+			identical++
+		}
+	}
+	fmt.Println("Task 1 — transparency (Skype call under Overhaul):")
+	fmt.Printf("  rated identical to stock Skype (Likert 1): %d/%d   (paper: %d/%d)\n\n",
+		identical, res.Participants, len(paper.LikertScores), paper.Participants)
+
+	fmt.Println("Task 2 — alert effectiveness (hidden camera access blocked):")
+	fmt.Printf("  %-38s %4d   (paper: %d)\n", "interrupted task, reported immediately", res.Interrupted, paper.Interrupted)
+	fmt.Printf("  %-38s %4d   (paper: %d)\n", "noticed, reported when prompted", res.Noticed, paper.Noticed)
+	fmt.Printf("  %-38s %4d   (paper: %d)\n", "missed the alert", res.Missed, paper.Missed)
+	total := res.Interrupted + res.Noticed
+	fmt.Printf("\n  alert noticed by %d/%d participants (paper: 40/46)\n", total, res.Participants)
+
+	if *fatigue {
+		fr, err := study.RunPromptFatigue(study.FatigueConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nPrompt-fatigue comparison (why the paper chose alerts over prompts):")
+		fmt.Printf("  %d prompts, %d malicious\n", fr.Prompts, fr.Malicious)
+		fmt.Printf("  prompt model: %d malicious requests ALLOWED by the habituated user, %d legitimate denied\n",
+			fr.PromptMisgrants, fr.PromptFalseDenies)
+		fmt.Printf("  alert model : %d malicious requests allowed (blocked automatically), %d alerts went unnoticed\n",
+			fr.AlertMisgrants, fr.AlertMissedNotices)
+	}
+	return nil
+}

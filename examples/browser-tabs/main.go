@@ -1,0 +1,60 @@
+// Browser-tabs: Figure 4 end to end — a Chromium-like multi-process
+// browser whose tab processes are driven over shared memory. The user
+// clicks in the *browser* window; the *tab* opens the camera. Without
+// propagation policy P2 the tab would have no interaction record and the
+// camera would stay locked.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"overhaul"
+	"overhaul/internal/apps"
+	"overhaul/internal/fs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "browser-tabs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, _, cam, err := overhaul.NewProtected("tabby-cat")
+	if err != nil {
+		return err
+	}
+
+	browser, err := apps.NewBrowser(sys, "chromium")
+	if err != nil {
+		return err
+	}
+	tab, ch, err := browser.OpenTab()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("browser pid=%d, tab pid=%d (forked + exec, shared-memory channel)\n",
+		browser.App().Proc.PID(), tab.Proc.PID())
+	sys.Settle(2 * time.Second)
+
+	// Before any click, the tab cannot open the camera.
+	if _, err := sys.Kernel.Open(tab.Proc, cam, fs.AccessRead); err != nil {
+		fmt.Println("tab without click:", err)
+	}
+
+	// The user clicks "start video chat" in the browser window; the
+	// command travels over shared memory, carrying the interaction
+	// stamp (P2), and the tab's camera open succeeds.
+	if err := browser.StartVideoChat(tab, ch, cam); err != nil {
+		return fmt.Errorf("video chat should start: %w", err)
+	}
+	fmt.Println("tab after click  : camera opened via P2 propagation")
+
+	for _, a := range sys.ActiveAlerts() {
+		fmt.Printf("alert overlay    : %q\n", a.Message)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// CLI-capture: the §IV-B command-line scenario — the user types
+// `arecord` into a terminal emulator; the keystrokes are hardware input
+// to xterm, the command line travels to bash over a pseudo-terminal
+// (stamp propagation P2), bash forks and execs the tool (P1), and the
+// tool's microphone open is granted. An idle shell, by contrast, has no
+// interaction and stays locked out.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"overhaul"
+	"overhaul/internal/apps"
+	"overhaul/internal/fs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cli-capture:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, mic, _, err := overhaul.NewProtected("tabby-cat")
+	if err != nil {
+		return err
+	}
+
+	term, err := apps.NewTerminal(sys, "xterm")
+	if err != nil {
+		return err
+	}
+	sys.Settle(2 * time.Second)
+
+	// The idle shell has received no interaction: locked out.
+	if _, err := sys.Kernel.Open(term.Shell(), mic, fs.AccessRead); err != nil {
+		fmt.Println("idle shell :", err)
+	}
+
+	// The user types the command; stamps ride the pty and the fork.
+	tool, err := term.RunCommand("arecord interview.wav")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("launched   : %s (pid %d), stamp inherited via pty + fork\n",
+		tool.Name(), tool.PID())
+
+	h, err := sys.Kernel.Open(tool, mic, fs.AccessRead)
+	if err != nil {
+		return fmt.Errorf("CLI tool should record: %w", err)
+	}
+	fmt.Println("arecord    : microphone opened:", h.Path())
+	for _, a := range sys.ActiveAlerts() {
+		fmt.Printf("alert      : %q\n", a.Message)
+	}
+	return nil
+}

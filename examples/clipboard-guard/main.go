@@ -1,0 +1,67 @@
+// Clipboard-guard: a password manager copies a credential; the user
+// pastes it into an email client through the full X11 selection
+// protocol; a background sniffer polling the clipboard is refused —
+// the attack the paper demonstrates against password managers.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"overhaul"
+	"overhaul/internal/apps"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clipboard-guard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := overhaul.New(overhaul.Config{Enforce: true, AlertSecret: "tabby-cat"})
+	if err != nil {
+		return err
+	}
+
+	pw, err := apps.NewEditor(sys, "keepassx")
+	if err != nil {
+		return err
+	}
+	mail, err := apps.NewEditor(sys, "thunderbird")
+	if err != nil {
+		return err
+	}
+	sys.Settle(2 * time.Second)
+
+	// The user copies the password (ctrl+c in the password manager).
+	if err := pw.Copy([]byte("correct horse battery staple")); err != nil {
+		return err
+	}
+	fmt.Println("password manager: credential copied")
+
+	// A background sniffer with no user input polls the clipboard.
+	sniffer, err := sys.Launch("clipboard-sniffer")
+	if err != nil {
+		return err
+	}
+	sys.Settle(2 * time.Second)
+	err = sniffer.Client.ConvertSelection("CLIPBOARD", "UTF8_STRING", "LOOT", sniffer.Win)
+	fmt.Println("sniffer poll    :", err)
+
+	// The user pastes into the email client (ctrl+v): granted.
+	got, err := mail.Paste(pw)
+	if err != nil {
+		return fmt.Errorf("legitimate paste should succeed: %w", err)
+	}
+	fmt.Printf("email client    : pasted %q\n", got)
+
+	// The audit log shows the denied sniff and the granted copy/paste.
+	fmt.Println("\naudit log:")
+	for _, d := range sys.Audit() {
+		fmt.Printf("  pid=%-3d op=%-5s verdict=%-5s %s\n", d.PID, d.Op, d.Verdict, d.Reason)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Prompt-mode: the alternative policy model the paper sketches in §IV-A
+// — Overhaul's trusted output path renders an *unforgeable* permission
+// prompt (overlay + visual shared secret), and its trusted input path
+// guarantees only real hardware clicks can answer it. Malware can
+// neither draw a convincing prompt (no secret) nor click through a real
+// one (synthetic input is rejected).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"overhaul"
+	"overhaul/internal/prompt"
+	"overhaul/internal/xserver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prompt-mode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, _, _, err := overhaul.NewProtected("tabby-cat")
+	if err != nil {
+		return err
+	}
+	pm, err := prompt.NewManager(sys.Clock, "tabby-cat", 30*time.Second)
+	if err != nil {
+		return err
+	}
+
+	app, err := sys.Launch("webcam-app")
+	if err != nil {
+		return err
+	}
+	sys.Settle(2 * time.Second)
+
+	// The app requests the camera; the system renders the prompt.
+	p, err := pm.Ask(app.Proc.PID(), overhaul.OpCam)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prompt    : %q (secret %q, authentic=%v)\n", p.Message, p.Secret, pm.Authentic(p))
+
+	// Malware tries to click "Allow" with synthetic input: rejected.
+	forged := xserver.Event{Type: xserver.ButtonPress, Provenance: xserver.FromXTest}
+	if _, err := pm.AnswerWith(forged, true); err != nil {
+		fmt.Println("xtest click:", err)
+	}
+	forged2 := xserver.Event{Type: xserver.ButtonPress, Provenance: xserver.FromSendEvent, Synthetic: true}
+	if _, err := pm.AnswerWith(forged2, true); err != nil {
+		fmt.Println("send-event :", err)
+	}
+
+	// The real user clicks: the hardware event resolves the prompt.
+	real := xserver.Event{Type: xserver.ButtonPress, Provenance: xserver.FromHardware}
+	ans, err := pm.AnswerWith(real, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("user click :", ans)
+
+	for _, r := range pm.History() {
+		fmt.Printf("history    : pid=%d op=%s -> %s\n", r.Prompt.PID, r.Prompt.Op, r.Answer)
+	}
+	fmt.Println("\n(the paper measures that prompts have severe usability costs — Motiee et")
+	fmt.Println("al. — and ships the transparent alert model instead; this mode is the")
+	fmt.Println("optional extension §IV-A describes.)")
+	return nil
+}

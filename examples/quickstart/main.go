@@ -1,0 +1,64 @@
+// Quickstart: boot an Overhaul machine, see a background microphone
+// grab denied, an input-driven one granted, and the trusted alert that
+// announces it.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"overhaul"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, mic, _, err := overhaul.NewProtected("tabby-cat")
+	if err != nil {
+		return err
+	}
+
+	app, err := sys.Launch("voice-memo")
+	if err != nil {
+		return err
+	}
+	// Let the window exist long enough that input to it is trusted
+	// (the clickjacking defence).
+	sys.Settle(2 * time.Second)
+
+	// 1. No user interaction: the open is denied.
+	if _, err := app.OpenDevice(mic); err != nil {
+		fmt.Println("without input :", err)
+	}
+
+	// 2. The user clicks the record button; the open that follows is
+	//    within δ = 2 s of authentic hardware input: granted.
+	if err := app.Click(); err != nil {
+		return err
+	}
+	sys.Settle(150 * time.Millisecond)
+	h, err := app.OpenDevice(mic)
+	if err != nil {
+		return fmt.Errorf("input-driven open should be granted: %w", err)
+	}
+	fmt.Println("with input    : microphone opened:", h.Path())
+
+	// 3. The trusted output path announced it, with the shared secret.
+	for _, a := range sys.ActiveAlerts() {
+		fmt.Printf("alert overlay : %q (secret %q, authentic=%v)\n",
+			a.Message, a.Secret, sys.X.AuthenticAlert(a))
+	}
+
+	// 4. Everything is in the kernel audit log.
+	for _, d := range sys.Audit() {
+		fmt.Printf("audit         : pid=%d op=%-5s verdict=%-5s (%s)\n",
+			d.PID, d.Op, d.Verdict, d.Reason)
+	}
+	return nil
+}

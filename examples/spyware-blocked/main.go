@@ -1,0 +1,107 @@
+// Spyware-blocked: the §V-D malware sample on both machines — on the
+// Overhaul machine every theft attempt fails and blocked device grabs
+// raise alerts; on the unmodified machine the same sample steals the
+// clipboard, the screen, and microphone audio.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"overhaul"
+	"overhaul/internal/apps"
+	"overhaul/internal/malware"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spyware-blocked:", err)
+		os.Exit(1)
+	}
+}
+
+// desktop sets up a victim machine: an editor with a password on the
+// clipboard and pixels on screen, plus the installed spyware.
+func desktop(enforce bool) (*overhaul.System, *malware.Spyware, *apps.Editor, error) {
+	sys, err := overhaul.New(overhaul.Config{Enforce: enforce, AlertSecret: "tabby-cat"})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mic, err := sys.AttachDevice(overhaul.Microphone)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ed, err := apps.NewEditor(sys, "editor")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sys.Settle(2 * time.Second)
+	if err := ed.App().Client.Draw(ed.App().Win, []byte("e-banking pixels")); err != nil {
+		return nil, nil, nil, err
+	}
+	if enforce {
+		err = ed.Copy([]byte("p@ssw0rd"))
+	} else {
+		if err = ed.App().Client.SetSelection("CLIPBOARD", ed.App().Win); err == nil {
+			err = ed.App().Client.ChangeProperty(ed.App().Win, "_COPY_BUFFER", []byte("p@ssw0rd"))
+		}
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	spy, err := malware.Install(sys, mic)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, spy, ed, nil
+}
+
+func spyRound(sys *overhaul.System, spy *malware.Spyware, ed *apps.Editor) {
+	for i := 0; i < 4; i++ {
+		spy.StealClipboard(ed.ServePaste)
+		spy.StealScreen()
+		spy.StealAudio()
+		sys.Settle(time.Minute)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Overhaul machine ===")
+	sys, spy, ed, err := desktop(true)
+	if err != nil {
+		return err
+	}
+	spyRound(sys, spy, ed)
+	r := spy.Report()
+	fmt.Printf("clipboard %d/%d, screen %d/%d, audio %d/%d stolen\n",
+		r.Clipboard.Successes, r.Clipboard.Tries,
+		r.Screen.Successes, r.Screen.Tries,
+		r.Audio.Successes, r.Audio.Tries)
+	for _, a := range sys.X.AlertHistory() {
+		fmt.Printf("alert: %q\n", a.Message)
+	}
+
+	fmt.Println("\n=== Unmodified machine ===")
+	sys2, spy2, ed2, err := desktop(false)
+	if err != nil {
+		return err
+	}
+	spyRound(sys2, spy2, ed2)
+	r2 := spy2.Report()
+	fmt.Printf("clipboard %d/%d, screen %d/%d, audio %d/%d stolen\n",
+		r2.Clipboard.Successes, r2.Clipboard.Tries,
+		r2.Screen.Successes, r2.Screen.Tries,
+		r2.Audio.Successes, r2.Audio.Tries)
+	for _, l := range r2.Loot[:3] {
+		fmt.Printf("loot: %-10s %q\n", l.Kind, truncate(l.Data, 24))
+	}
+	return nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}

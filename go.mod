@@ -1,0 +1,3 @@
+module overhaul
+
+go 1.22

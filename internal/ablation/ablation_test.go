@@ -1,0 +1,146 @@
+package ablation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThresholdSweepPaperFinding(t *testing.T) {
+	points, err := ThresholdSweep([]time.Duration{
+		500 * time.Millisecond, time.Second, 2 * time.Second,
+	}, 60, 7)
+	if err != nil {
+		t.Fatalf("ThresholdSweep: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Paper §IV-B: sub-second thresholds falsely revoke permissions;
+	// 2 s never does.
+	if points[0].FalseDenyRate == 0 {
+		t.Fatalf("δ=500ms false-deny = 0, expected misfires: %+v", points[0])
+	}
+	if points[1].FalseDenyRate == 0 {
+		t.Fatalf("δ=1s false-deny = 0, expected some misfires: %+v", points[1])
+	}
+	if points[2].FalseDenyRate != 0 {
+		t.Fatalf("δ=2s false-deny = %.2f, paper saw none", points[2].FalseDenyRate)
+	}
+	// False-deny rate decreases monotonically with δ; attack window
+	// grows with δ.
+	if points[0].FalseDenyRate < points[1].FalseDenyRate {
+		t.Fatalf("false-deny not decreasing: %+v", points)
+	}
+	if points[0].AttackWindow > points[2].AttackWindow {
+		t.Fatalf("attack window not growing: %+v", points)
+	}
+}
+
+func TestShmWaitSweepTradeOff(t *testing.T) {
+	points, err := ShmWaitSweep([]time.Duration{
+		50 * time.Millisecond, 500 * time.Millisecond, 3 * time.Second,
+	}, 40, 11)
+	if err != nil {
+		t.Fatalf("ShmWaitSweep: %v", err)
+	}
+	// Short waits: more faults, no missed propagation.
+	if points[0].FaultsPerKiloWrite <= points[1].FaultsPerKiloWrite {
+		t.Fatalf("fault rate not decreasing with wait: %+v", points)
+	}
+	if points[0].MissedPropagation != 0 {
+		t.Fatalf("wait=50ms missed propagation = %.2f, want 0", points[0].MissedPropagation)
+	}
+	// The paper's 500 ms choice: no missed propagation either.
+	if points[1].MissedPropagation != 0 {
+		t.Fatalf("wait=500ms missed propagation = %.2f, want 0 (paper's setting)", points[1].MissedPropagation)
+	}
+	// Waits beyond δ start missing handoffs.
+	if points[2].MissedPropagation == 0 {
+		t.Fatalf("wait=3s missed propagation = 0, expected misses beyond δ: %+v", points[2])
+	}
+}
+
+func TestClickjackingDefence(t *testing.T) {
+	res, err := Clickjacking(20)
+	if err != nil {
+		t.Fatalf("Clickjacking: %v", err)
+	}
+	if res.DefenceOn.Hijacked != 0 {
+		t.Fatalf("defence on: %d/%d hijacked, want 0",
+			res.DefenceOn.Hijacked, res.DefenceOn.Attempts)
+	}
+	if res.DefenceOff.Hijacked != res.DefenceOff.Attempts {
+		t.Fatalf("defence off: %d/%d hijacked, expected all",
+			res.DefenceOff.Hijacked, res.DefenceOff.Attempts)
+	}
+}
+
+func TestPropagationAblation(t *testing.T) {
+	tests := []struct {
+		policy  string
+		enabled bool
+		// expectations
+		launcher, browser, cli bool
+	}{
+		{policy: "P1", enabled: true, launcher: true, browser: true, cli: true},
+		{policy: "P2", enabled: true, launcher: true, browser: true, cli: true},
+		// Without P1, anything spawned loses its authority: the
+		// launcher tool and the CLI tool (fork after pty) break.
+		{policy: "P1", enabled: false, launcher: false, browser: true, cli: false},
+		// Without P2, IPC carries nothing: the browser tab and the
+		// CLI tool (pty before fork) break; the launcher still works.
+		{policy: "P2", enabled: false, launcher: true, browser: false, cli: false},
+	}
+	for _, tt := range tests {
+		name := tt.policy + "-on"
+		if !tt.enabled {
+			name = tt.policy + "-off"
+		}
+		t.Run(name, func(t *testing.T) {
+			res, err := PropagationAblation(tt.policy, tt.enabled)
+			if err != nil {
+				t.Fatalf("PropagationAblation: %v", err)
+			}
+			if !res.DirectAppsWork {
+				t.Fatal("direct click->open broke; ablation must not affect it")
+			}
+			if res.LauncherWorks != tt.launcher {
+				t.Fatalf("launcher works = %v, want %v", res.LauncherWorks, tt.launcher)
+			}
+			if res.BrowserWorks != tt.browser {
+				t.Fatalf("browser works = %v, want %v", res.BrowserWorks, tt.browser)
+			}
+			if res.CLIToolWorks != tt.cli {
+				t.Fatalf("CLI works = %v, want %v", res.CLIToolWorks, tt.cli)
+			}
+		})
+	}
+}
+
+func TestPtraceGuardAblation(t *testing.T) {
+	on, err := PtraceGuard(true)
+	if err != nil {
+		t.Fatalf("PtraceGuard(on): %v", err)
+	}
+	if on.Injected {
+		t.Fatal("guard on: launch-then-inject succeeded")
+	}
+	off, err := PtraceGuard(false)
+	if err != nil {
+		t.Fatalf("PtraceGuard(off): %v", err)
+	}
+	if !off.Injected {
+		t.Fatal("guard off: launch-then-inject failed; the attack should work")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	tp := []ThresholdPoint{{Threshold: time.Second, FalseDenyRate: 0.1, AttackWindow: 0.2}}
+	if out := FormatThreshold(tp); out == "" {
+		t.Fatal("empty threshold table")
+	}
+	sp := []ShmWaitPoint{{Wait: time.Second, MissedPropagation: 0.1, FaultsPerKiloWrite: 2}}
+	if out := FormatShmWait(sp); out == "" {
+		t.Fatal("empty shm table")
+	}
+}

@@ -1,0 +1,197 @@
+// Package apps implements simulated desktop applications with the
+// multi-process architectures the paper's evaluation exercises: a
+// Skype-like video-conferencing client (including its
+// camera-probe-on-startup quirk), a Chromium-like multi-process browser
+// whose tabs are driven over shared memory, a program launcher, a
+// terminal emulator with a shell behind a pseudo-terminal, screenshot
+// and recording tools (including delayed-shot mode), and clipboard
+// applications.
+//
+// None of these applications knows Overhaul exists: they use only the
+// ordinary kernel and display-server interfaces, which is the
+// transparency property (D1) the paper claims — and which these
+// simulations demonstrate.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"overhaul/internal/core"
+	"overhaul/internal/fs"
+	"overhaul/internal/ipc"
+	"overhaul/internal/kernel"
+)
+
+// ErrBlocked wraps resource denials observed by an application.
+var ErrBlocked = errors.New("apps: resource access blocked")
+
+// VideoConf is a Skype-like video conferencing client.
+type VideoConf struct {
+	sys *core.System
+	app *core.App
+	mic string
+	cam string
+	// ProbeCameraOnStartup reproduces the Skype behaviour from §V-C:
+	// the client touches the camera as soon as it starts, before any
+	// user interaction.
+	ProbeCameraOnStartup bool
+}
+
+// NewVideoConf launches the client. If probeOnStartup is set, the
+// camera probe happens immediately — under Overhaul it is denied and
+// raises no functional error (Skype retries on the real call), but the
+// denial is visible in the audit log.
+func NewVideoConf(sys *core.System, name, mic, cam string, probeOnStartup bool) (*VideoConf, error) {
+	app, err := sys.Launch(name)
+	if err != nil {
+		return nil, fmt.Errorf("videoconf: %w", err)
+	}
+	v := &VideoConf{sys: sys, app: app, mic: mic, cam: cam, ProbeCameraOnStartup: probeOnStartup}
+	if probeOnStartup {
+		// Fire-and-forget probe; a denial is swallowed exactly like
+		// Skype tolerates a busy camera.
+		if h, err := app.OpenDevice(cam); err == nil {
+			_ = h.Close()
+		}
+	}
+	return v, nil
+}
+
+// App exposes the underlying harness handle.
+func (v *VideoConf) App() *core.App { return v.app }
+
+// PlaceCall simulates the user clicking the call button and the client
+// opening microphone and camera in response.
+func (v *VideoConf) PlaceCall() error {
+	if err := v.app.Click(); err != nil {
+		return fmt.Errorf("videoconf call: %w", err)
+	}
+	v.sys.Settle(150 * time.Millisecond) // human-scale UI latency, well under δ
+	hm, err := v.app.OpenDevice(v.mic)
+	if err != nil {
+		return fmt.Errorf("videoconf call: mic: %w: %v", ErrBlocked, err)
+	}
+	defer func() { _ = hm.Close() }()
+	hc, err := v.app.OpenDevice(v.cam)
+	if err != nil {
+		return fmt.Errorf("videoconf call: cam: %w: %v", ErrBlocked, err)
+	}
+	return hc.Close()
+}
+
+// Browser is a multi-process browser: the main window receives user
+// input; each tab is a forked process commanded over shared memory.
+type Browser struct {
+	sys *core.System
+	app *core.App
+}
+
+// Tab is one browser tab process.
+type Tab struct {
+	Proc *kernel.Process
+}
+
+// TabChannel is the shared-memory command channel between the
+// browser main process and a tab.
+type TabChannel struct {
+	browserMap *ipc.Mapping
+	tabMap     *ipc.Mapping
+}
+
+// NewBrowser launches the browser main process.
+func NewBrowser(sys *core.System, name string) (*Browser, error) {
+	app, err := sys.Launch(name)
+	if err != nil {
+		return nil, fmt.Errorf("browser: %w", err)
+	}
+	return &Browser{sys: sys, app: app}, nil
+}
+
+// App exposes the underlying harness handle.
+func (b *Browser) App() *core.App { return b.app }
+
+// OpenTab forks a tab process and attaches a fresh shared-memory
+// command channel, mirroring Figure 4's architecture.
+func (b *Browser) OpenTab() (*Tab, *TabChannel, error) {
+	proc, err := b.app.Proc.Fork()
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser tab: %w", err)
+	}
+	if err := proc.Exec("tab", b.app.Proc.Executable()); err != nil {
+		return nil, nil, fmt.Errorf("browser tab: %w", err)
+	}
+	shm, err := b.sys.Kernel.NewSharedMem(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser tab: %w", err)
+	}
+	ch := &TabChannel{
+		browserMap: shm.Map(b.app.Proc.PID()),
+		tabMap:     shm.Map(proc.PID()),
+	}
+	return &Tab{Proc: proc}, ch, nil
+}
+
+// StartVideoChat simulates the user clicking in the browser window; the
+// browser commands the tab via shared memory, and the tab opens the
+// camera (Figure 4 end to end).
+func (b *Browser) StartVideoChat(tab *Tab, ch *TabChannel, cam string) error {
+	if err := b.app.Click(); err != nil {
+		return fmt.Errorf("browser video chat: %w", err)
+	}
+	b.sys.Settle(50 * time.Millisecond)
+	cmd := []byte("start-camera")
+	if err := ch.browserMap.Write(0, cmd); err != nil {
+		return fmt.Errorf("browser video chat: shm: %w", err)
+	}
+	if _, err := ch.tabMap.Read(0, len(cmd)); err != nil {
+		return fmt.Errorf("browser video chat: shm: %w", err)
+	}
+	b.sys.Settle(100 * time.Millisecond)
+	h, err := b.sys.Kernel.Open(tab.Proc, cam, fs.AccessRead)
+	if err != nil {
+		return fmt.Errorf("browser video chat: cam: %w: %v", ErrBlocked, err)
+	}
+	return h.Close()
+}
+
+// Launcher is a graphical program launcher (the Run application of
+// Figure 3).
+type Launcher struct {
+	sys *core.System
+	app *core.App
+}
+
+// NewLauncher launches the launcher.
+func NewLauncher(sys *core.System, name string) (*Launcher, error) {
+	app, err := sys.Launch(name)
+	if err != nil {
+		return nil, fmt.Errorf("launcher: %w", err)
+	}
+	return &Launcher{sys: sys, app: app}, nil
+}
+
+// App exposes the underlying harness handle.
+func (l *Launcher) App() *core.App { return l.app }
+
+// Run simulates the user typing a program name and pressing enter; the
+// launcher forks and execs the tool, which inherits the interaction
+// stamp (P1).
+func (l *Launcher) Run(tool string) (*kernel.Process, error) {
+	if err := l.app.Type(tool); err != nil {
+		return nil, fmt.Errorf("launcher run %s: %w", tool, err)
+	}
+	if err := l.app.Type("enter"); err != nil {
+		return nil, fmt.Errorf("launcher run %s: %w", tool, err)
+	}
+	l.sys.Settle(50 * time.Millisecond)
+	proc, err := l.app.Proc.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("launcher run %s: %w", tool, err)
+	}
+	if err := proc.Exec(tool, "/usr/bin/"+tool); err != nil {
+		return nil, fmt.Errorf("launcher run %s: %w", tool, err)
+	}
+	return proc, nil
+}

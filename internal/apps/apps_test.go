@@ -1,0 +1,284 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/core"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+func boot(t *testing.T) (*core.System, string, string) {
+	t.Helper()
+	sys, mic, cam, err := core.BootDefault()
+	if err != nil {
+		t.Fatalf("BootDefault: %v", err)
+	}
+	return sys, mic, cam
+}
+
+// settle ages freshly mapped windows past the visibility threshold.
+func settle(sys *core.System) {
+	sys.Settle(2 * xserver.DefaultVisibilityThreshold)
+}
+
+func TestVideoConfCallWorks(t *testing.T) {
+	sys, mic, cam := boot(t)
+	v, err := NewVideoConf(sys, "skype", mic, cam, false)
+	if err != nil {
+		t.Fatalf("NewVideoConf: %v", err)
+	}
+	settle(sys)
+	if err := v.PlaceCall(); err != nil {
+		t.Fatalf("PlaceCall: %v", err)
+	}
+	// Mic and cam alerts were shown.
+	if got := len(sys.X.AlertHistory()); got != 2 {
+		t.Fatalf("alerts = %d, want 2", got)
+	}
+}
+
+func TestVideoConfAutostartProbeDeniedButHarmless(t *testing.T) {
+	// The §V-C Skype quirk: the startup camera probe (no interaction)
+	// is denied, yet the subsequent user-initiated call succeeds.
+	sys, mic, cam := boot(t)
+	v, err := NewVideoConf(sys, "skype", mic, cam, true)
+	if err != nil {
+		t.Fatalf("NewVideoConf: %v", err)
+	}
+	// The probe got denied and audited.
+	audit := sys.Kernel.Monitor().Audit()
+	if len(audit) != 1 || audit[0].Verdict != monitor.VerdictDeny || audit[0].Op != monitor.OpCam {
+		t.Fatalf("audit = %+v, want one camera denial", audit)
+	}
+	settle(sys)
+	if err := v.PlaceCall(); err != nil {
+		t.Fatalf("PlaceCall after denied probe: %v", err)
+	}
+}
+
+func TestBrowserTabCameraViaShm(t *testing.T) {
+	sys, _, cam := boot(t)
+	b, err := NewBrowser(sys, "chromium")
+	if err != nil {
+		t.Fatalf("NewBrowser: %v", err)
+	}
+	tab, ch, err := b.OpenTab()
+	if err != nil {
+		t.Fatalf("OpenTab: %v", err)
+	}
+	settle(sys)
+	// The forked tab inherited the browser's (empty) stamp; the click
+	// goes to the *browser*, and P2 over shm must carry it to the tab.
+	if err := b.StartVideoChat(tab, ch, cam); err != nil {
+		t.Fatalf("StartVideoChat: %v", err)
+	}
+}
+
+func TestBrowserTabWithoutClickBlocked(t *testing.T) {
+	sys, _, cam := boot(t)
+	b, err := NewBrowser(sys, "chromium")
+	if err != nil {
+		t.Fatalf("NewBrowser: %v", err)
+	}
+	tab, ch, err := b.OpenTab()
+	if err != nil {
+		t.Fatalf("OpenTab: %v", err)
+	}
+	settle(sys)
+	// Tab opens the camera with no user interaction anywhere.
+	_ = ch
+	if _, err := sys.Kernel.Open(tab.Proc, cam, 1); err == nil {
+		t.Fatal("tab camera open succeeded without any interaction")
+	}
+}
+
+func TestLauncherFigure3(t *testing.T) {
+	sys, _, _ := boot(t)
+	l, err := NewLauncher(sys, "run")
+	if err != nil {
+		t.Fatalf("NewLauncher: %v", err)
+	}
+	victim, err := sys.Launch("bank")
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := victim.Client.Draw(victim.Win, []byte("statement")); err != nil {
+		t.Fatalf("Draw: %v", err)
+	}
+	settle(sys)
+
+	shotProc, err := l.Run("shot")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The spawned tool connects to X and captures the screen; the
+	// interaction it inherited from the launcher makes this succeed.
+	shotClient, err := sys.X.Connect(shotProc.PID(), "shot")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := shotClient.GetImage(xserver.Root); err != nil {
+		t.Fatalf("spawned tool capture = %v, want grant via P1", err)
+	}
+}
+
+func TestTerminalCLIFlow(t *testing.T) {
+	sys, mic, _ := boot(t)
+	term, err := NewTerminal(sys, "xterm")
+	if err != nil {
+		t.Fatalf("NewTerminal: %v", err)
+	}
+	settle(sys)
+	tool, err := term.RunCommand("arecord demo.wav")
+	if err != nil {
+		t.Fatalf("RunCommand: %v", err)
+	}
+	if tool.Name() != "arecord" {
+		t.Fatalf("tool name = %q", tool.Name())
+	}
+	if _, err := sys.Kernel.Open(tool, mic, 1); err != nil {
+		t.Fatalf("CLI tool mic open = %v, want grant via pty propagation", err)
+	}
+}
+
+func TestTerminalShellAloneHasNoPermissions(t *testing.T) {
+	sys, mic, _ := boot(t)
+	term, err := NewTerminal(sys, "xterm")
+	if err != nil {
+		t.Fatalf("NewTerminal: %v", err)
+	}
+	settle(sys)
+	// The shell never received any pty traffic: no stamp.
+	if _, err := sys.Kernel.Open(term.Shell(), mic, 1); err == nil {
+		t.Fatal("idle shell opened the microphone")
+	}
+}
+
+func TestScreenshotCaptureAndDelayedLimitation(t *testing.T) {
+	sys, _, _ := boot(t)
+	victim, err := sys.Launch("document")
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := victim.Client.Draw(victim.Win, []byte("page-1")); err != nil {
+		t.Fatalf("Draw: %v", err)
+	}
+	shot, err := NewScreenshot(sys, "gnome-screenshot")
+	if err != nil {
+		t.Fatalf("NewScreenshot: %v", err)
+	}
+	settle(sys)
+
+	img, err := shot.Capture()
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if len(img) == 0 {
+		t.Fatal("empty capture")
+	}
+
+	// Delayed shot beyond δ: the documented limitation — it fails.
+	if _, err := shot.CaptureDelayed(5 * time.Second); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("CaptureDelayed = %v, want ErrBlocked", err)
+	}
+	// A short delay under δ still works.
+	if _, err := shot.CaptureDelayed(500 * time.Millisecond); err != nil {
+		t.Fatalf("short CaptureDelayed = %v", err)
+	}
+}
+
+func TestRecorderDeviceAndScreen(t *testing.T) {
+	sys, mic, _ := boot(t)
+	audio, err := NewRecorder(sys, "audacity", mic)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	desktop, err := NewRecorder(sys, "recordmydesktop", "")
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	settle(sys)
+	if err := audio.Record(); err != nil {
+		t.Fatalf("audio Record: %v", err)
+	}
+	if err := desktop.Record(); err != nil {
+		t.Fatalf("desktop Record: %v", err)
+	}
+}
+
+func TestEditorsCopyPaste(t *testing.T) {
+	sys, _, _ := boot(t)
+	src, err := NewEditor(sys, "libreoffice")
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	dst, err := NewEditor(sys, "gedit")
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	settle(sys)
+	if err := src.Copy([]byte("quarterly numbers")); err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	got, err := dst.Paste(src)
+	if err != nil {
+		t.Fatalf("Paste: %v", err)
+	}
+	if string(got) != "quarterly numbers" {
+		t.Fatalf("pasted %q", got)
+	}
+}
+
+func TestEditorCopyWithoutKeystrokeBlocked(t *testing.T) {
+	sys, _, _ := boot(t)
+	ed, err := NewEditor(sys, "gedit")
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	settle(sys)
+	// Bypass Copy(): call SetSelection directly with no keystroke.
+	err = ed.App().Client.SetSelection("CLIPBOARD", ed.App().Win)
+	if !errors.Is(err, xserver.ErrBadAccess) {
+		t.Fatalf("SetSelection = %v, want ErrBadAccess", err)
+	}
+}
+
+func TestGUITestingToolStillFunctions(t *testing.T) {
+	// §IV-A acknowledges legitimate uses of synthetic input (GUI
+	// testing tools). Under Overhaul the events are still *delivered* —
+	// automation keeps driving the UI — they just never mint trust.
+	sys, mic, _ := boot(t)
+	target, err := sys.LaunchAt("app-under-test", 100, 100, 200, 200)
+	if err != nil {
+		t.Fatalf("LaunchAt: %v", err)
+	}
+	robot, err := sys.LaunchAt("x11-test-robot", 600, 600, 50, 50)
+	if err != nil {
+		t.Fatalf("LaunchAt: %v", err)
+	}
+	settle(sys)
+
+	// The robot drives the target with XTest clicks; the target reacts
+	// to each event (functionality preserved).
+	for i := 0; i < 5; i++ {
+		win, err := robot.Client.XTestFakeInput(xserver.Event{
+			Type: xserver.ButtonPress, X: 150, Y: 150,
+		})
+		if err != nil {
+			t.Fatalf("XTestFakeInput: %v", err)
+		}
+		if win != target.Win {
+			t.Fatalf("xtest click dispatched to %d, want %d", win, target.Win)
+		}
+	}
+	if got := target.Client.PendingEvents(); got != 5 {
+		t.Fatalf("target received %d events, want 5 (automation must keep working)", got)
+	}
+	// But the synthetic clicks minted no authority for anyone.
+	if _, err := target.OpenDevice(mic); err == nil {
+		t.Fatal("synthetic automation unlocked the microphone")
+	}
+}

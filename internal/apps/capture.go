@@ -1,0 +1,205 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"overhaul/internal/core"
+	"overhaul/internal/xserver"
+)
+
+// Screenshot is a screenshot utility (Shutter / GNOME Screenshot-like).
+type Screenshot struct {
+	sys *core.System
+	app *core.App
+}
+
+// NewScreenshot launches the tool.
+func NewScreenshot(sys *core.System, name string) (*Screenshot, error) {
+	app, err := sys.Launch(name)
+	if err != nil {
+		return nil, fmt.Errorf("screenshot: %w", err)
+	}
+	return &Screenshot{sys: sys, app: app}, nil
+}
+
+// App exposes the underlying harness handle.
+func (s *Screenshot) App() *core.App { return s.app }
+
+// Capture simulates the user clicking "shoot" and the tool grabbing the
+// full screen.
+func (s *Screenshot) Capture() ([]byte, error) {
+	if err := s.app.Click(); err != nil {
+		return nil, fmt.Errorf("screenshot: %w", err)
+	}
+	s.sys.Settle(100 * time.Millisecond)
+	img, err := s.app.Client.GetImage(xserver.Root)
+	if err != nil {
+		return nil, fmt.Errorf("screenshot: %w: %v", ErrBlocked, err)
+	}
+	return img, nil
+}
+
+// CaptureDelayed simulates the delayed-shot feature some tools offer:
+// click now, capture after the delay. With any delay beyond δ the
+// interaction expires before the grab — the known functional limitation
+// §V-C reports.
+func (s *Screenshot) CaptureDelayed(delay time.Duration) ([]byte, error) {
+	if err := s.app.Click(); err != nil {
+		return nil, fmt.Errorf("screenshot: %w", err)
+	}
+	s.sys.Settle(delay)
+	img, err := s.app.Client.GetImage(xserver.Root)
+	if err != nil {
+		return nil, fmt.Errorf("delayed screenshot: %w: %v", ErrBlocked, err)
+	}
+	return img, nil
+}
+
+// Recorder is an audio/video/desktop recorder (Audacity, recordMyDesktop,
+// Cheese-like): on a user click it opens a device or captures the
+// screen repeatedly.
+type Recorder struct {
+	sys    *core.System
+	app    *core.App
+	device string // device node to record from; "" means screen
+}
+
+// NewRecorder launches a recorder. device selects the input node, or ""
+// for a desktop (screen) recorder.
+func NewRecorder(sys *core.System, name, device string) (*Recorder, error) {
+	app, err := sys.Launch(name)
+	if err != nil {
+		return nil, fmt.Errorf("recorder: %w", err)
+	}
+	return &Recorder{sys: sys, app: app, device: device}, nil
+}
+
+// App exposes the underlying harness handle.
+func (r *Recorder) App() *core.App { return r.app }
+
+// Record simulates the user clicking record and the tool opening its
+// input once. Long recordings keep the device open, so a single
+// mediated open is the access-control-relevant event.
+func (r *Recorder) Record() error {
+	if err := r.app.Click(); err != nil {
+		return fmt.Errorf("recorder: %w", err)
+	}
+	r.sys.Settle(120 * time.Millisecond)
+	if r.device == "" {
+		if _, err := r.app.Client.GetImage(xserver.Root); err != nil {
+			return fmt.Errorf("recorder screen: %w: %v", ErrBlocked, err)
+		}
+		return nil
+	}
+	h, err := r.app.OpenDevice(r.device)
+	if err != nil {
+		return fmt.Errorf("recorder %s: %w: %v", r.device, ErrBlocked, err)
+	}
+	return h.Close()
+}
+
+// Editor is a text/media editor or office application used by the
+// clipboard assessment: it copies and pastes through the full ICCCM
+// protocol in response to user keystrokes.
+type Editor struct {
+	sys *core.System
+	app *core.App
+}
+
+// NewEditor launches an editor.
+func NewEditor(sys *core.System, name string) (*Editor, error) {
+	app, err := sys.Launch(name)
+	if err != nil {
+		return nil, fmt.Errorf("editor: %w", err)
+	}
+	return &Editor{sys: sys, app: app}, nil
+}
+
+// App exposes the underlying harness handle.
+func (e *Editor) App() *core.App { return e.app }
+
+// Copy simulates ctrl+c: the editor asserts clipboard ownership holding
+// the given data (served later on demand).
+func (e *Editor) Copy(data []byte) error {
+	if err := e.app.Type("ctrl+c"); err != nil {
+		return fmt.Errorf("editor copy: %w", err)
+	}
+	e.sys.Settle(30 * time.Millisecond)
+	if err := e.app.Client.SetSelection("CLIPBOARD", e.app.Win); err != nil {
+		return fmt.Errorf("editor copy: %w: %v", ErrBlocked, err)
+	}
+	// Stash the data in a window property so ServePaste can find it.
+	if err := e.app.Client.ChangeProperty(e.app.Win, "_COPY_BUFFER", data); err != nil {
+		return fmt.Errorf("editor copy: %w", err)
+	}
+	return nil
+}
+
+// Paste simulates ctrl+v in this editor against the current clipboard
+// owner, running the target half of the protocol; the owner must answer
+// via ServePaste. Returns the pasted bytes.
+func (e *Editor) Paste(owner *Editor) ([]byte, error) {
+	if err := e.app.Type("ctrl+v"); err != nil {
+		return nil, fmt.Errorf("editor paste: %w", err)
+	}
+	e.sys.Settle(30 * time.Millisecond)
+	if err := e.app.Client.ConvertSelection("CLIPBOARD", "UTF8_STRING", "XSEL_DATA", e.app.Win); err != nil {
+		return nil, fmt.Errorf("editor paste: %w: %v", ErrBlocked, err)
+	}
+	if err := owner.ServePaste(); err != nil {
+		return nil, fmt.Errorf("editor paste: %w", err)
+	}
+	// Consume the SelectionNotify and fetch the property.
+	for {
+		ev, ok := e.app.Client.NextEvent()
+		if !ok {
+			return nil, fmt.Errorf("editor paste: no SelectionNotify")
+		}
+		if ev.Type != xserver.SelectionNotify {
+			continue
+		}
+		if ev.Property == "" {
+			return nil, fmt.Errorf("editor paste: empty selection")
+		}
+		data, err := e.app.Client.GetProperty(e.app.Win, ev.Property)
+		if err != nil {
+			return nil, fmt.Errorf("editor paste: %w", err)
+		}
+		if err := e.app.Client.DeleteProperty(e.app.Win, ev.Property); err != nil {
+			return nil, fmt.Errorf("editor paste: %w", err)
+		}
+		return data, nil
+	}
+}
+
+// ServePaste runs the owner half of the protocol: answer the pending
+// SelectionRequest with the stashed copy buffer.
+func (e *Editor) ServePaste() error {
+	for {
+		ev, ok := e.app.Client.NextEvent()
+		if !ok {
+			return fmt.Errorf("editor serve: no SelectionRequest")
+		}
+		if ev.Type != xserver.SelectionRequest {
+			continue
+		}
+		data, err := e.app.Client.GetProperty(e.app.Win, "_COPY_BUFFER")
+		if err != nil {
+			return fmt.Errorf("editor serve: %w", err)
+		}
+		if err := e.app.Client.ChangeProperty(ev.Requestor, ev.Property, data); err != nil {
+			return fmt.Errorf("editor serve: %w", err)
+		}
+		notify := xserver.Event{
+			Type:      xserver.SelectionNotify,
+			Selection: ev.Selection,
+			Target:    ev.Target,
+			Property:  ev.Property,
+		}
+		if err := e.app.Client.SendEvent(ev.Requestor, notify); err != nil {
+			return fmt.Errorf("editor serve: %w", err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"overhaul/internal/core"
+	"overhaul/internal/ipc"
+	"overhaul/internal/kernel"
+)
+
+// Terminal is a terminal emulator (xterm-like) with a shell process
+// behind a pseudo-terminal — the CLI interaction scenario of §IV-B. The
+// emulator is an X client that receives keystrokes; the shell is a
+// headless process reading the pty slave; tools the shell launches are
+// fork/exec children of the shell.
+type Terminal struct {
+	sys   *core.System
+	app   *core.App
+	shell *kernel.Process
+	pty   *ipc.Pty
+}
+
+// NewTerminal launches the emulator and its shell.
+func NewTerminal(sys *core.System, name string) (*Terminal, error) {
+	app, err := sys.Launch(name)
+	if err != nil {
+		return nil, fmt.Errorf("terminal: %w", err)
+	}
+	shell, err := sys.LaunchHeadless("bash")
+	if err != nil {
+		return nil, fmt.Errorf("terminal: %w", err)
+	}
+	return &Terminal{sys: sys, app: app, shell: shell, pty: sys.Kernel.NewPty()}, nil
+}
+
+// App exposes the emulator's harness handle.
+func (t *Terminal) App() *core.App { return t.app }
+
+// Shell exposes the shell process.
+func (t *Terminal) Shell() *kernel.Process { return t.shell }
+
+// RunCommand simulates the user typing a command line into the emulator
+// and the shell launching the named tool: each keystroke is hardware
+// input to the emulator; the line travels over the pty (propagating the
+// interaction stamp); the shell forks and execs the tool.
+func (t *Terminal) RunCommand(cmdline string) (*kernel.Process, error) {
+	for _, key := range strings.Split(cmdline, "") {
+		if err := t.app.Type(key); err != nil {
+			return nil, fmt.Errorf("terminal run %q: %w", cmdline, err)
+		}
+	}
+	if err := t.app.Type("enter"); err != nil {
+		return nil, fmt.Errorf("terminal run %q: %w", cmdline, err)
+	}
+
+	// The emulator writes the line to the pty master...
+	if _, err := t.pty.Write(ipc.Master, t.app.Proc.PID(), []byte(cmdline+"\n")); err != nil {
+		return nil, fmt.Errorf("terminal run %q: pty: %w", cmdline, err)
+	}
+	// ...and the shell reads it from the slave, adopting the stamp.
+	buf := make([]byte, len(cmdline)+1)
+	if _, err := t.pty.Read(ipc.Slave, t.shell.PID(), buf); err != nil {
+		return nil, fmt.Errorf("terminal run %q: pty: %w", cmdline, err)
+	}
+	t.sys.Settle(30 * time.Millisecond)
+
+	tool := strings.Fields(cmdline)[0]
+	proc, err := t.shell.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("terminal run %q: %w", cmdline, err)
+	}
+	if err := proc.Exec(tool, "/usr/bin/"+tool); err != nil {
+		return nil, fmt.Errorf("terminal run %q: %w", cmdline, err)
+	}
+	return proc, nil
+}

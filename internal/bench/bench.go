@@ -1,0 +1,634 @@
+// Package bench reproduces Table I of the paper: the performance
+// overhead of Overhaul on each critical path, measured as baseline
+// (unmodified kernel and X server) versus Overhaul (full decision path
+// with the permission monitor in force-grant mode, exactly as the paper
+// configures it so benchmarks exercise the entire grant path without
+// user input).
+//
+// The absolute times differ from the paper's i7-930 testbed — the
+// substrate is a simulator — but the comparison preserves the cost
+// structure: device opens pay a simulated driver-initialisation cost,
+// X requests pay a simulated wire cost, and shared-memory fast-path
+// accesses are nearly free, so the *relative* overhead lands in the
+// paper's low single digits with the same ordering.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/core"
+	"overhaul/internal/devfs"
+	"overhaul/internal/fs"
+	"overhaul/internal/ipc"
+	"overhaul/internal/kernel"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+// Row is one Table I line.
+type Row struct {
+	Name     string        `json:"name"`
+	Ops      int           `json:"ops"`
+	Baseline time.Duration `json:"baselineNanos"`
+	Overhaul time.Duration `json:"overhaulNanos"`
+	// medianRatio is the median of per-chunk overhaul/baseline time
+	// ratios; it is robust against scheduler stalls that land in one
+	// side of a single chunk on shared hardware.
+	medianRatio float64
+}
+
+// OverheadPct returns the relative slowdown in percent, preferring the
+// outlier-robust per-chunk median when available.
+func (r Row) OverheadPct() float64 {
+	if r.medianRatio > 0 {
+		return (r.medianRatio - 1) * 100
+	}
+	if r.Baseline <= 0 {
+		return 0
+	}
+	return (float64(r.Overhaul) - float64(r.Baseline)) / float64(r.Baseline) * 100
+}
+
+// PaperRow holds the published Table I numbers for side-by-side output.
+type PaperRow struct {
+	Name        string
+	Baseline    string
+	Overhaul    string
+	OverheadPct float64
+}
+
+// PaperTableI returns the published measurements.
+func PaperTableI() []PaperRow {
+	return []PaperRow{
+		{Name: "Device Access", Baseline: "45.20 s", Overhaul: "46.18 s", OverheadPct: 2.17},
+		{Name: "Clipboard", Baseline: "116.48 s", Overhaul: "119.93 s", OverheadPct: 2.96},
+		{Name: "Screen Capture", Baseline: "68.26 s", Overhaul: "69.86 s", OverheadPct: 2.34},
+		{Name: "Shared Memory", Baseline: "234.86 s", Overhaul: "236.33 s", OverheadPct: 0.63},
+		{Name: "Bonnie++", Baseline: "47319 files/s", Overhaul: "47265 files/s", OverheadPct: 0.11},
+	}
+}
+
+// Counts sets the iteration counts. The paper's counts (10 M opens,
+// 100 k pastes, 1 k captures, 10 G shm writes, 102,400 files) are
+// impractical per run in CI; Default scales them down while keeping
+// each measurement in the hundreds of milliseconds.
+type Counts struct {
+	DeviceOpens int
+	Pastes      int
+	Captures    int
+	ShmWrites   int
+	ShmPages    int
+	Files       int
+}
+
+// Default returns CLI-scale counts.
+func Default() Counts {
+	return Counts{
+		DeviceOpens: 100_000,
+		Pastes:      20_000,
+		Captures:    2_000,
+		ShmWrites:   5_000_000,
+		ShmPages:    2_048,
+		Files:       51_200,
+	}
+}
+
+// Quick returns test-scale counts.
+func Quick() Counts {
+	return Counts{
+		DeviceOpens: 2_000,
+		Pastes:      500,
+		Captures:    100,
+		ShmWrites:   100_000,
+		ShmPages:    64,
+		Files:       2_000,
+	}
+}
+
+// Paper returns the paper's original counts (long-running).
+func Paper() Counts {
+	return Counts{
+		DeviceOpens: 10_000_000,
+		Pastes:      100_000,
+		Captures:    1_000,
+		ShmWrites:   10_000_000_000,
+		ShmPages:    10_000,
+		Files:       102_400,
+	}
+}
+
+// wireWork is the simulated X transport cost applied to both servers.
+const wireWork = 2
+
+// shmCheckInterval amortizes the simulated shm guard (see
+// ipc.SetCheckInterval).
+const shmCheckInterval = 64
+
+// storageRounds is the simulated per-create storage cost for the
+// Bonnie++ row (see kernel.Config.StorageRounds).
+const storageRounds = 1
+
+// ErrBench wraps harness failures.
+var ErrBench = errors.New("bench: harness failure")
+
+// measurePair times two variants of the same operation over ops
+// iterations each, interleaved in chunks so environmental drift (CPU
+// frequency, background load, allocator state) hits both equally — the
+// difference is what Table I reports, and it is far smaller than the
+// drift on shared hardware. Both variants get a warmup pass and a GC
+// fence first.
+func measurePair(ops int, baseline, overhaul func(i int) error) (dBase, dOver time.Duration, median float64, err error) {
+	warmup := ops / 10
+	if warmup > 1000 {
+		warmup = 1000
+	}
+	for i := 0; i < warmup; i++ {
+		if err := baseline(i); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := overhaul(i); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	const chunks = 64
+	chunk := ops / chunks
+	if chunk == 0 {
+		chunk = 1
+	}
+	var ratios []float64
+	runtime.GC()
+	for done := 0; done < ops; done += chunk {
+		n := chunk
+		if done+n > ops {
+			n = ops - done
+		}
+		start := time.Now()
+		for i := done; i < done+n; i++ {
+			if err := baseline(i); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		tb := time.Since(start)
+		start = time.Now()
+		for i := done; i < done+n; i++ {
+			if err := overhaul(i); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		to := time.Since(start)
+		dBase += tb
+		dOver += to
+		if tb > 0 {
+			ratios = append(ratios, float64(to)/float64(tb))
+		}
+	}
+	sort.Float64s(ratios)
+	if len(ratios) > 0 {
+		median = ratios[len(ratios)/2]
+	}
+	return dBase, dOver, median, nil
+}
+
+// bootOverhaul builds the measured system: enforcing + force-grant over
+// the wall clock, with the calibrated cost models enabled.
+func bootOverhaul() (*core.System, error) {
+	return core.Boot(core.Options{
+		Clock:            clock.System{},
+		Enforce:          true,
+		ForceGrant:       true,
+		AlertSecret:      "bench",
+		DeviceInitRounds: kernel.DefaultDeviceInitRounds,
+		WireWork:         wireWork,
+		StorageRounds:    storageRounds,
+	})
+}
+
+// DeviceAccess measures the microphone-open path (Table I row 1).
+func DeviceAccess(ops int) (Row, error) {
+	row := Row{Name: "Device Access", Ops: ops}
+
+	// Baseline: unmodified kernel; the device node exists but is not
+	// registered with any permission monitor.
+	clk := clock.System{}
+	fsys := fs.New(clk)
+	k, err := kernel.New(clk, fsys, kernel.Config{
+		Monitor:          monitor.Config{Enforce: false},
+		DeviceInitRounds: kernel.DefaultDeviceInitRounds,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	if err := fsys.MkdirAll("/dev/snd", 0o755, fs.Root); err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	const micPath = "/dev/snd/pcmC0D0c"
+	if err := fsys.Mknod(micPath, "microphone", 0o666, fs.Root); err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	proc, err := k.Spawn(kernel.SpawnSpec{Name: "bench", Exe: "/usr/bin/bench", Cred: fs.Cred{UID: 1000, GID: 1000}})
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	// Overhaul: full system, device registered, force-grant.
+	sys, err := bootOverhaul()
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	oProc, err := sys.LaunchHeadless("bench")
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	row.Baseline, row.Overhaul, row.medianRatio, err = measurePair(ops,
+		func(int) error {
+			_, err := k.Open(proc, micPath, fs.AccessRead)
+			return err
+		},
+		func(int) error {
+			_, err := sys.Kernel.Open(oProc, mic, fs.AccessRead)
+			return err
+		})
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: device open: %v", ErrBench, err)
+	}
+	return row, nil
+}
+
+// clipboardPair prepares a source and target client with a selection
+// already owned by the source.
+func clipboardPair(srv *xserver.Server) (src, tgt *xserver.Client, srcWin, tgtWin xserver.WindowID, err error) {
+	src, err = srv.Connect(9001, "src")
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	tgt, err = srv.Connect(9002, "tgt")
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	srcWin, err = src.CreateWindow(0, 0, 100, 100)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	tgtWin, err = tgt.CreateWindow(200, 0, 100, 100)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if err := src.MapWindow(srcWin); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if err := tgt.MapWindow(tgtWin); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if err := src.SetSelection("CLIPBOARD", srcWin); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return src, tgt, srcWin, tgtWin, nil
+}
+
+// pasteOnce runs one complete paste protocol round.
+func pasteOnce(src, tgt *xserver.Client, tgtWin xserver.WindowID, payload []byte) error {
+	if err := tgt.ConvertSelection("CLIPBOARD", "UTF8_STRING", "XSEL_DATA", tgtWin); err != nil {
+		return err
+	}
+	req, ok := src.NextEvent()
+	for ok && req.Type != xserver.SelectionRequest {
+		req, ok = src.NextEvent()
+	}
+	if !ok {
+		return errors.New("no SelectionRequest delivered")
+	}
+	if err := src.ChangeProperty(req.Requestor, req.Property, payload); err != nil {
+		return err
+	}
+	notify := xserver.Event{
+		Type:      xserver.SelectionNotify,
+		Selection: "CLIPBOARD",
+		Target:    req.Target,
+		Property:  req.Property,
+	}
+	if err := src.SendEvent(req.Requestor, notify); err != nil {
+		return err
+	}
+	ev, ok := tgt.NextEvent()
+	for ok && ev.Type != xserver.SelectionNotify {
+		ev, ok = tgt.NextEvent()
+	}
+	if !ok {
+		return errors.New("no SelectionNotify delivered")
+	}
+	if _, err := tgt.GetProperty(req.Requestor, req.Property); err != nil {
+		return err
+	}
+	return tgt.DeleteProperty(req.Requestor, req.Property)
+}
+
+// Clipboard measures paste operations, the costlier clipboard half
+// (Table I row 2).
+func Clipboard(ops int) (Row, error) {
+	row := Row{Name: "Clipboard", Ops: ops}
+	payload := []byte(strings.Repeat("x", 256))
+
+	// Baseline: vanilla X server.
+	base, err := xserver.NewServer(clock.System{}, nil, xserver.Config{WireWork: wireWork})
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	src, tgt, _, tgtWin, err := clipboardPair(base)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	// Overhaul: force-grant system, full query path per paste.
+	sys, err := bootOverhaul()
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	osrc, otgt, _, otgtWin, err := clipboardPair(sys.X)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	row.Baseline, row.Overhaul, row.medianRatio, err = measurePair(ops,
+		func(int) error { return pasteOnce(src, tgt, tgtWin, payload) },
+		func(int) error { return pasteOnce(osrc, otgt, otgtWin, payload) })
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: paste: %v", ErrBench, err)
+	}
+	return row, nil
+}
+
+// desktopContent populates a server with windows so root captures copy
+// realistic amounts of pixel data.
+func desktopContent(srv *xserver.Server, shooterPID int) (*xserver.Client, error) {
+	content := []byte(strings.Repeat("p", 64*1024))
+	for i := 0; i < 3; i++ {
+		c, err := srv.Connect(8000+i, fmt.Sprintf("app%d", i))
+		if err != nil {
+			return nil, err
+		}
+		win, err := c.CreateWindow(i*300, 0, 200, 200)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.MapWindow(win); err != nil {
+			return nil, err
+		}
+		if err := c.Draw(win, content); err != nil {
+			return nil, err
+		}
+	}
+	return srv.Connect(shooterPID, "shooter")
+}
+
+// ScreenCapture measures full-screen GetImage requests (Table I row 3).
+func ScreenCapture(ops int) (Row, error) {
+	row := Row{Name: "Screen Capture", Ops: ops}
+
+	base, err := xserver.NewServer(clock.System{}, nil, xserver.Config{WireWork: wireWork})
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	shooter, err := desktopContent(base, 8100)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	sys, err := bootOverhaul()
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	oShooter, err := desktopContent(sys.X, 8100)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	row.Baseline, row.Overhaul, row.medianRatio, err = measurePair(ops,
+		func(int) error {
+			_, err := shooter.GetImage(xserver.Root)
+			return err
+		},
+		func(int) error {
+			_, err := oShooter.GetImage(xserver.Root)
+			return err
+		})
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: capture: %v", ErrBench, err)
+	}
+	return row, nil
+}
+
+// SharedMemory measures writes through a mapped shared-memory segment
+// (Table I row 4): an unguarded segment versus the fault-interception
+// machinery with the paper's 500 ms wait list.
+func SharedMemory(writes, pages int) (Row, error) {
+	row := Row{Name: "Shared Memory", Ops: writes}
+	payload := []byte{0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89}
+
+	baseShm, err := ipc.NewSharedMem(nil, clock.System{}, pages, 0)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	baseMap := baseShm.Map(1)
+	size := baseShm.Size()
+
+	sys, err := bootOverhaul()
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	proc, err := sys.LaunchHeadless("shmbench")
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	shm, err := sys.Kernel.NewSharedMem(pages)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	shm.SetCheckInterval(shmCheckInterval)
+	m := shm.Map(proc.PID())
+	row.Baseline, row.Overhaul, row.medianRatio, err = measurePair(writes,
+		func(i int) error { return baseMap.Write((i*64)%(size-len(payload)), payload) },
+		func(i int) error { return m.Write((i*64)%(size-len(payload)), payload) })
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: shm write: %v", ErrBench, err)
+	}
+	return row, nil
+}
+
+// Filesystem measures empty-file creation through the augmented open
+// path, Bonnie++-style (Table I row 5). Stat and unlink run untimed, as
+// the paper could not measure any overhead there (Overhaul does not
+// interpose on them). Creation chunks alternate between the two kernels
+// so environmental drift cancels.
+func Filesystem(files int) (Row, error) {
+	row := Row{Name: "Bonnie++ (create)", Ops: files}
+
+	type env struct {
+		k    *kernel.Kernel
+		fsys *fs.FS
+		proc *kernel.Process
+	}
+	setup := func(k *kernel.Kernel, fsys *fs.FS) (*env, error) {
+		proc, err := k.Spawn(kernel.SpawnSpec{Name: "bonnie", Exe: "/usr/bin/bonnie", Cred: fs.Root})
+		if err != nil {
+			return nil, err
+		}
+		if err := fsys.MkdirAll("/tmp/bonnie", 0o777, fs.Root); err != nil {
+			return nil, err
+		}
+		return &env{k: k, fsys: fsys, proc: proc}, nil
+	}
+	createRange := func(e *env, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			h, err := e.k.Create(e.proc, fmt.Sprintf("/tmp/bonnie/f%07d", i), 0o644)
+			if err != nil {
+				return err
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	statUnlinkRange := func(e *env, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			path := fmt.Sprintf("/tmp/bonnie/f%07d", i)
+			if _, err := e.k.Stat(e.proc, path); err != nil {
+				return err
+			}
+			if err := e.k.Unlink(e.proc, path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	clk := clock.System{}
+	baseFS := fs.New(clk)
+	baseK, err := kernel.New(clk, baseFS, kernel.Config{
+		Monitor:       monitor.Config{Enforce: false},
+		StorageRounds: storageRounds,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	base, err := setup(baseK, baseFS)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+
+	sys, err := bootOverhaul()
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	// The sensitive mapping is populated, as on a real machine.
+	if _, err := sys.Helper.Attach(devfs.ClassMicrophone); err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	if _, err := sys.Helper.Attach(devfs.ClassCamera); err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+	over, err := setup(sys.Kernel, sys.FS)
+	if err != nil {
+		return Row{}, fmt.Errorf("%w: %v", ErrBench, err)
+	}
+
+	// Warmup both.
+	for _, e := range []*env{base, over} {
+		if err := createRange(e, 0, files/10); err != nil {
+			return Row{}, fmt.Errorf("%w: warmup: %v", ErrBench, err)
+		}
+		if err := statUnlinkRange(e, 0, files/10); err != nil {
+			return Row{}, fmt.Errorf("%w: warmup: %v", ErrBench, err)
+		}
+	}
+	runtime.GC()
+
+	const chunks = 64
+	chunk := files / chunks
+	if chunk == 0 {
+		chunk = 1
+	}
+	var ratios []float64
+	for done := 0; done < files; done += chunk {
+		hi := done + chunk
+		if hi > files {
+			hi = files
+		}
+		start := time.Now()
+		if err := createRange(base, done, hi); err != nil {
+			return Row{}, fmt.Errorf("%w: baseline bonnie: %v", ErrBench, err)
+		}
+		tb := time.Since(start)
+		start = time.Now()
+		if err := createRange(over, done, hi); err != nil {
+			return Row{}, fmt.Errorf("%w: overhaul bonnie: %v", ErrBench, err)
+		}
+		to := time.Since(start)
+		row.Baseline += tb
+		row.Overhaul += to
+		if tb > 0 {
+			ratios = append(ratios, float64(to)/float64(tb))
+		}
+		// Untimed stat + delete phase, keeping both trees small.
+		if err := statUnlinkRange(base, done, hi); err != nil {
+			return Row{}, fmt.Errorf("%w: baseline bonnie: %v", ErrBench, err)
+		}
+		if err := statUnlinkRange(over, done, hi); err != nil {
+			return Row{}, fmt.Errorf("%w: overhaul bonnie: %v", ErrBench, err)
+		}
+	}
+	sort.Float64s(ratios)
+	if len(ratios) > 0 {
+		row.medianRatio = ratios[len(ratios)/2]
+	}
+	return row, nil
+}
+
+// TableI runs all five rows with the given counts. Rows are separated
+// by GC fences so one row's retired heap is not billed to the next.
+func TableI(c Counts) ([]Row, error) {
+	rows := make([]Row, 0, 5)
+	steps := []func() (Row, error){
+		func() (Row, error) { return DeviceAccess(c.DeviceOpens) },
+		func() (Row, error) { return Clipboard(c.Pastes) },
+		func() (Row, error) { return ScreenCapture(c.Captures) },
+		func() (Row, error) { return SharedMemory(c.ShmWrites, c.ShmPages) },
+		func() (Row, error) { return Filesystem(c.Files) },
+	}
+	for _, step := range steps {
+		row, err := step()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		runtime.GC()
+	}
+	return rows, nil
+}
+
+// Format renders measured rows next to the paper's numbers. The
+// filesystem row additionally shows files/s, the unit Bonnie++ reports.
+func Format(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %12s %10s %14s\n", "Benchmark", "Baseline", "Overhaul", "Overhead", "Paper overhead")
+	paper := PaperTableI()
+	for i, r := range rows {
+		paperPct := ""
+		if i < len(paper) {
+			paperPct = fmt.Sprintf("%.2f %%", paper[i].OverheadPct)
+		}
+		fmt.Fprintf(&b, "%-20s %12s %12s %9.2f%% %14s\n",
+			r.Name, r.Baseline.Round(time.Millisecond), r.Overhaul.Round(time.Millisecond),
+			r.OverheadPct(), paperPct)
+		if strings.HasPrefix(r.Name, "Bonnie") && r.Baseline > 0 && r.Overhaul > 0 {
+			fmt.Fprintf(&b, "%-20s %9.0f/s %9.0f/s\n", "  (file creation)",
+				float64(r.Ops)/r.Baseline.Seconds(), float64(r.Ops)/r.Overhaul.Seconds())
+		}
+	}
+	return b.String()
+}

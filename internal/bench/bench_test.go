@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness in -short mode")
+	}
+	rows, err := TableI(Quick())
+	if err != nil {
+		t.Fatalf("TableI: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	names := []string{"Device Access", "Clipboard", "Screen Capture", "Shared Memory", "Bonnie++ (create)"}
+	for i, r := range rows {
+		if r.Name != names[i] {
+			t.Fatalf("row %d = %q, want %q", i, r.Name, names[i])
+		}
+		if r.Baseline <= 0 || r.Overhaul <= 0 {
+			t.Fatalf("row %q has non-positive durations: %+v", r.Name, r)
+		}
+		// At quick scale noise dominates; assert only that the
+		// measured overhead stays within a loose sanity band that
+		// would still catch a broken cost model (e.g. the pre-fix
+		// 100 %+ shared-memory overhead).
+		if pct := r.OverheadPct(); pct > 60 || pct < -40 {
+			t.Fatalf("row %q overhead = %.1f%%, outside sanity band", r.Name, pct)
+		}
+	}
+}
+
+func TestPaperTableIShape(t *testing.T) {
+	rows := PaperTableI()
+	if len(rows) != 5 {
+		t.Fatalf("paper rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OverheadPct <= 0 || r.OverheadPct >= 3 {
+			t.Fatalf("paper overhead out of published range: %+v", r)
+		}
+	}
+	// Published ordering: Clipboard > Screen Capture > Device Access >
+	// Shared Memory > Bonnie.
+	if !(rows[1].OverheadPct > rows[2].OverheadPct &&
+		rows[2].OverheadPct > rows[0].OverheadPct &&
+		rows[0].OverheadPct > rows[3].OverheadPct &&
+		rows[3].OverheadPct > rows[4].OverheadPct) {
+		t.Fatalf("paper ordering wrong: %+v", rows)
+	}
+}
+
+func TestCountsPresets(t *testing.T) {
+	for _, c := range []Counts{Default(), Quick(), Paper()} {
+		if c.DeviceOpens <= 0 || c.Pastes <= 0 || c.Captures <= 0 ||
+			c.ShmWrites <= 0 || c.ShmPages <= 0 || c.Files <= 0 {
+			t.Fatalf("preset has non-positive counts: %+v", c)
+		}
+	}
+	if Paper().DeviceOpens != 10_000_000 {
+		t.Fatalf("paper device opens = %d", Paper().DeviceOpens)
+	}
+}
+
+func TestFormatIncludesPaperColumn(t *testing.T) {
+	rows := []Row{{Name: "Device Access", Ops: 1, Baseline: 100, Overhaul: 102}}
+	out := Format(rows)
+	if !strings.Contains(out, "Paper overhead") || !strings.Contains(out, "2.17") {
+		t.Fatalf("Format output missing paper column:\n%s", out)
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	r := Row{Baseline: 100, Overhaul: 103}
+	if pct := r.OverheadPct(); pct < 2.9 || pct > 3.1 {
+		t.Fatalf("OverheadPct = %v", pct)
+	}
+	r.medianRatio = 1.01
+	if pct := r.OverheadPct(); pct < 0.9 || pct > 1.1 {
+		t.Fatalf("median-based OverheadPct = %v", pct)
+	}
+	if (Row{}).OverheadPct() != 0 {
+		t.Fatal("zero row overhead should be 0")
+	}
+}

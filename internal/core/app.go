@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"overhaul/internal/fs"
+	"overhaul/internal/kernel"
+	"overhaul/internal/xserver"
+)
+
+// userCred is the interactive user every launched application runs as.
+var userCred = fs.Cred{UID: 1000, GID: 1000}
+
+// App bundles a launched application: its kernel process, its X client
+// connection, and its main window. It exists purely for harness
+// convenience — applications themselves remain ignorant of Overhaul
+// (design goal D1).
+type App struct {
+	sys    *System
+	Proc   *kernel.Process
+	Client *xserver.Client
+	Win    xserver.WindowID
+	x, y   int
+	w, h   int
+}
+
+// nextLaunchSlot staggers window positions so windows don't fully
+// overlap by default.
+func (s *System) nextLaunchSlot() (int, int) {
+	n := len(s.X.WindowIDs())
+	return (n * 220) % 1600, ((n * 220) / 1600) * 220
+}
+
+// Launch spawns a user process, connects it to the display server, and
+// maps its main window. The window is freshly mapped, so it has not yet
+// passed the visibility threshold; call Settle (or advance the clock)
+// before simulating clicks that should count as interactions.
+func (s *System) Launch(name string) (*App, error) {
+	return s.LaunchAt(name, -1, -1, 200, 200)
+}
+
+// LaunchAt is Launch with explicit window geometry. Negative x or y
+// selects an automatic slot.
+func (s *System) LaunchAt(name string, x, y, w, h int) (*App, error) {
+	if x < 0 || y < 0 {
+		x, y = s.nextLaunchSlot()
+	}
+	proc, err := s.Kernel.Spawn(kernel.SpawnSpec{
+		Name: name,
+		Exe:  "/usr/bin/" + name,
+		Cred: userCred,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("launch %s: %w", name, err)
+	}
+	client, err := s.X.Connect(proc.PID(), name)
+	if err != nil {
+		return nil, fmt.Errorf("launch %s: %w", name, err)
+	}
+	win, err := client.CreateWindow(x, y, w, h)
+	if err != nil {
+		return nil, fmt.Errorf("launch %s: %w", name, err)
+	}
+	if err := client.MapWindow(win); err != nil {
+		return nil, fmt.Errorf("launch %s: %w", name, err)
+	}
+	return &App{sys: s, Proc: proc, Client: client, Win: win, x: x, y: y, w: w, h: h}, nil
+}
+
+// LaunchHeadless spawns a user process with no X connection — the shape
+// of a background daemon or CLI tool.
+func (s *System) LaunchHeadless(name string) (*kernel.Process, error) {
+	proc, err := s.Kernel.Spawn(kernel.SpawnSpec{
+		Name: name,
+		Exe:  "/usr/bin/" + name,
+		Cred: userCred,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("launch %s: %w", name, err)
+	}
+	return proc, nil
+}
+
+// WrapApp builds an App handle around an already-created process, X
+// client, and window (used by harness code that assembles processes
+// manually, e.g. the spyware sample).
+func (s *System) WrapApp(proc *kernel.Process, client *xserver.Client, win xserver.WindowID, x, y, w, h int) *App {
+	return &App{sys: s, Proc: proc, Client: client, Win: win, x: x, y: y, w: w, h: h}
+}
+
+// Settle advances a simulated clock by d (no-op on real clocks, where
+// time passes by itself).
+func (s *System) Settle(d time.Duration) {
+	if clk, ok := s.SimClock(); ok {
+		clk.Advance(d)
+	}
+}
+
+// Click simulates the user clicking inside the app's window (its
+// top-left corner, which the harness keeps unobstructed).
+func (a *App) Click() error {
+	got := a.sys.X.HardwareClick(a.x, a.y)
+	if got != a.Win {
+		return fmt.Errorf("click on %s landed on window %d, want %d (obscured?)", a.Client.Name(), got, a.Win)
+	}
+	return nil
+}
+
+// Type simulates the user typing a key into the app (grabbing focus
+// first).
+func (a *App) Type(key string) error {
+	if err := a.Client.SetFocus(a.Win); err != nil {
+		return fmt.Errorf("type into %s: %w", a.Client.Name(), err)
+	}
+	got := a.sys.X.HardwareKey(key)
+	if got != a.Win {
+		return fmt.Errorf("key to %s landed on window %d, want %d", a.Client.Name(), got, a.Win)
+	}
+	return nil
+}
+
+// OpenDevice opens a sensitive device node through the kernel on behalf
+// of the app's process.
+func (a *App) OpenDevice(path string) (*fs.Handle, error) {
+	return a.sys.Kernel.Open(a.Proc, path, fs.AccessRead)
+}
+
+// Exit terminates the app: X connection first, then the process.
+func (a *App) Exit() error {
+	if err := a.Client.Close(); err != nil {
+		return fmt.Errorf("exit %s: %w", a.Client.Name(), err)
+	}
+	if err := a.Proc.Exit(); err != nil {
+		return fmt.Errorf("exit %s: %w", a.Client.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+// Package core assembles the complete Overhaul system — the paper's
+// primary contribution.
+//
+// It wires together the simulated substrates exactly as §III–§IV
+// describe: a kernel with the permission monitor and device mediation, a
+// display server with the trusted input/output paths, a netlink channel
+// between them that the kernel authenticates by introspecting the X
+// server process, and the trusted devfs helper that keeps the sensitive
+// device mapping current. The result is a System through which
+// simulated applications, users, and malware interact; every Overhaul
+// enforcement decision flows through the same seams as in the paper's
+// prototype.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/devfs"
+	"overhaul/internal/fs"
+	"overhaul/internal/kernel"
+	"overhaul/internal/monitor"
+	"overhaul/internal/netlink"
+	"overhaul/internal/xserver"
+)
+
+// Well-known filesystem paths for the trusted binaries. The netlink
+// authentication procedure checks connecting peers against these.
+const (
+	XServerPath     = "/usr/bin/Xorg"
+	DevfsHelperPath = "/usr/sbin/overhaul-devd"
+)
+
+// netlink message vocabulary (the wire protocol between the display
+// server and the kernel permission monitor).
+type (
+	// interactionMsg is N_{A,t}.
+	interactionMsg struct {
+		PID  int
+		Time time.Time
+	}
+	// queryMsg is Q_{A,t}.
+	queryMsg struct {
+		PID  int
+		Op   monitor.Op
+		Time time.Time
+	}
+	// queryReply is R_{A,t}.
+	queryReply struct {
+		Verdict monitor.Verdict
+	}
+	// alertMsg is V_{A,op}, kernel → display server.
+	alertMsg monitor.AlertRequest
+)
+
+// ErrUnknownMessage is returned by netlink handlers for unexpected
+// payloads.
+var ErrUnknownMessage = errors.New("core: unknown netlink message")
+
+// Options configures the assembled system.
+type Options struct {
+	// Clock supplies time. Nil selects a fresh simulated clock.
+	Clock clock.Clock
+	// Threshold is δ. Zero selects monitor.DefaultThreshold (2 s).
+	Threshold time.Duration
+	// Enforce selects enforcement (true) or observe-only mode (false,
+	// the unprotected baseline machine of §V-D).
+	Enforce bool
+	// ForceGrant is the Table I benchmark mode: every decision grants
+	// but the whole decision path executes.
+	ForceGrant bool
+	// VisibilityThreshold gates interaction notifications in the
+	// display server. Zero selects the server default (1 s).
+	VisibilityThreshold time.Duration
+	// AlertSecret is the user's visual shared secret.
+	AlertSecret string
+	// ShmWait overrides the shared-memory wait-list duration. Zero
+	// selects ipc.DefaultShmWait (500 ms).
+	ShmWait time.Duration
+	// DisablePtraceGuard turns the ptrace permission guard off.
+	DisablePtraceGuard bool
+	// DeviceInitRounds forwards the simulated per-open driver cost to
+	// the kernel (benchmarks only; zero disables).
+	DeviceInitRounds int
+	// WireWork forwards the simulated X transport cost to the display
+	// server (benchmarks only; zero disables).
+	WireWork int
+	// StorageRounds forwards the simulated per-create storage cost to
+	// the kernel (benchmarks only; zero disables).
+	StorageRounds int
+	// DisableXTest rejects XTest injection outright (the stricter
+	// deployment variant §IV-A contemplates).
+	DisableXTest bool
+	// DisableP1 ablates fork-time stamp inheritance.
+	DisableP1 bool
+	// DisableP2 ablates IPC stamp propagation.
+	DisableP2 bool
+}
+
+// System is a booted Overhaul machine.
+type System struct {
+	Clock  clock.Clock
+	FS     *fs.FS
+	Kernel *kernel.Kernel
+	X      *xserver.Server
+	Helper *devfs.Helper
+
+	hub     *netlink.Hub
+	xConn   *netlink.Conn
+	xProc   *kernel.Process
+	enforce bool
+}
+
+// xPolicy implements xserver.Policy by speaking the netlink protocol —
+// the display server never touches kernel state directly.
+type xPolicy struct {
+	conn *netlink.Conn
+}
+
+var _ xserver.Policy = (*xPolicy)(nil)
+
+// NotifyInteraction implements xserver.Policy.
+func (p *xPolicy) NotifyInteraction(pid int, t time.Time) error {
+	_, err := p.conn.Call(interactionMsg{PID: pid, Time: t})
+	return err
+}
+
+// Query implements xserver.Policy.
+func (p *xPolicy) Query(pid int, op monitor.Op, t time.Time) (monitor.Verdict, error) {
+	reply, err := p.conn.Call(queryMsg{PID: pid, Op: op, Time: t})
+	if err != nil {
+		return monitor.VerdictDeny, err
+	}
+	r, ok := reply.(queryReply)
+	if !ok {
+		return monitor.VerdictDeny, fmt.Errorf("query reply %T: %w", reply, ErrUnknownMessage)
+	}
+	return r.Verdict, nil
+}
+
+// Boot assembles and starts an Overhaul system.
+func Boot(opts Options) (*System, error) {
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewSimulated()
+	}
+	fsys := fs.New(clk)
+
+	// Install the trusted binaries so netlink peer authentication has
+	// something to introspect.
+	if err := fsys.MkdirAll("/usr/bin", 0o755, fs.Root); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := fsys.MkdirAll("/usr/sbin", 0o755, fs.Root); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	for _, p := range []string{XServerPath, DevfsHelperPath} {
+		if err := fsys.WriteFile(p, []byte("ELF\x7f"), 0o755, fs.Root); err != nil {
+			return nil, fmt.Errorf("core: install %s: %w", p, err)
+		}
+	}
+
+	k, err := kernel.New(clk, fsys, kernel.Config{
+		Monitor: monitor.Config{
+			Threshold:  opts.Threshold,
+			Enforce:    opts.Enforce,
+			ForceGrant: opts.ForceGrant,
+		},
+		DisablePtraceGuard: opts.DisablePtraceGuard,
+		DeviceInitRounds:   opts.DeviceInitRounds,
+		StorageRounds:      opts.StorageRounds,
+		DisableP1:          opts.DisableP1,
+		DisableP2:          opts.DisableP2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.ShmWait > 0 {
+		k.SetShmWait(opts.ShmWait)
+	}
+
+	// The display server runs as a root-owned userspace process.
+	xProc, err := k.Spawn(kernel.SpawnSpec{Name: "Xorg", Exe: XServerPath, Cred: fs.Root})
+	if err != nil {
+		return nil, fmt.Errorf("core: spawn X: %w", err)
+	}
+
+	// Netlink hub on the kernel side: peers must introspect as the X
+	// server binary.
+	hub, err := netlink.NewHub(netlink.AuthenticatorFunc(func(pid int) error {
+		return k.AuthenticateTrustedBinary(pid, XServerPath)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	hub.SetKernelHandler(func(msg any) (any, error) {
+		switch m := msg.(type) {
+		case interactionMsg:
+			return nil, k.Monitor().Notify(m.PID, m.Time)
+		case queryMsg:
+			return queryReply{Verdict: k.Monitor().Decide(m.PID, m.Op, m.Time)}, nil
+		default:
+			return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, msg)
+		}
+	})
+
+	sys := &System{
+		Clock:   clk,
+		FS:      fsys,
+		Kernel:  k,
+		Helper:  nil,
+		hub:     hub,
+		xProc:   xProc,
+		enforce: opts.Enforce,
+	}
+
+	// Connect the X server to the kernel. Its user handler receives
+	// alert requests.
+	var x *xserver.Server
+	conn, err := hub.Connect(xProc.PID(), func(msg any) (any, error) {
+		m, ok := msg.(alertMsg)
+		if !ok {
+			return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, msg)
+		}
+		x.ShowAlert(monitor.AlertRequest(m))
+		return nil, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: connect X to netlink: %w", err)
+	}
+	sys.xConn = conn
+
+	var policy xserver.Policy
+	if opts.Enforce || opts.ForceGrant {
+		policy = &xPolicy{conn: conn}
+	}
+	x, err = xserver.NewServer(clk, policy, xserver.Config{
+		VisibilityThreshold: opts.VisibilityThreshold,
+		AlertSecret:         opts.AlertSecret,
+		WireWork:            opts.WireWork,
+		DisableXTest:        opts.DisableXTest,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sys.X = x
+
+	// Kernel-side alerts route to the display server over the channel.
+	k.Monitor().SetAlertFunc(func(req monitor.AlertRequest) {
+		// Failures only suppress the alert, never the operation.
+		_, _ = hub.CallUser(xProc.PID(), alertMsg(req))
+	})
+
+	// Start the trusted devfs helper and attach the standard sensors.
+	helper, err := devfs.NewHelper(fsys, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sys.Helper = helper
+
+	return sys, nil
+}
+
+// BootDefault boots an enforcing system with a simulated clock and the
+// paper's default parameters, with a microphone and camera attached.
+// It returns the system and the device paths.
+func BootDefault() (*System, string, string, error) {
+	sys, err := Boot(Options{Enforce: true, AlertSecret: "tabby-cat"})
+	if err != nil {
+		return nil, "", "", err
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		return nil, "", "", fmt.Errorf("core: attach mic: %w", err)
+	}
+	cam, err := sys.Helper.Attach(devfs.ClassCamera)
+	if err != nil {
+		return nil, "", "", fmt.Errorf("core: attach cam: %w", err)
+	}
+	return sys, mic, cam, nil
+}
+
+// Enforcing reports whether the system blocks (true) or only observes.
+func (s *System) Enforcing() bool { return s.enforce }
+
+// DisconnectX tears down the netlink connection between the display
+// server and the kernel (failure injection: the system must fail
+// closed — no notifications, no grants).
+func (s *System) DisconnectX() error {
+	return s.xConn.Close()
+}
+
+// AttachDevice hotplugs a sensitive device through the trusted helper
+// and returns its /dev path.
+func (s *System) AttachDevice(class devfs.Class) (string, error) {
+	return s.Helper.Attach(class)
+}
+
+// Audit returns a copy of the permission monitor's decision log.
+func (s *System) Audit() []monitor.Decision {
+	return s.Kernel.Monitor().Audit()
+}
+
+// ActiveAlerts returns the trusted-output alerts currently on screen.
+func (s *System) ActiveAlerts() []xserver.Alert {
+	return s.X.ActiveAlerts()
+}
+
+// XProcess returns the display server's kernel process.
+func (s *System) XProcess() *kernel.Process { return s.xProc }
+
+// Hub exposes the netlink hub (for diagnostics and adversarial tests).
+func (s *System) Hub() *netlink.Hub { return s.hub }
+
+// SimClock returns the system clock as a *clock.Simulated when it is
+// one, for tests that drive time manually.
+func (s *System) SimClock() (*clock.Simulated, bool) {
+	c, ok := s.Clock.(*clock.Simulated)
+	return c, ok
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/devfs"
+	"overhaul/internal/fs"
+	"overhaul/internal/kernel"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+func bootDefault(t *testing.T) (*System, string, string) {
+	t.Helper()
+	sys, mic, cam, err := BootDefault()
+	if err != nil {
+		t.Fatalf("BootDefault: %v", err)
+	}
+	return sys, mic, cam
+}
+
+// launchSettled launches an app and ages its window past the visibility
+// threshold.
+func launchSettled(t *testing.T, sys *System, name string) *App {
+	t.Helper()
+	app, err := sys.Launch(name)
+	if err != nil {
+		t.Fatalf("Launch(%s): %v", name, err)
+	}
+	sys.Settle(2 * xserver.DefaultVisibilityThreshold)
+	return app
+}
+
+func TestBootWiresEverything(t *testing.T) {
+	sys, mic, cam := bootDefault(t)
+	if !sys.Enforcing() || !sys.X.Protected() {
+		t.Fatal("system not enforcing")
+	}
+	if mic == "" || cam == "" {
+		t.Fatal("devices not attached")
+	}
+	if !sys.Hub().Connected(sys.XProcess().PID()) {
+		t.Fatal("X not connected to netlink")
+	}
+	if _, ok := sys.SimClock(); !ok {
+		t.Fatal("default clock not simulated")
+	}
+}
+
+func TestEndToEndMicrophoneFlow(t *testing.T) {
+	// The Figure 1 flow across the real assembly: click → netlink
+	// notification → device open → monitor grant → netlink alert.
+	sys, mic, _ := bootDefault(t)
+	app := launchSettled(t, sys, "skype")
+
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(100 * time.Millisecond)
+	if _, err := app.OpenDevice(mic); err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	alerts := sys.X.ActiveAlerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v, want 1", alerts)
+	}
+	if alerts[0].Op != monitor.OpMic || alerts[0].PID != app.Proc.PID() {
+		t.Fatalf("alert = %+v", alerts[0])
+	}
+	if !sys.X.AuthenticAlert(alerts[0]) {
+		t.Fatal("alert lacks the shared secret")
+	}
+}
+
+func TestEndToEndBackgroundSpywareBlocked(t *testing.T) {
+	sys, mic, cam := bootDefault(t)
+	spy, err := sys.LaunchHeadless("spyware")
+	if err != nil {
+		t.Fatalf("LaunchHeadless: %v", err)
+	}
+	for _, dev := range []string{mic, cam} {
+		if _, err := sys.Kernel.Open(spy, dev, fs.AccessRead); !errors.Is(err, kernel.ErrAccessDenied) {
+			t.Fatalf("spyware open %s = %v, want denied", dev, err)
+		}
+	}
+	// Blocked device attempts raise "blocked" alerts so the user
+	// learns of the undesired access (§V-B scenario).
+	alerts := sys.X.ActiveAlerts()
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %+v, want 2 blocked alerts", alerts)
+	}
+	for _, a := range alerts {
+		if !a.Blocked {
+			t.Fatalf("alert not marked blocked: %+v", a)
+		}
+	}
+	// But the audit log has both denials.
+	audit := sys.Kernel.Monitor().Audit()
+	if len(audit) != 2 {
+		t.Fatalf("audit = %+v", audit)
+	}
+	for _, d := range audit {
+		if d.Verdict != monitor.VerdictDeny {
+			t.Fatalf("audit verdict = %v", d.Verdict)
+		}
+	}
+}
+
+func TestEndToEndClipboardFlow(t *testing.T) {
+	sys, _, _ := bootDefault(t)
+	srcApp := launchSettled(t, sys, "editor")
+	tgtApp := launchSettled(t, sys, "terminal")
+
+	// Copy with user input.
+	if err := srcApp.Type("ctrl+c"); err != nil {
+		t.Fatalf("Type: %v", err)
+	}
+	if err := srcApp.Client.SetSelection("CLIPBOARD", srcApp.Win); err != nil {
+		t.Fatalf("SetSelection: %v", err)
+	}
+	// Paste with user input.
+	if err := tgtApp.Type("ctrl+v"); err != nil {
+		t.Fatalf("Type: %v", err)
+	}
+	if err := tgtApp.Client.ConvertSelection("CLIPBOARD", "UTF8_STRING", "SEL", tgtApp.Win); err != nil {
+		t.Fatalf("ConvertSelection: %v", err)
+	}
+	// A background sniffer is refused.
+	sniffer := launchSettled(t, sys, "sniffer")
+	err := sniffer.Client.ConvertSelection("CLIPBOARD", "UTF8_STRING", "X", sniffer.Win)
+	if !errors.Is(err, xserver.ErrBadAccess) {
+		t.Fatalf("sniffer ConvertSelection = %v, want ErrBadAccess", err)
+	}
+}
+
+func TestEndToEndScreenCaptureAlert(t *testing.T) {
+	sys, _, _ := bootDefault(t)
+	victim := launchSettled(t, sys, "bank")
+	if err := victim.Client.Draw(victim.Win, []byte("account 12345")); err != nil {
+		t.Fatalf("Draw: %v", err)
+	}
+	shot := launchSettled(t, sys, "screenshot")
+	if err := shot.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	img, err := shot.Client.GetImage(xserver.Root)
+	if err != nil {
+		t.Fatalf("GetImage: %v", err)
+	}
+	if len(img) == 0 {
+		t.Fatal("empty capture")
+	}
+	alerts := sys.X.ActiveAlerts()
+	if len(alerts) != 1 || alerts[0].Op != monitor.OpScreen {
+		t.Fatalf("alerts = %+v, want screen alert", alerts)
+	}
+}
+
+func TestObserveOnlySystemGrantsButLogs(t *testing.T) {
+	// The unprotected §V-D machine: observe-only, everything granted.
+	sys, err := Boot(Options{Enforce: false})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if sys.X.Protected() {
+		t.Fatal("observe-only system has a protected display server")
+	}
+	spy, err := sys.LaunchHeadless("spyware")
+	if err != nil {
+		t.Fatalf("LaunchHeadless: %v", err)
+	}
+	if _, err := sys.Kernel.Open(spy, mic, fs.AccessRead); err != nil {
+		t.Fatalf("observe-only open = %v, want grant", err)
+	}
+	audit := sys.Kernel.Monitor().Audit()
+	if len(audit) != 1 || audit[0].Verdict != monitor.VerdictGrant {
+		t.Fatalf("audit = %+v", audit)
+	}
+}
+
+func TestForceGrantSystem(t *testing.T) {
+	sys, err := Boot(Options{Enforce: true, ForceGrant: true})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	spy, err := sys.LaunchHeadless("bench")
+	if err != nil {
+		t.Fatalf("LaunchHeadless: %v", err)
+	}
+	if _, err := sys.Kernel.Open(spy, mic, fs.AccessRead); err != nil {
+		t.Fatalf("force-grant open = %v", err)
+	}
+}
+
+func TestNetlinkRejectsImpostor(t *testing.T) {
+	sys, _, _ := bootDefault(t)
+	// A user process pretending to be the display server cannot join
+	// the channel: the kernel introspects its executable path.
+	mal, err := sys.LaunchHeadless("fake-xorg")
+	if err != nil {
+		t.Fatalf("LaunchHeadless: %v", err)
+	}
+	if _, err := sys.Hub().Connect(mal.PID(), nil); err == nil {
+		t.Fatal("impostor connected to the kernel channel")
+	}
+}
+
+func TestCustomThresholdOption(t *testing.T) {
+	clk := clock.NewSimulated()
+	sys, err := Boot(Options{Clock: clk, Enforce: true, Threshold: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	app := launchSettled(t, sys, "app")
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(700 * time.Millisecond) // beyond custom δ
+	if _, err := app.OpenDevice(mic); !errors.Is(err, kernel.ErrAccessDenied) {
+		t.Fatalf("open beyond custom δ = %v, want deny", err)
+	}
+}
+
+func TestLaunchAndExitLifecycle(t *testing.T) {
+	sys, _, _ := bootDefault(t)
+	app := launchSettled(t, sys, "shortlived")
+	pid := app.Proc.PID()
+	if err := app.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	if _, err := sys.Kernel.Process(pid); !errors.Is(err, kernel.ErrNoSuchProcess) {
+		t.Fatalf("process survives exit: %v", err)
+	}
+	if len(sys.X.WindowIDs()) != 0 {
+		t.Fatal("window survives exit")
+	}
+}
+
+func TestTypeRequiresOwnWindowFocus(t *testing.T) {
+	sys, _, _ := bootDefault(t)
+	app := launchSettled(t, sys, "app")
+	if err := app.Type("a"); err != nil {
+		t.Fatalf("Type: %v", err)
+	}
+	ev, ok := app.Client.NextEvent()
+	if !ok || ev.Key != "a" || ev.Provenance != xserver.FromHardware {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestSyntheticInputCannotUnlockDevices(t *testing.T) {
+	// S2 across the full stack: malware uses XTest to "click" on a
+	// victim app, then the *victim* opens the mic. Because the event is
+	// synthetic, no interaction was recorded and the open fails.
+	sys, mic, _ := bootDefault(t)
+	victim := launchSettled(t, sys, "recorder")
+	mal := launchSettled(t, sys, "malware")
+
+	if _, err := mal.Client.XTestFakeInput(xserver.Event{
+		Type: xserver.ButtonPress, X: victim.x, Y: victim.y,
+	}); err != nil {
+		t.Fatalf("XTestFakeInput: %v", err)
+	}
+	if _, err := victim.OpenDevice(mic); !errors.Is(err, kernel.ErrAccessDenied) {
+		t.Fatalf("victim open after synthetic click = %v, want deny", err)
+	}
+
+	// SendEvent path likewise.
+	if err := mal.Client.SendEvent(victim.Win, xserver.Event{Type: xserver.KeyPress, Key: "enter"}); err != nil {
+		t.Fatalf("SendEvent: %v", err)
+	}
+	if _, err := victim.OpenDevice(mic); !errors.Is(err, kernel.ErrAccessDenied) {
+		t.Fatalf("victim open after send-event = %v, want deny", err)
+	}
+
+	// A real hardware click, by contrast, unlocks it.
+	if err := victim.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	if _, err := victim.OpenDevice(mic); err != nil {
+		t.Fatalf("victim open after real click = %v, want grant", err)
+	}
+}
+
+func TestBootOptionMatrix(t *testing.T) {
+	// Every option combination must boot and keep the direct
+	// click->open flow working (or observe-only granting).
+	cases := []Options{
+		{Enforce: true},
+		{Enforce: false},
+		{Enforce: true, ForceGrant: true},
+		{Enforce: true, Threshold: time.Second},
+		{Enforce: true, VisibilityThreshold: 100 * time.Millisecond},
+		{Enforce: true, ShmWait: 50 * time.Millisecond},
+		{Enforce: true, DisablePtraceGuard: true},
+		{Enforce: true, DisableXTest: true},
+		{Enforce: true, DisableP1: true},
+		{Enforce: true, DisableP2: true},
+		{Enforce: true, WireWork: 1, DeviceInitRounds: 1, StorageRounds: 1},
+	}
+	for i, opts := range cases {
+		opts.AlertSecret = "matrix"
+		sys, err := Boot(opts)
+		if err != nil {
+			t.Fatalf("case %d: Boot: %v", i, err)
+		}
+		mic, err := sys.AttachDevice(devfs.ClassMicrophone)
+		if err != nil {
+			t.Fatalf("case %d: AttachDevice: %v", i, err)
+		}
+		app := launchSettled(t, sys, "app")
+		if err := app.Click(); err != nil {
+			t.Fatalf("case %d: Click: %v", i, err)
+		}
+		sys.Settle(50 * time.Millisecond)
+		if _, err := app.OpenDevice(mic); err != nil {
+			t.Fatalf("case %d (%+v): direct open = %v, want grant", i, opts, err)
+		}
+	}
+}

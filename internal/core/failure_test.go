@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/devfs"
+	"overhaul/internal/kernel"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+// TestNetlinkFailureFailsClosed severs the kernel↔X channel and checks
+// that every mediated path denies: a broken trusted input path must
+// never widen access.
+func TestNetlinkFailureFailsClosed(t *testing.T) {
+	sys, mic, _ := bootDefault(t)
+	app := launchSettled(t, sys, "app")
+
+	if err := sys.DisconnectX(); err != nil {
+		t.Fatalf("DisconnectX: %v", err)
+	}
+
+	// Clicks still deliver events but notifications fail: no stamp.
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	if _, err := app.OpenDevice(mic); !errors.Is(err, kernel.ErrAccessDenied) {
+		t.Fatalf("device open with dead channel = %v, want deny", err)
+	}
+	// Clipboard queries fail closed too.
+	if err := app.Client.SetSelection("CLIPBOARD", app.Win); !errors.Is(err, xserver.ErrBadAccess) {
+		t.Fatalf("SetSelection with dead channel = %v, want ErrBadAccess", err)
+	}
+	// Screen capture likewise.
+	other := launchSettled(t, sys, "other")
+	if err := other.Client.Draw(other.Win, []byte("x")); err != nil {
+		t.Fatalf("Draw: %v", err)
+	}
+	if _, err := app.Client.GetImage(xserver.Root); !errors.Is(err, xserver.ErrBadAccess) {
+		t.Fatalf("capture with dead channel = %v, want ErrBadAccess", err)
+	}
+}
+
+// TestAlertDeliveryFailureDoesNotBlockOperation: if the alert cannot be
+// shown (X connection gone after the decision), the granted operation
+// still proceeds — alerts are notifications, not gates.
+func TestAlertDeliveryFailureDoesNotBlock(t *testing.T) {
+	sys, mic, _ := bootDefault(t)
+	app := launchSettled(t, sys, "app")
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	// The stamp is recorded; now kill the channel. The device open is
+	// kernel-internal and must still be granted even though V_{A,op}
+	// cannot be delivered.
+	if err := sys.DisconnectX(); err != nil {
+		t.Fatalf("DisconnectX: %v", err)
+	}
+	if _, err := app.OpenDevice(mic); err != nil {
+		t.Fatalf("open after channel loss = %v, want grant (stamp already in kernel)", err)
+	}
+	if n := len(sys.X.ActiveAlerts()); n != 0 {
+		t.Fatalf("alerts = %d, want 0 (channel dead)", n)
+	}
+}
+
+func TestAlertExpiryAndHistory(t *testing.T) {
+	sys, mic, _ := bootDefault(t)
+	app := launchSettled(t, sys, "app")
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	if _, err := app.OpenDevice(mic); err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	if len(sys.ActiveAlerts()) != 1 {
+		t.Fatal("alert not active")
+	}
+	sys.Settle(xserver.DefaultAlertDuration + time.Second)
+	if len(sys.ActiveAlerts()) != 0 {
+		t.Fatal("alert did not expire")
+	}
+	if len(sys.X.AlertHistory()) != 1 {
+		t.Fatal("history lost the alert")
+	}
+}
+
+func TestAlertCoalescing(t *testing.T) {
+	// Repeated grants by the same process for the same op extend one
+	// overlay notification instead of stacking dozens.
+	sys, mic, _ := bootDefault(t)
+	app := launchSettled(t, sys, "app")
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		sys.Settle(100 * time.Millisecond)
+		if _, err := app.OpenDevice(mic); err != nil {
+			// Stamp may expire mid-loop; refresh it.
+			if err := app.Click(); err != nil {
+				t.Fatalf("Click: %v", err)
+			}
+			sys.Settle(50 * time.Millisecond)
+			if _, err := app.OpenDevice(mic); err != nil {
+				t.Fatalf("OpenDevice: %v", err)
+			}
+		}
+	}
+	if got := len(sys.X.AlertHistory()); got != 1 {
+		t.Fatalf("alert history = %d entries, want 1 coalesced", got)
+	}
+}
+
+func TestMultipleDeviceClasses(t *testing.T) {
+	sys, err := Boot(Options{Enforce: true, AlertSecret: "a"})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	paths := make(map[devfs.Class]string)
+	for _, class := range devfs.SensitiveClasses() {
+		p, err := sys.AttachDevice(class)
+		if err != nil {
+			t.Fatalf("Attach(%s): %v", class, err)
+		}
+		paths[class] = p
+	}
+	app := launchSettled(t, sys, "sensorhub")
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	for class, p := range paths {
+		if _, err := app.OpenDevice(p); err != nil {
+			t.Fatalf("open %s (%s): %v", p, class, err)
+		}
+	}
+	// All four grants audited.
+	grants := 0
+	for _, d := range sys.Audit() {
+		if d.Verdict == monitor.VerdictGrant {
+			grants++
+		}
+	}
+	if grants != 4 {
+		t.Fatalf("grants = %d, want 4", grants)
+	}
+}

@@ -1,0 +1,175 @@
+package core_test
+
+// Cross-cutting integration: one machine, every subsystem at once — GUI
+// apps, a launcher, a terminal with a shell, a multi-process browser, a
+// D-Bus service, and spyware — over a simulated working day, with the
+// audit totals reconciled at the end. This is the "everything wired
+// together" test; the per-scenario details live in each package.
+
+import (
+	"testing"
+	"time"
+
+	"overhaul/internal/apps"
+	"overhaul/internal/auditlog"
+	"overhaul/internal/core"
+	"overhaul/internal/fs"
+	"overhaul/internal/malware"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+func TestFullDayKitchenSink(t *testing.T) {
+	sys, mic, cam, err := core.BootDefault()
+	if err != nil {
+		t.Fatalf("BootDefault: %v", err)
+	}
+	settle := func() { sys.Settle(2 * xserver.DefaultVisibilityThreshold) }
+	wantGrants, wantDenials := 0, 0
+
+	// 09:00 — the user places a video call.
+	video, err := apps.NewVideoConf(sys, "jitsi", mic, cam, false)
+	if err != nil {
+		t.Fatalf("NewVideoConf: %v", err)
+	}
+	settle()
+	if err := video.PlaceCall(); err != nil {
+		t.Fatalf("PlaceCall: %v", err)
+	}
+	wantGrants += 2 // mic + cam
+
+	// 10:00 — launcher starts a screenshot tool (P1).
+	sys.Settle(time.Hour)
+	launcher, err := apps.NewLauncher(sys, "run")
+	if err != nil {
+		t.Fatalf("NewLauncher: %v", err)
+	}
+	settle()
+	shotProc, err := launcher.Run("shot")
+	if err != nil {
+		t.Fatalf("launcher.Run: %v", err)
+	}
+	shotClient, err := sys.X.Connect(shotProc.PID(), "shot")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := shotClient.GetImage(xserver.Root); err != nil {
+		t.Fatalf("launcher-spawned capture: %v", err)
+	}
+	wantGrants++ // scr
+
+	// 11:00 — terminal: the user records audio from the CLI (pty P2 + fork P1).
+	sys.Settle(time.Hour)
+	term, err := apps.NewTerminal(sys, "xterm")
+	if err != nil {
+		t.Fatalf("NewTerminal: %v", err)
+	}
+	settle()
+	arecord, err := term.RunCommand("arecord meeting.wav")
+	if err != nil {
+		t.Fatalf("RunCommand: %v", err)
+	}
+	if _, err := sys.Kernel.Open(arecord, mic, fs.AccessRead); err != nil {
+		t.Fatalf("CLI mic open: %v", err)
+	}
+	wantGrants++ // mic
+
+	// 13:00 — browser video chat in a tab (shm P2).
+	sys.Settle(2 * time.Hour)
+	browser, err := apps.NewBrowser(sys, "chromium")
+	if err != nil {
+		t.Fatalf("NewBrowser: %v", err)
+	}
+	tab, ch, err := browser.OpenTab()
+	if err != nil {
+		t.Fatalf("OpenTab: %v", err)
+	}
+	settle()
+	if err := browser.StartVideoChat(tab, ch, cam); err != nil {
+		t.Fatalf("StartVideoChat: %v", err)
+	}
+	wantGrants++ // cam
+
+	// 14:00 — a settings UI asks a media service over D-Bus to record.
+	sys.Settle(time.Hour)
+	bus, err := apps.NewBus(sys)
+	if err != nil {
+		t.Fatalf("NewBus: %v", err)
+	}
+	ui, err := sys.Launch("settings")
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	svc, err := sys.LaunchHeadless("mediasvc")
+	if err != nil {
+		t.Fatalf("LaunchHeadless: %v", err)
+	}
+	cUI, err := bus.Attach(ui.Proc, "org.ui")
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	cSvc, err := bus.Attach(svc, "org.media")
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	settle()
+	if err := ui.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	if err := cUI.Send("org.media", []byte("rec")); err != nil {
+		t.Fatalf("bus Send: %v", err)
+	}
+	if _, err := cSvc.Recv(); err != nil {
+		t.Fatalf("bus Recv: %v", err)
+	}
+	if _, err := sys.Kernel.Open(svc, mic, fs.AccessRead); err != nil {
+		t.Fatalf("bus-driven mic open: %v", err)
+	}
+	wantGrants++ // mic
+
+	// All day long — spyware polls everything and gets nothing.
+	spy, err := malware.Install(sys, mic)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		sys.Settle(30 * time.Minute)
+		spy.StealScreen()
+		spy.StealAudio()
+		wantDenials += 2 // scr + mic attempts
+	}
+	if spy.Report().TotalStolen() != 0 {
+		t.Fatalf("spyware stole %d records", spy.Report().TotalStolen())
+	}
+
+	// Reconcile the audit log with the day's expectations.
+	grants, denials := 0, 0
+	for _, d := range sys.Audit() {
+		switch d.Verdict {
+		case monitor.VerdictGrant:
+			grants++
+		case monitor.VerdictDeny:
+			denials++
+		}
+	}
+	if grants != wantGrants {
+		t.Fatalf("audited grants = %d, want %d", grants, wantGrants)
+	}
+	if denials != wantDenials {
+		t.Fatalf("audited denials = %d, want %d", denials, wantDenials)
+	}
+
+	// The persisted log agrees.
+	w, err := auditlog.NewWriter(sys.FS, sys.Kernel.Monitor())
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	n, err := w.Flush()
+	if err != nil || n != grants+denials {
+		t.Fatalf("Flush = %d, %v; want %d", n, err, grants+denials)
+	}
+	denyLines, err := w.Grep(fs.Root, "verdict=deny")
+	if err != nil || len(denyLines) != wantDenials {
+		t.Fatalf("log denials = %d, %v; want %d", len(denyLines), err, wantDenials)
+	}
+}

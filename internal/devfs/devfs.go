@@ -1,0 +1,196 @@
+// Package devfs implements the device filesystem layer: device classes,
+// udev-style dynamic device naming, and the trusted helper that keeps
+// the kernel's path→class mapping current.
+//
+// The paper (§IV-B, "Device mediation") notes that modern Linux assigns
+// device names dynamically, so Overhaul relies on a trusted,
+// superuser-owned helper that reacts to /dev changes and pushes the
+// sensitive-device mapping to the kernel over an authenticated channel.
+// This package reproduces that component: Attach/Detach simulate hotplug
+// events, device names are allocated per-class exactly like udev's
+// enumerated names (video0, video1, ...), and every mapping change is
+// pushed to a MappingSink (the kernel's permission monitor in the full
+// system).
+package devfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"overhaul/internal/fs"
+)
+
+// Class identifies a category of privacy-sensitive hardware.
+type Class string
+
+// Device classes protected by Overhaul. The paper's prototype protects
+// the microphone and camera; the architecture supports arbitrary
+// sensors, which we model with the extra classes.
+const (
+	ClassMicrophone Class = "microphone"
+	ClassCamera     Class = "camera"
+	ClassGPS        Class = "gps"
+	ClassScanner    Class = "scanner"
+)
+
+// SensitiveClasses lists every class the helper treats as
+// privacy-sensitive, in stable order.
+func SensitiveClasses() []Class {
+	return []Class{ClassCamera, ClassGPS, ClassMicrophone, ClassScanner}
+}
+
+// devDirFor returns the /dev subdirectory and name prefix udev would use
+// for a class.
+func devPrefixFor(c Class) (dir, prefix string) {
+	switch c {
+	case ClassMicrophone:
+		return "/dev/snd", "pcmC"
+	case ClassCamera:
+		return "/dev", "video"
+	case ClassGPS:
+		return "/dev", "gps"
+	case ClassScanner:
+		return "/dev", "scanner"
+	default:
+		return "/dev", string(c)
+	}
+}
+
+// Sentinel errors.
+var (
+	ErrUnknownDevice = errors.New("unknown device")
+	ErrNotSensitive  = errors.New("class is not privacy-sensitive")
+)
+
+// MappingSink receives path→class mapping updates from the trusted
+// helper. In the assembled system the kernel permission monitor
+// implements this; tests may use a fake.
+type MappingSink interface {
+	// UpdateMapping records that the device node at path belongs to
+	// the given sensitive class.
+	UpdateMapping(path string, class Class) error
+	// RemoveMapping forgets the node at path.
+	RemoveMapping(path string) error
+}
+
+// Helper is the trusted userspace helper: it owns device-node creation
+// in /dev and mirrors the mapping into the kernel via the sink. It is
+// safe for concurrent use.
+type Helper struct {
+	fsys *fs.FS
+	sink MappingSink
+
+	mu      sync.Mutex
+	counter map[Class]int
+	nodes   map[string]Class // path -> class
+}
+
+// NewHelper creates the helper, ensuring the /dev hierarchy exists.
+func NewHelper(fsys *fs.FS, sink MappingSink) (*Helper, error) {
+	if fsys == nil {
+		return nil, errors.New("devfs: nil filesystem")
+	}
+	if sink == nil {
+		return nil, errors.New("devfs: nil mapping sink")
+	}
+	if err := fsys.MkdirAll("/dev/snd", 0o755, fs.Root); err != nil {
+		return nil, fmt.Errorf("devfs: create /dev: %w", err)
+	}
+	return &Helper{
+		fsys:    fsys,
+		sink:    sink,
+		counter: make(map[Class]int),
+		nodes:   make(map[string]Class),
+	}, nil
+}
+
+// Attach simulates hotplug of a device of the given class: it allocates
+// the next udev-style name, creates the device node (root-owned,
+// world read/write like typical desktop audio/video nodes), and pushes
+// the mapping to the kernel. It returns the allocated path.
+func (h *Helper) Attach(class Class) (string, error) {
+	if !isSensitive(class) {
+		return "", fmt.Errorf("devfs attach %q: %w", class, ErrNotSensitive)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	dir, prefix := devPrefixFor(class)
+	idx := h.counter[class]
+	h.counter[class]++
+
+	name := prefix + strconv.Itoa(idx)
+	if class == ClassMicrophone {
+		// ALSA capture-node convention: pcmC<card>D0c.
+		name = prefix + strconv.Itoa(idx) + "D0c"
+	}
+	path := dir + "/" + name
+
+	if err := h.fsys.Mknod(path, string(class), 0o666, fs.Root); err != nil {
+		return "", fmt.Errorf("devfs attach %q: %w", class, err)
+	}
+	if err := h.sink.UpdateMapping(path, class); err != nil {
+		// Roll back the node: a device the kernel does not know
+		// about must not exist, or mediation would be bypassed.
+		_ = h.fsys.Unlink(path, fs.Root)
+		return "", fmt.Errorf("devfs attach %q: push mapping: %w", class, err)
+	}
+	h.nodes[path] = class
+	return path, nil
+}
+
+// Detach simulates removal of the device node at path.
+func (h *Helper) Detach(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if _, ok := h.nodes[path]; !ok {
+		return fmt.Errorf("devfs detach %s: %w", path, ErrUnknownDevice)
+	}
+	if err := h.sink.RemoveMapping(path); err != nil {
+		return fmt.Errorf("devfs detach %s: pull mapping: %w", path, err)
+	}
+	if err := h.fsys.Unlink(path, fs.Root); err != nil {
+		return fmt.Errorf("devfs detach %s: %w", path, err)
+	}
+	delete(h.nodes, path)
+	return nil
+}
+
+// ClassOf returns the class of the device node at path.
+func (h *Helper) ClassOf(path string) (Class, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	c, ok := h.nodes[path]
+	if !ok {
+		return "", fmt.Errorf("devfs %s: %w", path, ErrUnknownDevice)
+	}
+	return c, nil
+}
+
+// Paths returns the currently attached device paths, sorted.
+func (h *Helper) Paths() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	out := make([]string, 0, len(h.nodes))
+	for p := range h.nodes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isSensitive(c Class) bool {
+	for _, s := range SensitiveClasses() {
+		if s == c {
+			return true
+		}
+	}
+	return false
+}

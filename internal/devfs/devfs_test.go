@@ -1,0 +1,227 @@
+package devfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/fs"
+)
+
+// fakeSink records mapping updates and can be told to fail.
+type fakeSink struct {
+	mu      sync.Mutex
+	mapping map[string]Class
+	fail    bool
+}
+
+func newFakeSink() *fakeSink {
+	return &fakeSink{mapping: make(map[string]Class)}
+}
+
+func (s *fakeSink) UpdateMapping(path string, class Class) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return errors.New("sink unavailable")
+	}
+	s.mapping[path] = class
+	return nil
+}
+
+func (s *fakeSink) RemoveMapping(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return errors.New("sink unavailable")
+	}
+	delete(s.mapping, path)
+	return nil
+}
+
+func (s *fakeSink) classOf(path string) (Class, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.mapping[path]
+	return c, ok
+}
+
+func newTestHelper(t *testing.T) (*Helper, *fs.FS, *fakeSink) {
+	t.Helper()
+	fsys := fs.New(clock.NewSimulated())
+	sink := newFakeSink()
+	h, err := NewHelper(fsys, sink)
+	if err != nil {
+		t.Fatalf("NewHelper: %v", err)
+	}
+	return h, fsys, sink
+}
+
+func TestAttachCreatesNodeAndMapping(t *testing.T) {
+	tests := []struct {
+		class    Class
+		wantPath string
+	}{
+		{ClassCamera, "/dev/video0"},
+		{ClassMicrophone, "/dev/snd/pcmC0D0c"},
+		{ClassGPS, "/dev/gps0"},
+		{ClassScanner, "/dev/scanner0"},
+	}
+	for _, tt := range tests {
+		t.Run(string(tt.class), func(t *testing.T) {
+			h, fsys, sink := newTestHelper(t)
+			path, err := h.Attach(tt.class)
+			if err != nil {
+				t.Fatalf("Attach: %v", err)
+			}
+			if path != tt.wantPath {
+				t.Fatalf("path = %s, want %s", path, tt.wantPath)
+			}
+			st, err := fsys.Stat(path)
+			if err != nil {
+				t.Fatalf("Stat: %v", err)
+			}
+			if st.Kind != fs.KindDevice || st.Device != string(tt.class) {
+				t.Fatalf("node = %+v, want device of class %s", st, tt.class)
+			}
+			if c, ok := sink.classOf(path); !ok || c != tt.class {
+				t.Fatalf("sink mapping = %v/%v, want %s", c, ok, tt.class)
+			}
+		})
+	}
+}
+
+func TestAttachAllocatesSequentialNames(t *testing.T) {
+	h, _, _ := newTestHelper(t)
+	p0, err := h.Attach(ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	p1, err := h.Attach(ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if p0 != "/dev/video0" || p1 != "/dev/video1" {
+		t.Fatalf("paths = %s, %s; want video0, video1", p0, p1)
+	}
+}
+
+func TestAttachRejectsNonSensitiveClass(t *testing.T) {
+	h, _, _ := newTestHelper(t)
+	if _, err := h.Attach(Class("toaster")); !errors.Is(err, ErrNotSensitive) {
+		t.Fatalf("Attach(toaster) = %v, want ErrNotSensitive", err)
+	}
+}
+
+func TestAttachRollsBackOnSinkFailure(t *testing.T) {
+	h, fsys, sink := newTestHelper(t)
+	sink.fail = true
+	if _, err := h.Attach(ClassCamera); err == nil {
+		t.Fatal("Attach succeeded despite sink failure")
+	}
+	// The node must not linger unmapped: that would bypass mediation.
+	if _, err := fsys.Stat("/dev/video0"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("orphan device node exists after failed attach: %v", err)
+	}
+}
+
+func TestDetachRemovesNodeAndMapping(t *testing.T) {
+	h, fsys, sink := newTestHelper(t)
+	path, err := h.Attach(ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if err := h.Detach(path); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if _, err := fsys.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("node still exists after detach: %v", err)
+	}
+	if _, ok := sink.classOf(path); ok {
+		t.Fatal("sink mapping still present after detach")
+	}
+	if err := h.Detach(path); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("double Detach = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	h, _, _ := newTestHelper(t)
+	path, err := h.Attach(ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	c, err := h.ClassOf(path)
+	if err != nil || c != ClassCamera {
+		t.Fatalf("ClassOf = %v, %v; want camera", c, err)
+	}
+	if _, err := h.ClassOf("/dev/absent"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("ClassOf(absent) = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestPathsSorted(t *testing.T) {
+	h, _, _ := newTestHelper(t)
+	for _, c := range []Class{ClassCamera, ClassMicrophone, ClassCamera} {
+		if _, err := h.Attach(c); err != nil {
+			t.Fatalf("Attach(%s): %v", c, err)
+		}
+	}
+	paths := h.Paths()
+	want := []string{"/dev/snd/pcmC0D0c", "/dev/video0", "/dev/video1"}
+	if len(paths) != len(want) {
+		t.Fatalf("Paths = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Paths = %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestDeviceNodesAreRootOwnedWorldRW(t *testing.T) {
+	h, fsys, _ := newTestHelper(t)
+	path, err := h.Attach(ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	st, err := fsys.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if st.Owner.UID != 0 {
+		t.Fatalf("device owner = %+v, want root", st.Owner)
+	}
+	if st.Mode != 0o666 {
+		t.Fatalf("device mode = %o, want 666", st.Mode)
+	}
+}
+
+func TestNewHelperValidation(t *testing.T) {
+	fsys := fs.New(clock.NewSimulated())
+	if _, err := NewHelper(nil, newFakeSink()); err == nil {
+		t.Fatal("NewHelper(nil fs) succeeded")
+	}
+	if _, err := NewHelper(fsys, nil); err == nil {
+		t.Fatal("NewHelper(nil sink) succeeded")
+	}
+}
+
+func TestSensitiveClassesStable(t *testing.T) {
+	a := SensitiveClasses()
+	b := SensitiveClasses()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("SensitiveClasses unstable: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SensitiveClasses unstable: %v vs %v", a, b)
+		}
+	}
+	// Mutating the returned slice must not affect future calls.
+	a[0] = Class("mutated")
+	if c := SensitiveClasses()[0]; c == Class("mutated") {
+		t.Fatal("SensitiveClasses aliases internal state")
+	}
+}

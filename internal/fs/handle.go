@@ -1,0 +1,132 @@
+package fs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Handle is an open file descriptor. Reads and writes act on the
+// underlying inode; the handle carries its own offset, like a UNIX file
+// description. Handles are safe for concurrent use.
+type Handle struct {
+	fs     *FS
+	node   *node
+	path   string
+	access Access
+
+	mu     sync.Mutex
+	offset int
+	closed bool
+}
+
+var (
+	_ io.Reader = (*Handle)(nil)
+	_ io.Writer = (*Handle)(nil)
+	_ io.Closer = (*Handle)(nil)
+)
+
+// Path returns the path the handle was opened with.
+func (h *Handle) Path() string { return h.path }
+
+// Kind returns the kind of the underlying inode.
+func (h *Handle) Kind() NodeKind { return h.node.kind }
+
+// DeviceClass returns the device class for device nodes, or "".
+func (h *Handle) DeviceClass() string { return h.node.device }
+
+// Read implements io.Reader.
+func (h *Handle) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if h.closed {
+		return 0, fmt.Errorf("read %s: %w", h.path, ErrClosed)
+	}
+	if h.access == AccessWrite {
+		return 0, fmt.Errorf("read %s: %w", h.path, ErrWriteOnly)
+	}
+
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+
+	if h.offset >= len(h.node.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.offset:])
+	h.offset += n
+	return n, nil
+}
+
+// Write implements io.Writer, appending at the handle's offset and
+// extending the file as needed.
+func (h *Handle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if h.closed {
+		return 0, fmt.Errorf("write %s: %w", h.path, ErrClosed)
+	}
+	if h.access == AccessRead {
+		return 0, fmt.Errorf("write %s: %w", h.path, ErrReadOnly)
+	}
+
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+
+	if grow := h.offset + len(p) - len(h.node.data); grow > 0 {
+		h.node.data = append(h.node.data, make([]byte, grow)...)
+	}
+	copy(h.node.data[h.offset:], p)
+	h.offset += len(p)
+	h.node.mod = h.fs.clk.Now()
+	return len(p), nil
+}
+
+// ReadAll returns the remaining content from the current offset.
+func (h *Handle) ReadAll() ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if h.closed {
+		return nil, fmt.Errorf("read %s: %w", h.path, ErrClosed)
+	}
+	if h.access == AccessWrite {
+		return nil, fmt.Errorf("read %s: %w", h.path, ErrWriteOnly)
+	}
+
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+
+	out := make([]byte, len(h.node.data)-h.offset)
+	copy(out, h.node.data[h.offset:])
+	h.offset = len(h.node.data)
+	return out, nil
+}
+
+// Seek moves the handle's offset to an absolute position.
+func (h *Handle) Seek(offset int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if h.closed {
+		return fmt.Errorf("seek %s: %w", h.path, ErrClosed)
+	}
+	if offset < 0 {
+		return fmt.Errorf("seek %s: %w: negative offset", h.path, ErrInvalidPath)
+	}
+	h.offset = offset
+	return nil
+}
+
+// Close implements io.Closer. Closing twice is an error.
+func (h *Handle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if h.closed {
+		return fmt.Errorf("close %s: %w", h.path, ErrClosed)
+	}
+	h.closed = true
+	return nil
+}

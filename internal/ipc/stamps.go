@@ -1,0 +1,86 @@
+// Package ipc implements the inter-process communication facilities of
+// the simulated kernel, each retrofitted with Overhaul's interaction
+// timestamp propagation (policy P2 of the paper, §III-D and §IV-B).
+//
+// Every IPC resource carries an embedded interaction timestamp,
+// initialised to "expired". When a process sends data through a channel
+// it embeds its own stamp unless the channel already holds a more recent
+// one; when a process receives data it adopts the channel's stamp if it
+// is newer than its own. Chains of arbitrary length and topology
+// therefore propagate interaction evidence without any knowledge of the
+// application-level protocol. Supported families, matching the paper's
+// prototype: anonymous pipes, FIFOs, UNIX domain sockets, POSIX and
+// SysV message queues, POSIX and SysV shared memory (via simulated
+// page-fault interception), and pseudo-terminals.
+package ipc
+
+import (
+	"sync"
+	"time"
+)
+
+// Stamps is the kernel-side view of per-process interaction timestamps
+// used by IPC propagation. The kernel implements it over its process
+// table.
+type Stamps interface {
+	// Stamp returns pid's current interaction timestamp; ok is false
+	// for unknown processes.
+	Stamp(pid int) (t time.Time, ok bool)
+	// Adopt installs t as pid's stamp if t is newer than the current
+	// one. Unknown processes are ignored.
+	Adopt(pid int, t time.Time)
+}
+
+// carrier is the timestamp embedded in an IPC resource's kernel data
+// structure.
+type carrier struct {
+	mu    sync.Mutex
+	stamp time.Time // zero value == "expired", per the paper's step (1)
+}
+
+// onSend runs the sender half of the propagation protocol: embed the
+// sender's stamp unless the resource already holds a more recent one.
+func (c *carrier) onSend(st Stamps, pid int) {
+	if st == nil {
+		return
+	}
+	sender, ok := st.Stamp(pid)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sender.After(c.stamp) {
+		c.stamp = sender
+	}
+}
+
+// onRecv runs the receiver half: adopt the resource's stamp if it is
+// more recent than the receiver's own.
+func (c *carrier) onRecv(st Stamps, pid int) {
+	if st == nil {
+		return
+	}
+	c.mu.Lock()
+	stamp := c.stamp
+	c.mu.Unlock()
+	if stamp.IsZero() {
+		return
+	}
+	st.Adopt(pid, stamp)
+}
+
+// onAccess runs both halves. Shared-memory faults cannot distinguish a
+// read from a write above the hardware level, so the fault handler
+// propagates in both directions.
+func (c *carrier) onAccess(st Stamps, pid int) {
+	c.onSend(st, pid)
+	c.onRecv(st, pid)
+}
+
+// stampValue returns the embedded stamp (for tests and tracing).
+func (c *carrier) stampValue() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stamp
+}

@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/devfs"
+	"overhaul/internal/fs"
+)
+
+func TestShmGetSharesSegmentByKey(t *testing.T) {
+	e := newEnv(t, enforcing())
+	a := e.spawnUser(t, "writer")
+	b := e.spawnUser(t, "reader")
+	e.interact(t, a)
+
+	segA, err := e.k.ShmGet(0x1234, 2)
+	if err != nil {
+		t.Fatalf("ShmGet: %v", err)
+	}
+	segB, err := e.k.ShmGet(0x1234, 2)
+	if err != nil {
+		t.Fatalf("ShmGet: %v", err)
+	}
+	if segA != segB {
+		t.Fatal("same key returned different segments")
+	}
+	// Stamp crosses the keyed segment between unrelated processes.
+	wm := segA.Map(a.PID())
+	rm := segB.Map(b.PID())
+	if err := wm.Write(0, []byte("cmd")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := rm.Read(0, 3); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if b.InteractionStamp().IsZero() {
+		t.Fatal("stamp did not propagate through keyed segment")
+	}
+}
+
+func TestShmRemove(t *testing.T) {
+	e := newEnv(t, enforcing())
+	seg, err := e.k.ShmGet(7, 1)
+	if err != nil {
+		t.Fatalf("ShmGet: %v", err)
+	}
+	if err := e.k.ShmRemove(7); err != nil {
+		t.Fatalf("ShmRemove: %v", err)
+	}
+	p := e.spawnUser(t, "p")
+	if err := seg.Map(p.PID()).Write(0, []byte{1}); err == nil {
+		t.Fatal("write to removed segment succeeded")
+	}
+	if err := e.k.ShmRemove(7); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("double remove = %v", err)
+	}
+	// The key is free again.
+	if _, err := e.k.ShmGet(7, 1); err != nil {
+		t.Fatalf("ShmGet after remove: %v", err)
+	}
+}
+
+func TestMqOpenSharesQueueByName(t *testing.T) {
+	e := newEnv(t, enforcing())
+	a := e.spawnUser(t, "producer")
+	b := e.spawnUser(t, "consumer")
+	e.interact(t, a)
+
+	qa, err := e.k.MqOpen("/jobs", 0)
+	if err != nil {
+		t.Fatalf("MqOpen: %v", err)
+	}
+	qb, err := e.k.MqOpen("/jobs", 0)
+	if err != nil {
+		t.Fatalf("MqOpen: %v", err)
+	}
+	if qa != qb {
+		t.Fatal("same name returned different queues")
+	}
+	if err := qa.Send(a.PID(), 1, []byte("job")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, _, err := qb.Recv(b.PID(), 0); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if b.InteractionStamp().IsZero() {
+		t.Fatal("stamp did not propagate through named queue")
+	}
+}
+
+func TestMqNameValidation(t *testing.T) {
+	e := newEnv(t, enforcing())
+	for _, bad := range []string{"", "jobs", "relative/name"} {
+		if _, err := e.k.MqOpen(bad, 0); err == nil {
+			t.Fatalf("MqOpen(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMqUnlink(t *testing.T) {
+	e := newEnv(t, enforcing())
+	q, err := e.k.MqOpen("/gone", 0)
+	if err != nil {
+		t.Fatalf("MqOpen: %v", err)
+	}
+	if err := e.k.MqUnlink("/gone"); err != nil {
+		t.Fatalf("MqUnlink: %v", err)
+	}
+	p := e.spawnUser(t, "p")
+	if err := q.Send(p.PID(), 1, nil); err == nil {
+		t.Fatal("send to unlinked queue succeeded")
+	}
+	if err := e.k.MqUnlink("/gone"); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("double unlink = %v", err)
+	}
+}
+
+func TestSysVMsgQueueThroughKernel(t *testing.T) {
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	gui := e.spawnUser(t, "gui")
+	worker := e.spawnUser(t, "worker")
+	e.interact(t, gui)
+
+	q := e.k.NewMsgQueue(2, 0) // SysV flavor
+	if err := q.Send(gui.PID(), 42, []byte("record")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, _, err := q.Recv(worker.PID(), 42); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	e.clk.Advance(100 * time.Millisecond)
+	if _, err := e.k.Open(worker, mic, fs.AccessRead); err != nil {
+		t.Fatalf("worker open after SysV queue = %v, want grant", err)
+	}
+}
+
+func TestSocketPairThroughKernel(t *testing.T) {
+	e := newEnv(t, enforcing())
+	a := e.spawnUser(t, "a")
+	b := e.spawnUser(t, "b")
+	e.interact(t, a)
+	sa, sb := e.k.NewSocketPair().Ends()
+	if err := sa.Send(a.PID(), []byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := sb.Recv(b.PID()); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if b.InteractionStamp().IsZero() {
+		t.Fatal("stamp did not propagate through kernel socket pair")
+	}
+}

@@ -1,0 +1,324 @@
+// Package kernel implements the simulated operating-system kernel that
+// Overhaul is retrofitted into.
+//
+// It reproduces the pieces of Linux the paper modifies or relies on
+// (§IV-B): a process table whose task structs carry the interaction
+// timestamp, fork/clone that duplicate it (propagation policy P1), an
+// open(2) path with UNIX permission checks plus sensitive-device
+// mediation, the udev mapping sink, process introspection used to
+// authenticate the netlink peer, and the ptrace guard that disables a
+// debugged process's permissions.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/devfs"
+	"overhaul/internal/fs"
+	"overhaul/internal/monitor"
+)
+
+// Sentinel errors.
+var (
+	ErrAccessDenied  = errors.New("access denied by permission monitor")
+	ErrNoSuchProcess = errors.New("no such process")
+	ErrNotPermitted  = errors.New("operation not permitted")
+	ErrDeadProcess   = errors.New("process has exited")
+)
+
+// State is a process lifecycle state.
+type State int
+
+// Process states.
+const (
+	StateRunning State = iota + 1
+	StateZombie
+	StateDead
+)
+
+// Config parameterises the kernel.
+type Config struct {
+	// Monitor configures the embedded permission monitor.
+	Monitor monitor.Config
+	// DisablePtraceGuard turns off the default-on protection that
+	// zeroes a traced process's permissions (toggleable through the
+	// proc node, paper §IV-B).
+	DisablePtraceGuard bool
+	// DeviceInitRounds sets the simulated per-open driver
+	// initialisation cost for device nodes (see devicework.go). Zero
+	// disables it (unit tests); the benchmark harness uses
+	// DefaultDeviceInitRounds.
+	DeviceInitRounds int
+	// StorageRounds sets the simulated per-create storage cost
+	// (journaling + block allocation on a real filesystem), so the
+	// Bonnie++ row compares Overhaul's lookup against a realistic
+	// baseline. Zero disables it.
+	StorageRounds int
+	// DisableP1 turns off fork-time interaction-stamp inheritance
+	// (ablation of propagation policy P1; breaks launchers and CLI
+	// tools by design).
+	DisableP1 bool
+	// DisableP2 turns off IPC interaction-stamp propagation (ablation
+	// of propagation policy P2; breaks multi-process applications by
+	// design).
+	DisableP2 bool
+}
+
+// Stats aggregates kernel activity.
+type Stats struct {
+	Opens       uint64
+	DeviceOpens uint64
+	Denials     uint64
+	Forks       uint64
+	Execs       uint64
+	Exits       uint64
+}
+
+// Kernel is the simulated OS kernel. It is safe for concurrent use.
+type Kernel struct {
+	clk  clock.Clock
+	fsys *fs.FS
+	mon  *monitor.Monitor
+
+	mu          sync.Mutex
+	procs       map[int]*Process
+	nextPID     int
+	devmap      map[string]devfs.Class
+	ptraceGuard bool
+	devRounds   int
+	storRounds  int
+	disableP1   bool
+	disableP2   bool
+	stats       Stats
+
+	ipc *ipcTables
+}
+
+// New constructs a kernel over the given filesystem and clock.
+func New(clk clock.Clock, fsys *fs.FS, cfg Config) (*Kernel, error) {
+	if clk == nil {
+		return nil, errors.New("kernel: nil clock")
+	}
+	if fsys == nil {
+		return nil, errors.New("kernel: nil filesystem")
+	}
+	k := &Kernel{
+		clk:         clk,
+		fsys:        fsys,
+		procs:       make(map[int]*Process),
+		nextPID:     1,
+		devmap:      make(map[string]devfs.Class),
+		ptraceGuard: !cfg.DisablePtraceGuard,
+		devRounds:   cfg.DeviceInitRounds,
+		storRounds:  cfg.StorageRounds,
+		disableP1:   cfg.DisableP1,
+		disableP2:   cfg.DisableP2,
+		ipc:         newIPCTables(),
+	}
+	mon, err := monitor.New(clk, (*taskStore)(k), cfg.Monitor)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: %w", err)
+	}
+	k.mon = mon
+	return k, nil
+}
+
+// Clock returns the kernel's time source.
+func (k *Kernel) Clock() clock.Clock { return k.clk }
+
+// FS returns the kernel's filesystem.
+func (k *Kernel) FS() *fs.FS { return k.fsys }
+
+// Monitor returns the embedded permission monitor.
+func (k *Kernel) Monitor() *monitor.Monitor { return k.mon }
+
+// StatsSnapshot returns a copy of the kernel counters.
+func (k *Kernel) StatsSnapshot() Stats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.stats
+}
+
+// --- devfs.MappingSink -------------------------------------------------
+
+var _ devfs.MappingSink = (*Kernel)(nil)
+
+// UpdateMapping implements devfs.MappingSink: the trusted helper tells
+// the kernel that the node at path is a sensitive device of class.
+func (k *Kernel) UpdateMapping(path string, class devfs.Class) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.devmap[path] = class
+	return nil
+}
+
+// RemoveMapping implements devfs.MappingSink.
+func (k *Kernel) RemoveMapping(path string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.devmap, path)
+	return nil
+}
+
+// SensitiveClassOf returns the sensitive-device class mapped at path.
+func (k *Kernel) SensitiveClassOf(path string) (devfs.Class, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, ok := k.devmap[path]
+	return c, ok
+}
+
+// --- monitor.TaskStore --------------------------------------------------
+
+// taskStore adapts the kernel's process table to monitor.TaskStore
+// without exporting those methods on Kernel itself.
+type taskStore Kernel
+
+var _ monitor.TaskStore = (*taskStore)(nil)
+
+// InteractionStamp implements monitor.TaskStore.
+func (ts *taskStore) InteractionStamp(pid int) (time.Time, bool) {
+	k := (*Kernel)(ts)
+	k.mu.Lock()
+	p, ok := k.procs[pid]
+	k.mu.Unlock()
+	if !ok {
+		return time.Time{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stamp, true
+}
+
+// SetInteractionStamp implements monitor.TaskStore with newest-wins
+// semantics.
+func (ts *taskStore) SetInteractionStamp(pid int, t time.Time) error {
+	k := (*Kernel)(ts)
+	k.mu.Lock()
+	p, ok := k.procs[pid]
+	k.mu.Unlock()
+	if !ok {
+		return monitor.ErrNoSuchProcess
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t.After(p.stamp) {
+		p.stamp = t
+	}
+	return nil
+}
+
+// PermissionsDisabled implements monitor.TaskStore: a process being
+// ptraced has all sensitive permissions disabled while the guard is on.
+func (ts *taskStore) PermissionsDisabled(pid int) bool {
+	k := (*Kernel)(ts)
+	k.mu.Lock()
+	guard := k.ptraceGuard
+	p, ok := k.procs[pid]
+	k.mu.Unlock()
+	if !ok || !guard {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tracedBy != 0
+}
+
+// --- introspection (netlink authentication) -----------------------------
+
+// ExecutablePath returns the filesystem path pid's code was loaded from,
+// mirroring the kernel's view of the process's memory maps.
+func (k *Kernel) ExecutablePath(pid int) (string, error) {
+	p, err := k.Process(pid)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exe, nil
+}
+
+// CredOf returns pid's credentials.
+func (k *Kernel) CredOf(pid int) (fs.Cred, error) {
+	p, err := k.Process(pid)
+	if err != nil {
+		return fs.Cred{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cred, nil
+}
+
+// AuthenticateTrustedBinary reports nil iff pid's executable is exactly
+// wellKnownPath and that file exists and is owned by the superuser.
+// This is the paper's netlink peer-authentication procedure: the kernel
+// introspects the userspace process's mapped executable rather than
+// running a cryptographic handshake.
+func (k *Kernel) AuthenticateTrustedBinary(pid int, wellKnownPath string) error {
+	exe, err := k.ExecutablePath(pid)
+	if err != nil {
+		return fmt.Errorf("authenticate pid %d: %w", pid, err)
+	}
+	if exe != wellKnownPath {
+		return fmt.Errorf("authenticate pid %d: executable %q is not %q", pid, exe, wellKnownPath)
+	}
+	st, err := k.fsys.Stat(exe)
+	if err != nil {
+		return fmt.Errorf("authenticate pid %d: stat executable: %w", pid, err)
+	}
+	if st.Owner.UID != 0 {
+		return fmt.Errorf("authenticate pid %d: executable %q not owned by superuser", pid, exe)
+	}
+	return nil
+}
+
+// --- proc toggle ---------------------------------------------------------
+
+// SetPtraceGuard toggles the ptrace permission guard. Only root may
+// flip it; this models the proc filesystem node from §IV-B.
+func (k *Kernel) SetPtraceGuard(cred fs.Cred, enabled bool) error {
+	if cred.UID != 0 {
+		return fmt.Errorf("set ptrace guard: %w", ErrNotPermitted)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.ptraceGuard = enabled
+	return nil
+}
+
+// PtraceGuardEnabled reports the guard state.
+func (k *Kernel) PtraceGuardEnabled() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.ptraceGuard
+}
+
+// --- process table access ------------------------------------------------
+
+// Process returns the live process with the given PID.
+func (k *Kernel) Process(pid int) (*Process, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("pid %d: %w", pid, ErrNoSuchProcess)
+	}
+	return p, nil
+}
+
+// PIDs returns the live PIDs, sorted.
+func (k *Kernel) PIDs() []int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]int, 0, len(k.procs))
+	for pid := range k.procs {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,643 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/devfs"
+	"overhaul/internal/fs"
+	"overhaul/internal/monitor"
+)
+
+// testEnv bundles a kernel with its substrates and a devfs helper.
+type testEnv struct {
+	clk    *clock.Simulated
+	fsys   *fs.FS
+	k      *Kernel
+	helper *devfs.Helper
+}
+
+func newEnv(t *testing.T, cfg Config) *testEnv {
+	t.Helper()
+	if cfg.Monitor.Threshold == 0 {
+		cfg.Monitor.Threshold = monitor.DefaultThreshold
+	}
+	clk := clock.NewSimulated()
+	fsys := fs.New(clk)
+	k, err := New(clk, fsys, cfg)
+	if err != nil {
+		t.Fatalf("kernel.New: %v", err)
+	}
+	helper, err := devfs.NewHelper(fsys, k)
+	if err != nil {
+		t.Fatalf("devfs.NewHelper: %v", err)
+	}
+	return &testEnv{clk: clk, fsys: fsys, k: k, helper: helper}
+}
+
+func enforcing() Config {
+	return Config{Monitor: monitor.Config{Enforce: true}}
+}
+
+func (e *testEnv) spawnUser(t *testing.T, name string) *Process {
+	t.Helper()
+	p, err := e.k.Spawn(SpawnSpec{Name: name, Exe: "/usr/bin/" + name, Cred: fs.Cred{UID: 1000, GID: 1000}})
+	if err != nil {
+		t.Fatalf("Spawn(%s): %v", name, err)
+	}
+	return p
+}
+
+// interact records an authentic interaction for p "now".
+func (e *testEnv) interact(t *testing.T, p *Process) {
+	t.Helper()
+	if err := e.k.Monitor().Notify(p.PID(), e.clk.Now()); err != nil {
+		t.Fatalf("Notify: %v", err)
+	}
+}
+
+func TestSpawnAssignsPIDs(t *testing.T) {
+	e := newEnv(t, enforcing())
+	p1 := e.spawnUser(t, "a")
+	p2 := e.spawnUser(t, "b")
+	if p1.PID() == p2.PID() {
+		t.Fatalf("duplicate pids: %d", p1.PID())
+	}
+	if p1.State() != StateRunning {
+		t.Fatalf("state = %v", p1.State())
+	}
+	pids := e.k.PIDs()
+	if len(pids) != 2 {
+		t.Fatalf("PIDs = %v", pids)
+	}
+}
+
+func TestSpawnRequiresName(t *testing.T) {
+	e := newEnv(t, enforcing())
+	if _, err := e.k.Spawn(SpawnSpec{}); err == nil {
+		t.Fatal("Spawn with empty name succeeded")
+	}
+}
+
+func TestDeviceOpenDeniedWithoutInteraction(t *testing.T) {
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	spy := e.spawnUser(t, "spy")
+	if _, err := e.k.Open(spy, mic, fs.AccessRead); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("Open = %v, want ErrAccessDenied", err)
+	}
+	if s := e.k.StatsSnapshot(); s.Denials != 1 || s.DeviceOpens != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDeviceOpenGrantedAfterInteraction(t *testing.T) {
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	app := e.spawnUser(t, "skype")
+	e.interact(t, app)
+	e.clk.Advance(100 * time.Millisecond) // n < δ
+	h, err := e.k.Open(app, mic, fs.AccessRead)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if h.DeviceClass() != string(devfs.ClassMicrophone) {
+		t.Fatalf("class = %q", h.DeviceClass())
+	}
+}
+
+func TestDeviceOpenDeniedWhenStale(t *testing.T) {
+	e := newEnv(t, enforcing())
+	cam, err := e.helper.Attach(devfs.ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	app := e.spawnUser(t, "cheese")
+	e.interact(t, app)
+	e.clk.Advance(3 * time.Second) // n >= δ
+	if _, err := e.k.Open(app, cam, fs.AccessRead); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("Open after δ = %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestNonDeviceOpenUnaffected(t *testing.T) {
+	e := newEnv(t, enforcing())
+	if err := e.fsys.WriteFile("/etc-passwd", []byte("x"), 0o644, fs.Root); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	app := e.spawnUser(t, "cat")
+	// No interaction at all: regular files must open normally (D1/D3 —
+	// Overhaul only mediates sensitive devices).
+	if _, err := e.k.Open(app, "/etc-passwd", fs.AccessRead); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+}
+
+func TestDetachedDeviceNotMediated(t *testing.T) {
+	e := newEnv(t, enforcing())
+	cam, err := e.helper.Attach(devfs.ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if err := e.helper.Detach(cam); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	app := e.spawnUser(t, "app")
+	// The node is gone entirely.
+	if _, err := e.k.Open(app, cam, fs.AccessRead); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open detached = %v, want ErrNotExist", err)
+	}
+}
+
+func TestForkInheritsStampP1(t *testing.T) {
+	e := newEnv(t, enforcing())
+	parent := e.spawnUser(t, "run")
+	e.interact(t, parent)
+	stamp := parent.InteractionStamp()
+	if stamp.IsZero() {
+		t.Fatal("parent stamp not set")
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if got := child.InteractionStamp(); !got.Equal(stamp) {
+		t.Fatalf("child stamp = %v, want %v (P1)", got, stamp)
+	}
+	if child.PPID() != parent.PID() {
+		t.Fatalf("ppid = %d", child.PPID())
+	}
+	kids := parent.Children()
+	if len(kids) != 1 || kids[0] != child.PID() {
+		t.Fatalf("children = %v", kids)
+	}
+}
+
+func TestLauncherScenarioFigure3(t *testing.T) {
+	// Figure 3: user interacts with Run; Run forks+execs Shot; Shot's
+	// screen-capture-era device request must be granted via P1.
+	e := newEnv(t, enforcing())
+	cam, err := e.helper.Attach(devfs.ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	run := e.spawnUser(t, "run")
+	e.interact(t, run)
+
+	shot, err := run.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if err := shot.Exec("shot", "/usr/bin/shot"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if shot.Name() != "shot" {
+		t.Fatalf("name after exec = %q", shot.Name())
+	}
+	e.clk.Advance(500 * time.Millisecond)
+	if _, err := e.k.Open(shot, cam, fs.AccessRead); err != nil {
+		t.Fatalf("child device open = %v, want grant via P1", err)
+	}
+}
+
+func TestForkedChildStampExpiresIndependently(t *testing.T) {
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	parent := e.spawnUser(t, "p")
+	e.interact(t, parent)
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	e.clk.Advance(5 * time.Second)
+	if _, err := e.k.Open(child, mic, fs.AccessRead); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("stale child open = %v, want deny", err)
+	}
+}
+
+func TestExitRemovesProcess(t *testing.T) {
+	e := newEnv(t, enforcing())
+	p := e.spawnUser(t, "p")
+	pid := p.PID()
+	if err := p.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	if _, err := e.k.Process(pid); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("Process after exit = %v", err)
+	}
+	if err := p.Exit(); !errors.Is(err, ErrDeadProcess) {
+		t.Fatalf("double Exit = %v", err)
+	}
+	if _, err := p.Fork(); !errors.Is(err, ErrDeadProcess) {
+		t.Fatalf("Fork after exit = %v", err)
+	}
+	if _, err := e.k.Open(p, "/x", fs.AccessRead); !errors.Is(err, ErrDeadProcess) {
+		t.Fatalf("Open after exit = %v", err)
+	}
+}
+
+func TestPtraceDescendantOnly(t *testing.T) {
+	e := newEnv(t, enforcing())
+	a := e.spawnUser(t, "a")
+	b := e.spawnUser(t, "b")
+	// Unrelated processes with identical non-root creds cannot attach.
+	if err := a.PtraceAttach(b); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("unrelated attach = %v, want ErrNotPermitted", err)
+	}
+	child, err := a.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if err := a.PtraceAttach(child); err != nil {
+		t.Fatalf("parent attach: %v", err)
+	}
+	if !child.Traced() {
+		t.Fatal("child not marked traced")
+	}
+	// Double attach fails.
+	if err := a.PtraceAttach(child); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("double attach = %v", err)
+	}
+}
+
+func TestPtraceGuardDisablesPermissions(t *testing.T) {
+	// The launch-then-inject attack: malware forks a legitimate child,
+	// lets it inherit an interaction stamp, then ptraces it to inject
+	// code. The guard zeroes the child's permissions while traced.
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	mal := e.spawnUser(t, "malware")
+	e.interact(t, mal)
+	victim, err := mal.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if err := mal.PtraceAttach(victim); err != nil {
+		t.Fatalf("PtraceAttach: %v", err)
+	}
+	if _, err := e.k.Open(victim, mic, fs.AccessRead); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("traced open = %v, want deny", err)
+	}
+	// After detach, permissions come back (stamp still fresh).
+	if err := mal.PtraceDetach(victim); err != nil {
+		t.Fatalf("PtraceDetach: %v", err)
+	}
+	if _, err := e.k.Open(victim, mic, fs.AccessRead); err != nil {
+		t.Fatalf("detached open = %v, want grant", err)
+	}
+}
+
+func TestPtraceGuardToggle(t *testing.T) {
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	parent := e.spawnUser(t, "ide")
+	e.interact(t, parent)
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if err := parent.PtraceAttach(child); err != nil {
+		t.Fatalf("PtraceAttach: %v", err)
+	}
+	// Non-root cannot flip the proc node.
+	if err := e.k.SetPtraceGuard(fs.Cred{UID: 1000}, false); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("non-root toggle = %v", err)
+	}
+	// Root disables the guard for legitimate debugging.
+	if err := e.k.SetPtraceGuard(fs.Root, false); err != nil {
+		t.Fatalf("root toggle: %v", err)
+	}
+	if e.k.PtraceGuardEnabled() {
+		t.Fatal("guard still enabled")
+	}
+	if _, err := e.k.Open(child, mic, fs.AccessRead); err != nil {
+		t.Fatalf("traced open with guard off = %v, want grant", err)
+	}
+}
+
+func TestPtraceDetachWrongTracer(t *testing.T) {
+	e := newEnv(t, enforcing())
+	a := e.spawnUser(t, "a")
+	child, err := a.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	b := e.spawnUser(t, "b")
+	if err := a.PtraceAttach(child); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := b.PtraceDetach(child); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("wrong-tracer detach = %v", err)
+	}
+}
+
+func TestAuthenticateTrustedBinary(t *testing.T) {
+	e := newEnv(t, enforcing())
+	const xPath = "/usr/bin/Xorg"
+	if err := e.fsys.MkdirAll("/usr/bin", 0o755, fs.Root); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	if err := e.fsys.WriteFile(xPath, []byte("ELF"), 0o755, fs.Root); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	xorg, err := e.k.Spawn(SpawnSpec{Name: "Xorg", Exe: xPath, Cred: fs.Root})
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := e.k.AuthenticateTrustedBinary(xorg.PID(), xPath); err != nil {
+		t.Fatalf("authenticate legit X: %v", err)
+	}
+
+	// An impostor running a different binary fails.
+	fake := e.spawnUser(t, "fakex")
+	if err := e.k.AuthenticateTrustedBinary(fake.PID(), xPath); err == nil {
+		t.Fatal("impostor authenticated")
+	}
+
+	// A binary at the right path but owned by a user fails.
+	const evilPath = "/usr/bin/evil-x"
+	if err := e.fsys.WriteFile(evilPath, []byte("ELF"), 0o755, fs.Root); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := e.fsys.Chown(evilPath, fs.Cred{UID: 1000, GID: 1000}, fs.Root); err != nil {
+		t.Fatalf("Chown: %v", err)
+	}
+	evil, err := e.k.Spawn(SpawnSpec{Name: "evil", Exe: evilPath, Cred: fs.Cred{UID: 1000}})
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := e.k.AuthenticateTrustedBinary(evil.PID(), evilPath); err == nil {
+		t.Fatal("user-owned binary authenticated")
+	}
+
+	// Unknown PID fails.
+	if err := e.k.AuthenticateTrustedBinary(9999, xPath); err == nil {
+		t.Fatal("unknown pid authenticated")
+	}
+}
+
+func TestUpdateRemoveMappingLifecycle(t *testing.T) {
+	e := newEnv(t, enforcing())
+	if err := e.k.UpdateMapping("/dev/x", devfs.ClassCamera); err != nil {
+		t.Fatalf("UpdateMapping: %v", err)
+	}
+	if c, ok := e.k.SensitiveClassOf("/dev/x"); !ok || c != devfs.ClassCamera {
+		t.Fatalf("SensitiveClassOf = %v, %v", c, ok)
+	}
+	if err := e.k.RemoveMapping("/dev/x"); err != nil {
+		t.Fatalf("RemoveMapping: %v", err)
+	}
+	if _, ok := e.k.SensitiveClassOf("/dev/x"); ok {
+		t.Fatal("mapping survived removal")
+	}
+}
+
+func TestKernelFileSyscalls(t *testing.T) {
+	e := newEnv(t, enforcing())
+	p := e.spawnUser(t, "bonnie")
+	if err := e.fsys.MkdirAll("/tmp", 0o777, fs.Root); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	h, err := e.k.Create(p, "/tmp/f", 0o644)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := e.k.Stat(p, "/tmp/f"); err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := e.k.Unlink(p, "/tmp/f"); err != nil {
+		t.Fatalf("Unlink: %v", err)
+	}
+	if _, err := e.k.Stat(p, "/tmp/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Stat after unlink = %v", err)
+	}
+}
+
+func TestFIFOPropagationThroughKernel(t *testing.T) {
+	e := newEnv(t, enforcing())
+	if err := e.fsys.MkdirAll("/tmp", 0o777, fs.Root); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	a := e.spawnUser(t, "writer")
+	b := e.spawnUser(t, "reader")
+	e.interact(t, a)
+
+	if err := e.k.Mkfifo(a, "/tmp/fifo", 0o666); err != nil {
+		t.Fatalf("Mkfifo: %v", err)
+	}
+	wEnd, err := e.k.OpenFIFO(a, "/tmp/fifo", fs.AccessWrite)
+	if err != nil {
+		t.Fatalf("OpenFIFO w: %v", err)
+	}
+	rEnd, err := e.k.OpenFIFO(b, "/tmp/fifo", fs.AccessRead)
+	if err != nil {
+		t.Fatalf("OpenFIFO r: %v", err)
+	}
+	if _, err := wEnd.Write(a.PID(), []byte("cmd")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := rEnd.Read(b.PID(), make([]byte, 8)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := b.InteractionStamp(); !got.Equal(a.InteractionStamp()) {
+		t.Fatalf("fifo did not propagate stamp: %v vs %v", got, a.InteractionStamp())
+	}
+}
+
+func TestOpenFIFOOnRegularFileFails(t *testing.T) {
+	e := newEnv(t, enforcing())
+	p := e.spawnUser(t, "p")
+	if err := e.fsys.WriteFile("/plain", nil, 0o666, fs.Root); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := e.k.OpenFIFO(p, "/plain", fs.AccessRead); err == nil {
+		t.Fatal("OpenFIFO on regular file succeeded")
+	}
+}
+
+func TestPipeViaKernelPropagates(t *testing.T) {
+	e := newEnv(t, enforcing())
+	a := e.spawnUser(t, "a")
+	b := e.spawnUser(t, "b")
+	e.interact(t, a)
+	pipe := e.k.NewPipe()
+	if _, err := pipe.Write(a.PID(), []byte("x")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := pipe.Read(b.PID(), make([]byte, 1)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if b.InteractionStamp().IsZero() {
+		t.Fatal("stamp not propagated through kernel pipe")
+	}
+}
+
+func TestShmViaKernelUsesConfiguredWait(t *testing.T) {
+	e := newEnv(t, enforcing())
+	e.k.SetShmWait(100 * time.Millisecond)
+	shm, err := e.k.NewSharedMem(1)
+	if err != nil {
+		t.Fatalf("NewSharedMem: %v", err)
+	}
+	p := e.spawnUser(t, "p")
+	m := shm.Map(p.PID())
+	if err := m.Write(0, []byte{1}); err != nil { // fault
+		t.Fatalf("Write: %v", err)
+	}
+	e.clk.Advance(50 * time.Millisecond)
+	if err := m.Write(0, []byte{2}); err != nil { // fast (inside 100ms)
+		t.Fatalf("Write: %v", err)
+	}
+	e.clk.Advance(100 * time.Millisecond)
+	if err := m.Write(0, []byte{3}); err != nil { // fault again
+		t.Fatalf("Write: %v", err)
+	}
+	s := shm.StatsSnapshot()
+	if s.Faults != 2 || s.FastAccesses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBrowserScenarioFigure4(t *testing.T) {
+	// Figure 4: Browser receives the click, commands Tab over shared
+	// memory; Tab then opens the camera. The shm fault propagation (P2)
+	// must carry the stamp to Tab.
+	e := newEnv(t, enforcing())
+	cam, err := e.helper.Attach(devfs.ClassCamera)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	browser := e.spawnUser(t, "browser")
+	tab, err := browser.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if err := tab.Exec("tab", "/usr/bin/browser"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	// Let any forked-in stamp age out, then interact with Browser only.
+	e.clk.Advance(10 * time.Second)
+	e.interact(t, browser)
+
+	shm, err := e.k.NewSharedMem(4)
+	if err != nil {
+		t.Fatalf("NewSharedMem: %v", err)
+	}
+	bm := shm.Map(browser.PID())
+	tm := shm.Map(tab.PID())
+	if err := bm.Write(0, []byte("start-camera")); err != nil {
+		t.Fatalf("browser shm write: %v", err)
+	}
+	if _, err := tm.Read(0, 12); err != nil {
+		t.Fatalf("tab shm read: %v", err)
+	}
+	e.clk.Advance(200 * time.Millisecond)
+	if _, err := e.k.Open(tab, cam, fs.AccessRead); err != nil {
+		t.Fatalf("tab camera open = %v, want grant via P2", err)
+	}
+}
+
+func TestCLIScenarioPtyThenFork(t *testing.T) {
+	// §IV-B CLI interactions: xterm -> pty -> bash -> fork/exec tool ->
+	// device open.
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	xterm := e.spawnUser(t, "xterm")
+	bash := e.spawnUser(t, "bash")
+	e.interact(t, xterm)
+
+	pty := e.k.NewPty()
+	if _, err := pty.Write(1, xterm.PID(), []byte("arecord\n")); err != nil {
+		t.Fatalf("pty write: %v", err)
+	}
+	if _, err := pty.Read(2, bash.PID(), make([]byte, 32)); err != nil {
+		t.Fatalf("pty read: %v", err)
+	}
+	tool, err := bash.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if err := tool.Exec("arecord", "/usr/bin/arecord"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	e.clk.Advance(300 * time.Millisecond)
+	if _, err := e.k.Open(tool, mic, fs.AccessRead); err != nil {
+		t.Fatalf("CLI tool device open = %v, want grant", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	clk := clock.NewSimulated()
+	fsys := fs.New(clk)
+	if _, err := New(nil, fsys, Config{}); err == nil {
+		t.Fatal("New(nil clock) succeeded")
+	}
+	if _, err := New(clk, nil, Config{}); err == nil {
+		t.Fatal("New(nil fs) succeeded")
+	}
+	if _, err := New(clk, fsys, Config{Monitor: monitor.Config{Threshold: -1}}); err == nil {
+		t.Fatal("New(bad monitor config) succeeded")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := newEnv(t, enforcing())
+	p := e.spawnUser(t, "p")
+	if err := e.fsys.WriteFile("/f", nil, 0o666, fs.Root); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := e.k.Open(p, "/f", fs.AccessRead); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	c, err := p.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if err := c.Exec("c2", "/bin/c2"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if err := c.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	s := e.k.StatsSnapshot()
+	if s.Opens != 1 || s.Forks != 1 || s.Execs != 1 || s.Exits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCloneAliasesFork(t *testing.T) {
+	e := newEnv(t, enforcing())
+	p := e.spawnUser(t, "p")
+	e.interact(t, p)
+	th, err := p.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	if got := th.InteractionStamp(); !got.Equal(p.InteractionStamp()) {
+		t.Fatal("thread did not inherit stamp")
+	}
+}

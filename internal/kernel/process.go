@@ -1,0 +1,251 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"overhaul/internal/fs"
+	"sync"
+)
+
+// Process is the task_struct analogue: one schedulable task. Linux does
+// not strictly distinguish processes from threads — each gets its own
+// task_struct — and neither do we: Clone covers both.
+type Process struct {
+	k    *Kernel
+	pid  int
+	ppid int
+
+	mu       sync.Mutex
+	name     string
+	exe      string
+	cred     fs.Cred
+	stamp    time.Time // interaction timestamp (the Overhaul field)
+	state    State
+	tracedBy int // tracer PID, 0 when not traced
+	children []int
+}
+
+// PID returns the process identifier.
+func (p *Process) PID() int { return p.pid }
+
+// PPID returns the parent's PID (0 for initial processes).
+func (p *Process) PPID() int { return p.ppid }
+
+// Name returns the process name (comm).
+func (p *Process) Name() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.name
+}
+
+// Executable returns the path the process's code is mapped from.
+func (p *Process) Executable() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exe
+}
+
+// Cred returns the process credentials.
+func (p *Process) Cred() fs.Cred {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cred
+}
+
+// InteractionStamp returns the Overhaul interaction timestamp.
+func (p *Process) InteractionStamp() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stamp
+}
+
+// State returns the lifecycle state.
+func (p *Process) State() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// Children returns the PIDs of the process's children.
+func (p *Process) Children() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.children))
+	copy(out, p.children)
+	return out
+}
+
+// alive reports whether the process can issue syscalls.
+func (p *Process) alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state == StateRunning
+}
+
+// SpawnSpec describes an initial process created from outside the
+// simulation (init, the display server, the trusted helper, ...).
+type SpawnSpec struct {
+	Name string
+	Exe  string
+	Cred fs.Cred
+}
+
+// Spawn creates a fresh process with no parent and no interaction
+// history.
+func (k *Kernel) Spawn(spec SpawnSpec) (*Process, error) {
+	if spec.Name == "" {
+		return nil, errors.New("spawn: empty process name")
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+
+	pid := k.nextPID
+	k.nextPID++
+	p := &Process{
+		k:     k,
+		pid:   pid,
+		name:  spec.Name,
+		exe:   spec.Exe,
+		cred:  spec.Cred,
+		state: StateRunning,
+	}
+	k.procs[pid] = p
+	return p, nil
+}
+
+// Fork duplicates the process, Linux-style: the child gets a copy of the
+// task struct — *including the interaction timestamp*. This is how
+// propagation policy P1 falls out of the implementation "for free"
+// (paper §IV-B, "Process creation and IPC").
+func (p *Process) Fork() (*Process, error) {
+	if !p.alive() {
+		return nil, fmt.Errorf("fork from pid %d: %w", p.pid, ErrDeadProcess)
+	}
+	k := p.k
+
+	p.mu.Lock()
+	name, exe, cred, stamp := p.name, p.exe, p.cred, p.stamp
+	p.mu.Unlock()
+
+	k.mu.Lock()
+	if k.disableP1 {
+		stamp = time.Time{} // ablation: no inheritance
+	}
+	pid := k.nextPID
+	k.nextPID++
+	child := &Process{
+		k:     k,
+		pid:   pid,
+		ppid:  p.pid,
+		name:  name,
+		exe:   exe,
+		cred:  cred,
+		stamp: stamp, // P1: inherited
+		state: StateRunning,
+	}
+	k.procs[pid] = child
+	k.stats.Forks++
+	k.mu.Unlock()
+
+	p.mu.Lock()
+	p.children = append(p.children, pid)
+	p.mu.Unlock()
+	return child, nil
+}
+
+// Clone is an alias for Fork covering threads: Linux backs both with a
+// new task_struct, so interaction stamps propagate to threads the same
+// way.
+func (p *Process) Clone() (*Process, error) { return p.Fork() }
+
+// Exec replaces the process image. The task struct — and therefore the
+// interaction stamp — survives, exactly as execve leaves task_struct in
+// place on Linux.
+func (p *Process) Exec(name, exe string) error {
+	if !p.alive() {
+		return fmt.Errorf("exec in pid %d: %w", p.pid, ErrDeadProcess)
+	}
+	if name == "" {
+		return errors.New("exec: empty process name")
+	}
+	p.mu.Lock()
+	p.name = name
+	p.exe = exe
+	p.mu.Unlock()
+
+	p.k.mu.Lock()
+	p.k.stats.Execs++
+	p.k.mu.Unlock()
+	return nil
+}
+
+// Exit terminates the process and removes it from the process table.
+func (p *Process) Exit() error {
+	p.mu.Lock()
+	if p.state != StateRunning {
+		p.mu.Unlock()
+		return fmt.Errorf("exit pid %d: %w", p.pid, ErrDeadProcess)
+	}
+	p.state = StateDead
+	p.mu.Unlock()
+
+	k := p.k
+	k.mu.Lock()
+	delete(k.procs, p.pid)
+	k.stats.Exits++
+	k.mu.Unlock()
+	return nil
+}
+
+// --- ptrace ---------------------------------------------------------------
+
+// PtraceAttach lets the process attach to target as a debugger. As on
+// Linux (Yama-style restriction the paper cites), only direct
+// descendants may be traced. While the Overhaul ptrace guard is on, the
+// tracee's sensitive permissions are disabled for the duration — which
+// also neutralises launch-then-inject attacks through a parent tracing
+// its own child.
+func (p *Process) PtraceAttach(target *Process) error {
+	if !p.alive() {
+		return fmt.Errorf("ptrace from pid %d: %w", p.pid, ErrDeadProcess)
+	}
+	if target == nil || !target.alive() {
+		return fmt.Errorf("ptrace: target: %w", ErrDeadProcess)
+	}
+	if target.PPID() != p.pid && p.Cred().UID != 0 {
+		return fmt.Errorf("ptrace pid %d from pid %d: not a direct descendant: %w",
+			target.pid, p.pid, ErrNotPermitted)
+	}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if target.tracedBy != 0 {
+		return fmt.Errorf("ptrace pid %d: already traced by %d: %w",
+			target.pid, target.tracedBy, ErrNotPermitted)
+	}
+	target.tracedBy = p.pid
+	return nil
+}
+
+// PtraceDetach releases a tracee previously attached by this process.
+func (p *Process) PtraceDetach(target *Process) error {
+	if target == nil {
+		return errors.New("ptrace detach: nil target")
+	}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if target.tracedBy != p.pid {
+		return fmt.Errorf("ptrace detach pid %d: not traced by %d: %w",
+			target.pid, p.pid, ErrNotPermitted)
+	}
+	target.tracedBy = 0
+	return nil
+}
+
+// Traced reports whether the process is currently being ptraced.
+func (p *Process) Traced() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tracedBy != 0
+}

@@ -1,0 +1,127 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"overhaul/internal/fs"
+)
+
+// The paper's prototype exposes its ptrace-guard switch "through a proc
+// filesystem node" (§IV-B). This file implements a synthetic procfs
+// view: path-addressed reads over live kernel state plus the one
+// writable node, with superuser-only writes — no state is duplicated
+// into the filesystem tree.
+
+// Proc paths.
+const (
+	ProcPtraceGuardPath = "/proc/sys/overhaul/ptrace_guard"
+	procPrefix          = "/proc/"
+)
+
+// ReadProc serves a synthetic procfs read. Supported paths:
+//
+//	/proc/sys/overhaul/ptrace_guard  -> "1\n" or "0\n"
+//	/proc/<pid>/status               -> task status incl. the Overhaul stamp
+//	/proc/<pid>/comm                 -> process name
+//	/proc                            -> directory listing of live PIDs
+func (k *Kernel) ReadProc(path string) ([]byte, error) {
+	switch {
+	case path == ProcPtraceGuardPath:
+		if k.PtraceGuardEnabled() {
+			return []byte("1\n"), nil
+		}
+		return []byte("0\n"), nil
+
+	case path == "/proc":
+		pids := k.PIDs()
+		var b strings.Builder
+		for _, pid := range pids {
+			fmt.Fprintf(&b, "%d\n", pid)
+		}
+		return []byte(b.String()), nil
+
+	case strings.HasPrefix(path, procPrefix):
+		rest := strings.TrimPrefix(path, procPrefix)
+		parts := strings.Split(rest, "/")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("read %s: %w", path, fs.ErrNotExist)
+		}
+		pid, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, fs.ErrNotExist)
+		}
+		p, err := k.Process(pid)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, fs.ErrNotExist)
+		}
+		switch parts[1] {
+		case "comm":
+			return []byte(p.Name() + "\n"), nil
+		case "status":
+			return []byte(k.procStatus(p)), nil
+		default:
+			return nil, fmt.Errorf("read %s: %w", path, fs.ErrNotExist)
+		}
+
+	default:
+		return nil, fmt.Errorf("read %s: %w", path, fs.ErrNotExist)
+	}
+}
+
+// procStatus renders the /proc/<pid>/status analogue, including the
+// field Overhaul adds to the task struct.
+func (k *Kernel) procStatus(p *Process) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Name:\t%s\n", p.Name())
+	fmt.Fprintf(&b, "Pid:\t%d\n", p.PID())
+	fmt.Fprintf(&b, "PPid:\t%d\n", p.PPID())
+	fmt.Fprintf(&b, "Uid:\t%d\n", p.Cred().UID)
+	fmt.Fprintf(&b, "Gid:\t%d\n", p.Cred().GID)
+	state := "R (running)"
+	if p.State() != StateRunning {
+		state = "X (dead)"
+	}
+	fmt.Fprintf(&b, "State:\t%s\n", state)
+	fmt.Fprintf(&b, "TracerPid:\t%d\n", func() int {
+		if p.Traced() {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return p.tracedBy
+		}
+		return 0
+	}())
+	stamp := p.InteractionStamp()
+	if stamp.IsZero() {
+		b.WriteString("OverhaulStamp:\t-\n")
+	} else {
+		fmt.Fprintf(&b, "OverhaulStamp:\t%s\n", stamp.Format("15:04:05.000000"))
+	}
+	children := p.Children()
+	sort.Ints(children)
+	strs := make([]string, len(children))
+	for i, c := range children {
+		strs[i] = strconv.Itoa(c)
+	}
+	fmt.Fprintf(&b, "Children:\t%s\n", strings.Join(strs, " "))
+	return b.String()
+}
+
+// WriteProc serves a synthetic procfs write. The only writable node is
+// the ptrace-guard toggle, and only for the superuser ("1"/"0",
+// whitespace tolerated).
+func (k *Kernel) WriteProc(path string, data []byte, cred fs.Cred) error {
+	if path != ProcPtraceGuardPath {
+		return fmt.Errorf("write %s: %w", path, fs.ErrPermission)
+	}
+	switch strings.TrimSpace(string(data)) {
+	case "1":
+		return k.SetPtraceGuard(cred, true)
+	case "0":
+		return k.SetPtraceGuard(cred, false)
+	default:
+		return fmt.Errorf("write %s: invalid value %q", path, data)
+	}
+}

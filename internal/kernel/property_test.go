@@ -1,0 +1,255 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"overhaul/internal/fs"
+	"overhaul/internal/ipc"
+)
+
+// Property: along any fork chain, every descendant created after an
+// interaction carries exactly the ancestor's stamp (P1 is transitive).
+func TestForkChainInheritanceProperty(t *testing.T) {
+	f := func(depthSeed uint8) bool {
+		depth := int(depthSeed%10) + 1
+		e := newEnv(t, enforcing())
+		root := e.spawnUser(t, "root-app")
+		e.interact(t, root)
+		want := root.InteractionStamp()
+
+		cur := root
+		for i := 0; i < depth; i++ {
+			child, err := cur.Fork()
+			if err != nil {
+				return false
+			}
+			if !child.InteractionStamp().Equal(want) {
+				return false
+			}
+			cur = child
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a chain of pipes propagates the *maximum* stamp seen by any
+// sender, never a stale one, and never invents stamps.
+func TestPipeChainMaxStampProperty(t *testing.T) {
+	f := func(hops uint8, interactAt uint8) bool {
+		n := int(hops%6) + 2
+		e := newEnv(t, enforcing())
+		procs := make([]*Process, n)
+		for i := range procs {
+			procs[i] = e.spawnUser(t, fmt.Sprintf("p%d", i))
+		}
+		// One process somewhere in the chain has an interaction.
+		idx := int(interactAt) % n
+		e.interact(t, procs[idx])
+		want := procs[idx].InteractionStamp()
+
+		for i := 0; i+1 < n; i++ {
+			pipe := e.k.NewPipe()
+			if _, err := pipe.Write(procs[i].PID(), []byte{1}); err != nil {
+				return false
+			}
+			if _, err := pipe.Read(procs[i+1].PID(), make([]byte, 1)); err != nil {
+				return false
+			}
+		}
+		// Everyone downstream of idx carries the stamp; everyone
+		// strictly upstream has nothing.
+		for i, p := range procs {
+			got := p.InteractionStamp()
+			if i >= idx && !got.Equal(want) {
+				return false
+			}
+			if i < idx && !got.IsZero() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stamps only ever move forward in time, whatever interleaving
+// of notifications and IPC occurs.
+func TestStampMonotonicityProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		e := newEnv(t, enforcing())
+		a := e.spawnUser(t, "a")
+		b := e.spawnUser(t, "b")
+		pipe := e.k.NewPipe()
+
+		prevA, prevB := a.InteractionStamp(), b.InteractionStamp()
+		for _, s := range steps {
+			switch s % 4 {
+			case 0:
+				e.clk.Advance(time.Duration(s) * time.Millisecond)
+				e.interact(t, a)
+			case 1:
+				e.clk.Advance(time.Duration(s) * time.Millisecond)
+				e.interact(t, b)
+			case 2:
+				_, _ = pipe.Write(a.PID(), []byte{1})
+				_, _ = pipe.Read(b.PID(), make([]byte, 1))
+			case 3:
+				_, _ = pipe.Write(b.PID(), []byte{1})
+				_, _ = pipe.Read(a.PID(), make([]byte, 1))
+			}
+			if a.InteractionStamp().Before(prevA) || b.InteractionStamp().Before(prevB) {
+				return false
+			}
+			prevA, prevB = a.InteractionStamp(), b.InteractionStamp()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentForksUniquePIDs exercises the process table under
+// parallel fork/exit load.
+func TestConcurrentForksUniquePIDs(t *testing.T) {
+	e := newEnv(t, enforcing())
+	root := e.spawnUser(t, "root-app")
+
+	const workers = 8
+	const perWorker = 50
+	var (
+		mu   sync.Mutex
+		pids = make(map[int]bool)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				child, err := root.Fork()
+				if err != nil {
+					t.Errorf("Fork: %v", err)
+					return
+				}
+				mu.Lock()
+				if pids[child.PID()] {
+					t.Errorf("duplicate pid %d", child.PID())
+				}
+				pids[child.PID()] = true
+				mu.Unlock()
+				if err := child.Exit(); err != nil {
+					t.Errorf("Exit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(pids) != workers*perWorker {
+		t.Fatalf("unique pids = %d, want %d", len(pids), workers*perWorker)
+	}
+}
+
+// TestConcurrentOpensAndNotifications races device opens against
+// interaction notifications; the invariant is no panic/deadlock and a
+// consistent audit count.
+func TestConcurrentOpensAndNotifications(t *testing.T) {
+	e := newEnv(t, enforcing())
+	mic, err := e.helper.Attach("microphone")
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	app := e.spawnUser(t, "app")
+
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_ = e.k.Monitor().Notify(app.PID(), e.clk.Now())
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_, _ = e.k.Open(app, mic, fs.AccessRead)
+		}
+	}()
+	wg.Wait()
+	if got := len(e.k.Monitor().Audit()); got != n {
+		t.Fatalf("audit entries = %d, want %d", got, n)
+	}
+}
+
+// TestSharedMemConcurrentMappings hammers one segment from several
+// goroutines through distinct mappings.
+func TestSharedMemConcurrentMappings(t *testing.T) {
+	e := newEnv(t, enforcing())
+	shm, err := e.k.NewSharedMem(4)
+	if err != nil {
+		t.Fatalf("NewSharedMem: %v", err)
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := e.spawnUser(t, fmt.Sprintf("w%d", w))
+			m := shm.Map(p.PID())
+			for i := 0; i < 300; i++ {
+				if err := m.Write((w*640+i)%(4*ipc.PageSize-1), []byte{byte(i)}); err != nil {
+					t.Errorf("Write: %v", err)
+					return
+				}
+				if _, err := m.Read(0, 1); err != nil {
+					t.Errorf("Read: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := shm.StatsSnapshot()
+	if st.Faults == 0 {
+		t.Fatal("no faults recorded")
+	}
+}
+
+// TestDisableP1Property: with P1 ablated, no descendant ever carries a
+// stamp, whatever the fork pattern.
+func TestDisableP1Property(t *testing.T) {
+	cfg := enforcing()
+	cfg.DisableP1 = true
+	e := newEnv(t, cfg)
+	root := e.spawnUser(t, "root-app")
+	e.interact(t, root)
+	f := func(depth uint8) bool {
+		cur := root
+		for i := 0; i < int(depth%5)+1; i++ {
+			child, err := cur.Fork()
+			if err != nil {
+				return false
+			}
+			if !child.InteractionStamp().IsZero() {
+				return false
+			}
+			cur = child
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

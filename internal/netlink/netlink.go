@@ -1,0 +1,191 @@
+// Package netlink simulates the Linux netlink facility as used by
+// Overhaul: a duplex kernel↔userspace message channel with kernel-side
+// peer authentication.
+//
+// The paper (§IV-B, "Secure communication channel") establishes a
+// netlink channel between the kernel permission monitor and the X
+// server. Netlink itself does not authenticate; Overhaul's kernel
+// instead *introspects* the connecting userspace process — checking that
+// its executable is loaded from the well-known, superuser-owned path of
+// the X binaries — before trusting it. This package reproduces that
+// structure: a Hub lives on the kernel side, userspace processes Connect
+// with their PID, and the Hub consults an Authenticator before admitting
+// them. Both directions are synchronous calls, mirroring the
+// request/response use in the paper (interaction notifications and
+// permission queries upward, alert requests downward).
+package netlink
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrAuthFailed   = errors.New("netlink: peer authentication failed")
+	ErrClosed       = errors.New("netlink: connection closed")
+	ErrNoHandler    = errors.New("netlink: no handler installed")
+	ErrNotConnected = errors.New("netlink: peer not connected")
+	ErrDuplicate    = errors.New("netlink: pid already connected")
+)
+
+// Handler processes one message and returns a reply.
+type Handler func(msg any) (any, error)
+
+// Authenticator decides whether the process with the given PID may
+// connect. The kernel's implementation introspects the process's
+// executable path and owner, per the paper.
+type Authenticator interface {
+	AuthenticatePeer(pid int) error
+}
+
+// AuthenticatorFunc adapts a function to the Authenticator interface.
+type AuthenticatorFunc func(pid int) error
+
+var _ Authenticator = AuthenticatorFunc(nil)
+
+// AuthenticatePeer implements Authenticator.
+func (f AuthenticatorFunc) AuthenticatePeer(pid int) error { return f(pid) }
+
+// Stats counts channel activity.
+type Stats struct {
+	Connects     uint64
+	AuthFailures uint64
+	UserToKernel uint64
+	KernelToUser uint64
+}
+
+// Hub is the kernel endpoint of a netlink family. It is safe for
+// concurrent use.
+type Hub struct {
+	auth Authenticator
+
+	mu            sync.Mutex
+	kernelHandler Handler
+	conns         map[int]*Conn
+	stats         Stats
+}
+
+// NewHub creates a hub whose connections are vetted by auth.
+func NewHub(auth Authenticator) (*Hub, error) {
+	if auth == nil {
+		return nil, errors.New("netlink: nil authenticator")
+	}
+	return &Hub{auth: auth, conns: make(map[int]*Conn)}, nil
+}
+
+// SetKernelHandler installs the handler for userspace→kernel messages.
+func (h *Hub) SetKernelHandler(fn Handler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.kernelHandler = fn
+}
+
+// Connect authenticates the peer and returns its connection. A given
+// PID may hold at most one connection at a time.
+func (h *Hub) Connect(pid int, userHandler Handler) (*Conn, error) {
+	if err := h.auth.AuthenticatePeer(pid); err != nil {
+		h.mu.Lock()
+		h.stats.AuthFailures++
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: pid %d: %v", ErrAuthFailed, pid, err)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.conns[pid]; ok {
+		return nil, fmt.Errorf("%w: pid %d", ErrDuplicate, pid)
+	}
+	c := &Conn{hub: h, pid: pid, userHandler: userHandler}
+	h.conns[pid] = c
+	h.stats.Connects++
+	return c, nil
+}
+
+// CallUser sends a kernel→userspace message to the connection held by
+// pid and returns its reply.
+func (h *Hub) CallUser(pid int, msg any) (any, error) {
+	h.mu.Lock()
+	c, ok := h.conns[pid]
+	var fn Handler
+	if ok {
+		fn = c.userHandler
+	}
+	h.stats.KernelToUser++
+	h.mu.Unlock()
+
+	if !ok {
+		return nil, fmt.Errorf("%w: pid %d", ErrNotConnected, pid)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("%w: pid %d has no user handler", ErrNoHandler, pid)
+	}
+	return fn(msg)
+}
+
+// Connected reports whether pid holds a live connection.
+func (h *Hub) Connected(pid int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.conns[pid]
+	return ok
+}
+
+// StatsSnapshot returns a copy of the hub's counters.
+func (h *Hub) StatsSnapshot() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+func (h *Hub) drop(pid int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.conns, pid)
+}
+
+// Conn is a userspace endpoint.
+type Conn struct {
+	hub *Hub
+	pid int
+
+	mu          sync.Mutex
+	userHandler Handler
+	closed      bool
+}
+
+// PID returns the peer PID this connection was authenticated as.
+func (c *Conn) PID() int { return c.pid }
+
+// Call sends a userspace→kernel message and returns the kernel's reply.
+func (c *Conn) Call(msg any) (any, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+
+	c.hub.mu.Lock()
+	fn := c.hub.kernelHandler
+	c.hub.stats.UserToKernel++
+	c.hub.mu.Unlock()
+
+	if fn == nil {
+		return nil, ErrNoHandler
+	}
+	return fn(msg)
+}
+
+// Close tears the connection down. Closing twice returns ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.closed = true
+	c.hub.drop(c.pid)
+	return nil
+}

@@ -1,0 +1,246 @@
+package netlink
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func allowAll(int) error { return nil }
+
+func allowOnly(pid int) AuthenticatorFunc {
+	return func(p int) error {
+		if p != pid {
+			return fmt.Errorf("pid %d is not the display server", p)
+		}
+		return nil
+	}
+}
+
+func TestConnectAuthenticated(t *testing.T) {
+	h, err := NewHub(allowOnly(42))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	if _, err := h.Connect(42, nil); err != nil {
+		t.Fatalf("Connect(42): %v", err)
+	}
+	if !h.Connected(42) {
+		t.Fatal("Connected(42) = false")
+	}
+}
+
+func TestConnectRejectedPeer(t *testing.T) {
+	h, err := NewHub(allowOnly(42))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	if _, err := h.Connect(666, nil); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("Connect(666) = %v, want ErrAuthFailed", err)
+	}
+	if h.Connected(666) {
+		t.Fatal("rejected peer is listed as connected")
+	}
+	if s := h.StatsSnapshot(); s.AuthFailures != 1 {
+		t.Fatalf("AuthFailures = %d, want 1", s.AuthFailures)
+	}
+}
+
+func TestDuplicateConnect(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	if _, err := h.Connect(1, nil); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := h.Connect(1, nil); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("second Connect = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestUserToKernelCall(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	h.SetKernelHandler(func(msg any) (any, error) {
+		s, ok := msg.(string)
+		if !ok {
+			t.Fatalf("kernel got %T", msg)
+		}
+		return "ack:" + s, nil
+	})
+	c, err := h.Connect(1, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	reply, err := c.Call("notify")
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if reply != "ack:notify" {
+		t.Fatalf("reply = %v", reply)
+	}
+}
+
+func TestKernelToUserCall(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	_, err = h.Connect(5, func(msg any) (any, error) { return "shown", nil })
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	reply, err := h.CallUser(5, "alert")
+	if err != nil {
+		t.Fatalf("CallUser: %v", err)
+	}
+	if reply != "shown" {
+		t.Fatalf("reply = %v", reply)
+	}
+}
+
+func TestCallUserNotConnected(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	if _, err := h.CallUser(9, "alert"); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("CallUser = %v, want ErrNotConnected", err)
+	}
+}
+
+func TestCallUserNoHandler(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	if _, err := h.Connect(5, nil); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := h.CallUser(5, "alert"); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("CallUser = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestCallNoKernelHandler(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	c, err := h.Connect(1, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := c.Call("x"); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("Call = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestCloseDisconnects(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	c, err := h.Connect(1, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if h.Connected(1) {
+		t.Fatal("still connected after close")
+	}
+	if _, err := c.Call("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call after close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double Close = %v, want ErrClosed", err)
+	}
+	// PID may reconnect after closing.
+	if _, err := h.Connect(1, nil); err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+}
+
+func TestKernelHandlerErrorPropagates(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	sentinel := errors.New("bad request")
+	h.SetKernelHandler(func(any) (any, error) { return nil, sentinel })
+	c, err := h.Connect(1, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := c.Call("x"); !errors.Is(err, sentinel) {
+		t.Fatalf("Call = %v, want sentinel", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	h.SetKernelHandler(func(any) (any, error) { return nil, nil })
+	c, err := h.Connect(1, func(any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call("up"); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	if _, err := h.CallUser(1, "down"); err != nil {
+		t.Fatalf("CallUser: %v", err)
+	}
+	s := h.StatsSnapshot()
+	if s.Connects != 1 || s.UserToKernel != 3 || s.KernelToUser != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	var count sync.Map
+	h.SetKernelHandler(func(msg any) (any, error) {
+		count.Store(msg, true)
+		return msg, nil
+	})
+	c, err := h.Connect(1, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Call(i); err != nil {
+				t.Errorf("Call(%d): %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 32; i++ {
+		if _, ok := count.Load(i); !ok {
+			t.Fatalf("message %d not delivered", i)
+		}
+	}
+}
+
+func TestNewHubNilAuth(t *testing.T) {
+	if _, err := NewHub(nil); err == nil {
+		t.Fatal("NewHub(nil) succeeded")
+	}
+}

@@ -1,0 +1,178 @@
+// Package prompt implements the alternative policy model the paper
+// sketches in §IV-A ("Trusted output"): explicit permission prompts
+// built from Overhaul's two primitives — the trusted output path renders
+// an *unforgeable* prompt (overlay + visual shared secret), and the
+// trusted input path verifies that the answering click is authentic
+// hardware input, so no process can answer its own prompt
+// programmatically.
+//
+// The paper implements and verifies this model but does not adopt it
+// (popup prompts have well-documented usability failures, Motiee et al.);
+// it ships here as the optional extension it is, default-off.
+package prompt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+// Answer is the user's decision on a prompt.
+type Answer int
+
+// Answers.
+const (
+	AnswerAllow Answer = iota + 1
+	AnswerDeny
+)
+
+// String names the answer.
+func (a Answer) String() string {
+	switch a {
+	case AnswerAllow:
+		return "allow"
+	case AnswerDeny:
+		return "deny"
+	default:
+		return fmt.Sprintf("Answer(%d)", int(a))
+	}
+}
+
+// Sentinel errors.
+var (
+	ErrNoPendingPrompt = errors.New("prompt: no pending prompt")
+	ErrPromptPending   = errors.New("prompt: another prompt is pending")
+	ErrSyntheticAnswer = errors.New("prompt: answer was not authentic hardware input")
+	ErrExpired         = errors.New("prompt: prompt expired unanswered")
+)
+
+// DefaultTimeout is how long a prompt waits for the user.
+const DefaultTimeout = 30 * time.Second
+
+// Prompt is one rendered permission question.
+type Prompt struct {
+	PID      int
+	Op       monitor.Op
+	Message  string
+	Secret   string // visual shared secret: unforgeable, like alerts
+	ShownAt  time.Time
+	Deadline time.Time
+}
+
+// Record is a resolved prompt.
+type Record struct {
+	Prompt Prompt
+	Answer Answer
+	At     time.Time
+}
+
+// Manager renders prompts on the trusted overlay and accepts answers
+// only through the trusted input path. It is safe for concurrent use.
+type Manager struct {
+	clk     clock.Clock
+	secret  string
+	timeout time.Duration
+
+	mu      sync.Mutex
+	pending *Prompt
+	history []Record
+}
+
+// NewManager builds a prompt manager sharing the display server's
+// visual secret.
+func NewManager(clk clock.Clock, secret string, timeout time.Duration) (*Manager, error) {
+	if clk == nil {
+		return nil, errors.New("prompt: nil clock")
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Manager{clk: clk, secret: secret, timeout: timeout}, nil
+}
+
+// Ask renders an unforgeable prompt for pid's request to perform op.
+// Only one prompt may be pending at a time (the overlay is modal).
+func (m *Manager) Ask(pid int, op monitor.Op) (Prompt, error) {
+	now := m.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if m.pending != nil {
+		if now.Before(m.pending.Deadline) {
+			return Prompt{}, fmt.Errorf("%w (pid %d, op %s)", ErrPromptPending, m.pending.PID, m.pending.Op)
+		}
+		// The previous prompt expired unanswered: deny by default.
+		m.history = append(m.history, Record{Prompt: *m.pending, Answer: AnswerDeny, At: now})
+		m.pending = nil
+	}
+	p := Prompt{
+		PID:      pid,
+		Op:       op,
+		Message:  fmt.Sprintf("Allow application [pid %d] to perform %q?", pid, op),
+		Secret:   m.secret,
+		ShownAt:  now,
+		Deadline: now.Add(m.timeout),
+	}
+	m.pending = &p
+	return p, nil
+}
+
+// Pending returns the currently displayed prompt, if any.
+func (m *Manager) Pending() (Prompt, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending == nil {
+		return Prompt{}, false
+	}
+	return *m.pending, true
+}
+
+// AnswerWith resolves the pending prompt using the given input event.
+// The event must be authentic hardware input (provenance check — the
+// trusted input path); synthetic events from SendEvent or XTest are
+// rejected, which is precisely what makes the prompt meaningful.
+func (m *Manager) AnswerWith(ev xserver.Event, allow bool) (Answer, error) {
+	now := m.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if m.pending == nil {
+		return 0, ErrNoPendingPrompt
+	}
+	if now.After(m.pending.Deadline) {
+		m.history = append(m.history, Record{Prompt: *m.pending, Answer: AnswerDeny, At: now})
+		m.pending = nil
+		return AnswerDeny, ErrExpired
+	}
+	if ev.Provenance != xserver.FromHardware || ev.Synthetic {
+		return 0, fmt.Errorf("%w: provenance %s", ErrSyntheticAnswer, ev.Provenance)
+	}
+
+	ans := AnswerDeny
+	if allow {
+		ans = AnswerAllow
+	}
+	m.history = append(m.history, Record{Prompt: *m.pending, Answer: ans, At: now})
+	m.pending = nil
+	return ans, nil
+}
+
+// Authentic reports whether a rendered prompt carries the shared secret
+// (how a user distinguishes it from a fake dialog drawn by malware).
+func (m *Manager) Authentic(p Prompt) bool {
+	return m.secret != "" && p.Secret == m.secret
+}
+
+// History returns a copy of resolved prompts.
+func (m *Manager) History() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, len(m.history))
+	copy(out, m.history)
+	return out
+}

@@ -1,0 +1,159 @@
+package prompt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+func newManager(t *testing.T) (*Manager, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated()
+	m, err := NewManager(clk, "tabby-cat", 0)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m, clk
+}
+
+func hardwareClick() xserver.Event {
+	return xserver.Event{Type: xserver.ButtonPress, Provenance: xserver.FromHardware}
+}
+
+func TestAskAndAllow(t *testing.T) {
+	m, _ := newManager(t)
+	p, err := m.Ask(7, monitor.OpCam)
+	if err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	if !m.Authentic(p) {
+		t.Fatal("prompt lacks the shared secret")
+	}
+	if _, ok := m.Pending(); !ok {
+		t.Fatal("no pending prompt")
+	}
+	ans, err := m.AnswerWith(hardwareClick(), true)
+	if err != nil || ans != AnswerAllow {
+		t.Fatalf("AnswerWith = %v, %v", ans, err)
+	}
+	if _, ok := m.Pending(); ok {
+		t.Fatal("prompt still pending after answer")
+	}
+	h := m.History()
+	if len(h) != 1 || h[0].Answer != AnswerAllow || h[0].Prompt.PID != 7 {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestDenyAnswer(t *testing.T) {
+	m, _ := newManager(t)
+	if _, err := m.Ask(7, monitor.OpMic); err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	ans, err := m.AnswerWith(hardwareClick(), false)
+	if err != nil || ans != AnswerDeny {
+		t.Fatalf("AnswerWith = %v, %v", ans, err)
+	}
+}
+
+func TestSyntheticAnswersRejected(t *testing.T) {
+	// The entire point: malware cannot answer its own prompt.
+	m, _ := newManager(t)
+	if _, err := m.Ask(666, monitor.OpCam); err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	for _, ev := range []xserver.Event{
+		{Type: xserver.ButtonPress, Provenance: xserver.FromSendEvent, Synthetic: true},
+		{Type: xserver.ButtonPress, Provenance: xserver.FromXTest},
+	} {
+		if _, err := m.AnswerWith(ev, true); !errors.Is(err, ErrSyntheticAnswer) {
+			t.Fatalf("AnswerWith(%s) = %v, want ErrSyntheticAnswer", ev.Provenance, err)
+		}
+	}
+	// The prompt survives the forged answers for the real user.
+	if _, ok := m.Pending(); !ok {
+		t.Fatal("forged answer consumed the prompt")
+	}
+	if _, err := m.AnswerWith(hardwareClick(), false); err != nil {
+		t.Fatalf("real answer: %v", err)
+	}
+}
+
+func TestModalOnePromptAtATime(t *testing.T) {
+	m, _ := newManager(t)
+	if _, err := m.Ask(1, monitor.OpCam); err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	if _, err := m.Ask(2, monitor.OpMic); !errors.Is(err, ErrPromptPending) {
+		t.Fatalf("second Ask = %v, want ErrPromptPending", err)
+	}
+}
+
+func TestExpiryDeniesByDefault(t *testing.T) {
+	m, clk := newManager(t)
+	if _, err := m.Ask(1, monitor.OpCam); err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	clk.Advance(DefaultTimeout + time.Second)
+	ans, err := m.AnswerWith(hardwareClick(), true)
+	if !errors.Is(err, ErrExpired) || ans != AnswerDeny {
+		t.Fatalf("expired AnswerWith = %v, %v", ans, err)
+	}
+	// A new prompt can now be asked; expiry was recorded as a denial.
+	if _, err := m.Ask(2, monitor.OpMic); err != nil {
+		t.Fatalf("Ask after expiry: %v", err)
+	}
+	h := m.History()
+	if len(h) != 1 || h[0].Answer != AnswerDeny {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestExpiredPendingReplacedOnAsk(t *testing.T) {
+	m, clk := newManager(t)
+	if _, err := m.Ask(1, monitor.OpCam); err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	clk.Advance(time.Minute)
+	if _, err := m.Ask(2, monitor.OpMic); err != nil {
+		t.Fatalf("Ask after expiry = %v, want success", err)
+	}
+	p, ok := m.Pending()
+	if !ok || p.PID != 2 {
+		t.Fatalf("pending = %+v, %v", p, ok)
+	}
+}
+
+func TestAnswerWithoutPrompt(t *testing.T) {
+	m, _ := newManager(t)
+	if _, err := m.AnswerWith(hardwareClick(), true); !errors.Is(err, ErrNoPendingPrompt) {
+		t.Fatalf("AnswerWith = %v, want ErrNoPendingPrompt", err)
+	}
+}
+
+func TestForgedPromptLacksSecret(t *testing.T) {
+	m, _ := newManager(t)
+	forged := Prompt{Message: "Allow application [pid 9] to perform \"cam\"?", Secret: "guess"}
+	if m.Authentic(forged) {
+		t.Fatal("forged prompt authenticated")
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil, "s", 0); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestAnswerString(t *testing.T) {
+	if AnswerAllow.String() != "allow" || AnswerDeny.String() != "deny" {
+		t.Fatal("answer strings wrong")
+	}
+	if Answer(0).String() == "" {
+		t.Fatal("unknown answer string empty")
+	}
+}

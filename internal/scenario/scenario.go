@@ -1,0 +1,263 @@
+// Package scenario provides a small scripted-desktop engine: a scenario
+// is a sequence of steps (launch, click, type, open a device, copy,
+// paste, capture, advance time) with expectations (grant, deny, alert),
+// executed against a freshly booted Overhaul system. It powers
+// table-driven end-to-end tests and the overhaul-sim timeline tool.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"overhaul/internal/core"
+	"overhaul/internal/devfs"
+	"overhaul/internal/fs"
+	"overhaul/internal/xserver"
+)
+
+// Kind enumerates step kinds.
+type Kind int
+
+// Step kinds.
+const (
+	StepLaunch Kind = iota + 1
+	StepLaunchHeadless
+	StepAdvance
+	StepClick
+	StepType
+	StepOpenDevice
+	StepCapture
+	StepCopy
+	StepPaste
+	StepExpectAlerts
+)
+
+// Expect states the expected outcome of an access step.
+type Expect int
+
+// Expectations.
+const (
+	ExpectNothing Expect = iota
+	ExpectGrant
+	ExpectDeny
+)
+
+// Step is one scripted action. App names refer to earlier Launch steps.
+type Step struct {
+	Kind   Kind
+	App    string        // acting application
+	Peer   string        // counterpart (paste source)
+	Device devfs.Class   // for StepOpenDevice
+	Key    string        // for StepType
+	D      time.Duration // for StepAdvance
+	Expect Expect
+	Alerts int // for StepExpectAlerts: expected active alert count
+}
+
+// Event is one line of the executed timeline.
+type Event struct {
+	At      time.Time
+	Text    string
+	Outcome string
+}
+
+// Result is the executed scenario.
+type Result struct {
+	Timeline []Event
+	Grants   int
+	Denials  int
+}
+
+// Errors.
+var (
+	ErrUnknownApp  = errors.New("scenario: unknown app")
+	ErrExpectation = errors.New("scenario: expectation failed")
+)
+
+// Runner executes scenarios.
+type Runner struct {
+	sys     *core.System
+	devices map[devfs.Class]string
+	apps    map[string]*core.App
+	result  Result
+}
+
+// NewRunner boots an enforcing system with all sensitive device classes
+// attached.
+func NewRunner() (*Runner, error) {
+	sys, err := core.Boot(core.Options{Enforce: true, AlertSecret: "scenario"})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	devices := make(map[devfs.Class]string)
+	for _, class := range devfs.SensitiveClasses() {
+		p, err := sys.AttachDevice(class)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: attach %s: %w", class, err)
+		}
+		devices[class] = p
+	}
+	return &Runner{sys: sys, devices: devices, apps: make(map[string]*core.App)}, nil
+}
+
+// System exposes the underlying system for assertions.
+func (r *Runner) System() *core.System { return r.sys }
+
+// log appends a timeline event.
+func (r *Runner) log(text, outcome string) {
+	r.result.Timeline = append(r.result.Timeline, Event{At: r.sys.Clock.Now(), Text: text, Outcome: outcome})
+}
+
+// check validates an expectation against an error outcome.
+func (r *Runner) check(step Step, what string, err error) error {
+	outcome := "granted"
+	if err != nil {
+		outcome = "denied"
+		r.result.Denials++
+	} else {
+		r.result.Grants++
+	}
+	r.log(what, outcome)
+	switch step.Expect {
+	case ExpectGrant:
+		if err != nil {
+			return fmt.Errorf("%w: %s: want grant, got %v", ErrExpectation, what, err)
+		}
+	case ExpectDeny:
+		if err == nil {
+			return fmt.Errorf("%w: %s: want deny, got grant", ErrExpectation, what)
+		}
+	}
+	return nil
+}
+
+// app resolves an app name.
+func (r *Runner) app(name string) (*core.App, error) {
+	a, ok := r.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownApp, name)
+	}
+	return a, nil
+}
+
+// Run executes the steps in order, failing fast on an unmet expectation.
+func (r *Runner) Run(steps []Step) (Result, error) {
+	for i, step := range steps {
+		if err := r.runStep(step); err != nil {
+			return r.result, fmt.Errorf("step %d: %w", i+1, err)
+		}
+	}
+	return r.result, nil
+}
+
+func (r *Runner) runStep(step Step) error {
+	switch step.Kind {
+	case StepLaunch:
+		app, err := r.sys.Launch(step.App)
+		if err != nil {
+			return err
+		}
+		r.apps[step.App] = app
+		r.log("launch "+step.App, fmt.Sprintf("pid %d", app.Proc.PID()))
+
+	case StepLaunchHeadless:
+		proc, err := r.sys.LaunchHeadless(step.App)
+		if err != nil {
+			return err
+		}
+		r.apps[step.App] = r.sys.WrapApp(proc, nil, 0, 0, 0, 0, 0)
+		r.log("launch headless "+step.App, fmt.Sprintf("pid %d", proc.PID()))
+
+	case StepAdvance:
+		r.sys.Settle(step.D)
+		r.log(fmt.Sprintf("advance %v", step.D), "")
+
+	case StepClick:
+		app, err := r.app(step.App)
+		if err != nil {
+			return err
+		}
+		if err := app.Click(); err != nil {
+			return err
+		}
+		r.log("click "+step.App, "hardware input")
+
+	case StepType:
+		app, err := r.app(step.App)
+		if err != nil {
+			return err
+		}
+		if err := app.Type(step.Key); err != nil {
+			return err
+		}
+		r.log(fmt.Sprintf("type %q into %s", step.Key, step.App), "hardware input")
+
+	case StepOpenDevice:
+		app, err := r.app(step.App)
+		if err != nil {
+			return err
+		}
+		path, ok := r.devices[step.Device]
+		if !ok {
+			return fmt.Errorf("scenario: unknown device class %q", step.Device)
+		}
+		var openErr error
+		if app.Client != nil {
+			_, openErr = app.OpenDevice(path)
+		} else {
+			_, openErr = r.sys.Kernel.Open(app.Proc, path, fs.AccessRead)
+		}
+		return r.check(step, fmt.Sprintf("%s opens %s", step.App, step.Device), openErr)
+
+	case StepCapture:
+		app, err := r.app(step.App)
+		if err != nil {
+			return err
+		}
+		_, capErr := app.Client.GetImage(xserver.Root)
+		return r.check(step, step.App+" captures the screen", capErr)
+
+	case StepCopy:
+		app, err := r.app(step.App)
+		if err != nil {
+			return err
+		}
+		copyErr := app.Client.SetSelection("CLIPBOARD", app.Win)
+		return r.check(step, step.App+" copies", copyErr)
+
+	case StepPaste:
+		app, err := r.app(step.App)
+		if err != nil {
+			return err
+		}
+		pasteErr := app.Client.ConvertSelection("CLIPBOARD", "UTF8_STRING", "SEL", app.Win)
+		return r.check(step, step.App+" pastes", pasteErr)
+
+	case StepExpectAlerts:
+		got := len(r.sys.ActiveAlerts())
+		r.log("expect alerts", fmt.Sprintf("%d active", got))
+		if got != step.Alerts {
+			return fmt.Errorf("%w: active alerts = %d, want %d", ErrExpectation, got, step.Alerts)
+		}
+
+	default:
+		return fmt.Errorf("scenario: unknown step kind %d", step.Kind)
+	}
+	return nil
+}
+
+// FormatTimeline renders the executed timeline.
+func FormatTimeline(res Result) string {
+	var b strings.Builder
+	for _, e := range res.Timeline {
+		out := ""
+		if e.Outcome != "" {
+			out = " -> " + e.Outcome
+		}
+		fmt.Fprintf(&b, "[%s] %s%s\n", e.At.Format("15:04:05.000"), e.Text, out)
+	}
+	fmt.Fprintf(&b, "grants=%d denials=%d\n", res.Grants, res.Denials)
+	return b.String()
+}

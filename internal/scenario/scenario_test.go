@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"overhaul/internal/devfs"
+)
+
+func TestBasicGrantDenyScript(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	res, err := r.Run([]Step{
+		{Kind: StepLaunch, App: "recorder"},
+		{Kind: StepAdvance, D: 2 * time.Second},
+		{Kind: StepOpenDevice, App: "recorder", Device: devfs.ClassMicrophone, Expect: ExpectDeny},
+		{Kind: StepClick, App: "recorder"},
+		{Kind: StepAdvance, D: 100 * time.Millisecond},
+		{Kind: StepOpenDevice, App: "recorder", Device: devfs.ClassMicrophone, Expect: ExpectGrant},
+		{Kind: StepExpectAlerts, Alerts: 2}, // one blocked + one granted
+		{Kind: StepAdvance, D: 10 * time.Second},
+		{Kind: StepOpenDevice, App: "recorder", Device: devfs.ClassMicrophone, Expect: ExpectDeny},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\n%s", err, FormatTimeline(res))
+	}
+	if res.Grants != 1 || res.Denials != 2 {
+		t.Fatalf("grants/denials = %d/%d\n%s", res.Grants, res.Denials, FormatTimeline(res))
+	}
+}
+
+func TestHeadlessSpyScript(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	_, err = r.Run([]Step{
+		{Kind: StepLaunchHeadless, App: "spy"},
+		{Kind: StepOpenDevice, App: "spy", Device: devfs.ClassCamera, Expect: ExpectDeny},
+		{Kind: StepOpenDevice, App: "spy", Device: devfs.ClassGPS, Expect: ExpectDeny},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestClipboardScript(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	_, err = r.Run([]Step{
+		{Kind: StepLaunch, App: "editor"},
+		{Kind: StepLaunch, App: "sniffer"},
+		{Kind: StepAdvance, D: 2 * time.Second},
+		{Kind: StepType, App: "editor", Key: "ctrl+c"},
+		{Kind: StepCopy, App: "editor", Expect: ExpectGrant},
+		{Kind: StepPaste, App: "sniffer", Expect: ExpectDeny}, // no input
+		{Kind: StepType, App: "sniffer", Key: "ctrl+v"},
+		{Kind: StepPaste, App: "sniffer", Expect: ExpectGrant}, // user-driven
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCaptureScript(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	_, err = r.Run([]Step{
+		{Kind: StepLaunch, App: "shot"},
+		{Kind: StepAdvance, D: 2 * time.Second},
+		{Kind: StepCapture, App: "shot", Expect: ExpectDeny},
+		{Kind: StepClick, App: "shot"},
+		{Kind: StepCapture, App: "shot", Expect: ExpectGrant},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestExpectationFailureReported(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	_, err = r.Run([]Step{
+		{Kind: StepLaunch, App: "app"},
+		{Kind: StepAdvance, D: 2 * time.Second},
+		// Wrong expectation on purpose: no click happened.
+		{Kind: StepOpenDevice, App: "app", Device: devfs.ClassMicrophone, Expect: ExpectGrant},
+	})
+	if !errors.Is(err, ErrExpectation) {
+		t.Fatalf("Run = %v, want ErrExpectation", err)
+	}
+}
+
+func TestUnknownAppAndDevice(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if _, err := r.Run([]Step{{Kind: StepClick, App: "ghost"}}); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("unknown app = %v", err)
+	}
+	if _, err := r.Run([]Step{
+		{Kind: StepLaunch, App: "a"},
+		{Kind: StepOpenDevice, App: "a", Device: devfs.Class("toaster")},
+	}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	res, err := r.Run([]Step{
+		{Kind: StepLaunch, App: "app"},
+		{Kind: StepAdvance, D: 2 * time.Second},
+		{Kind: StepClick, App: "app"},
+		{Kind: StepOpenDevice, App: "app", Device: devfs.ClassCamera, Expect: ExpectGrant},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := FormatTimeline(res)
+	for _, want := range []string{"launch app", "click app", "app opens camera", "granted", "grants=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package study
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/monitor"
+	"overhaul/internal/prompt"
+	"overhaul/internal/xserver"
+)
+
+// The paper rejects popup prompts citing Motiee et al.: users habituate,
+// dismiss prompts "without due diligence", or disable them entirely.
+// This experiment quantifies that choice using the repository's own
+// prompt-mode extension: a user with a habituation model answers a mixed
+// stream of legitimate and malicious permission prompts, and we measure
+// how many malicious requests get waved through as fatigue grows —
+// versus Overhaul's alert model, where malicious requests are blocked
+// automatically and the only question is whether the user *notices*.
+
+// FatigueConfig parameterises the comparison.
+type FatigueConfig struct {
+	// Prompts is the total number of permission questions the user
+	// faces during the session (legitimate and malicious mixed).
+	Prompts int
+	// MaliciousFraction is the share of prompts triggered by malware.
+	MaliciousFraction float64
+	// Seed drives the stochastic user.
+	Seed int64
+}
+
+// FatigueResult compares the two models on the same request stream.
+type FatigueResult struct {
+	Prompts   int `json:"prompts"`
+	Malicious int `json:"malicious"`
+
+	// Prompt model: malicious requests the habituated user allowed.
+	PromptMisgrants int `json:"promptMisgrants"`
+	// Prompt model: legitimate requests the annoyed user denied.
+	PromptFalseDenies int `json:"promptFalseDenies"`
+
+	// Alert model: malicious requests granted (always zero — Overhaul
+	// blocks them without asking).
+	AlertMisgrants int `json:"alertMisgrants"`
+	// Alert model: malicious attempts whose alert the user missed
+	// (privacy *notification* lost, but no data lost).
+	AlertMissedNotices int `json:"alertMissedNotices"`
+}
+
+// ErrFatigue wraps harness failures.
+var ErrFatigue = errors.New("study: prompt-fatigue run failed")
+
+// habituation returns the probability the user blindly clicks "allow"
+// after having already answered n prompts: starts diligent, degrades
+// with exposure, and saturates — the Motiee et al. pattern.
+func habituation(n int) float64 {
+	p := 0.05 + 0.04*float64(n)
+	if p > 0.9 {
+		p = 0.9
+	}
+	return p
+}
+
+// RunPromptFatigue runs the comparison.
+func RunPromptFatigue(cfg FatigueConfig) (FatigueResult, error) {
+	if cfg.Prompts <= 0 {
+		cfg.Prompts = 40
+	}
+	if cfg.MaliciousFraction <= 0 {
+		cfg.MaliciousFraction = 0.25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	clk := clock.NewSimulated()
+	pm, err := prompt.NewManager(clk, "tabby-cat", time.Minute)
+	if err != nil {
+		return FatigueResult{}, fmt.Errorf("%w: %v", ErrFatigue, err)
+	}
+
+	res := FatigueResult{Prompts: cfg.Prompts}
+	hardware := promptAnswerEvent()
+	for i := 0; i < cfg.Prompts; i++ {
+		clk.Advance(2 * time.Minute)
+		malicious := rng.Float64() < cfg.MaliciousFraction
+		if malicious {
+			res.Malicious++
+		}
+
+		// --- prompt model ---
+		if _, err := pm.Ask(100+i, monitor.OpCam); err != nil {
+			return FatigueResult{}, fmt.Errorf("%w: %v", ErrFatigue, err)
+		}
+		blind := rng.Float64() < habituation(i)
+		var allow bool
+		switch {
+		case blind:
+			// Habituated: click through whatever it is.
+			allow = true
+		case malicious:
+			// Diligent user recognises the odd request.
+			allow = false
+		default:
+			// Diligent user approves legitimate requests... usually.
+			// Some deny out of annoyance (the "disable it" tail).
+			allow = rng.Float64() > 0.1
+		}
+		ans, err := pm.AnswerWith(hardware, allow)
+		if err != nil {
+			return FatigueResult{}, fmt.Errorf("%w: %v", ErrFatigue, err)
+		}
+		if malicious && ans == prompt.AnswerAllow {
+			res.PromptMisgrants++
+		}
+		if !malicious && ans == prompt.AnswerDeny {
+			res.PromptFalseDenies++
+		}
+
+		// --- alert model ---
+		if malicious {
+			// Overhaul blocks it outright; the user may or may not
+			// notice the alert (the §V-B noticing distribution).
+			if rng.Float64() >= (attention.pInterrupt + attention.pNotice) {
+				res.AlertMissedNotices++
+			}
+		}
+	}
+	return res, nil
+}
+
+// promptAnswerEvent builds the authentic hardware click the simulated
+// user answers with.
+func promptAnswerEvent() xserver.Event {
+	return xserver.Event{Type: xserver.ButtonPress, Provenance: xserver.FromHardware}
+}

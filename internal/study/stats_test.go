@@ -1,0 +1,81 @@
+package study
+
+import "testing"
+
+// TestShapeHoldsAcrossSeeds runs the study under many seeds and checks
+// that the aggregate reproduces the paper's proportions — the claim is
+// about the distribution, not one lucky draw.
+func TestShapeHoldsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed study in -short mode")
+	}
+	var interrupted, noticed, missed, total int
+	for seed := int64(1); seed <= 8; seed++ {
+		res, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("Run(seed %d): %v", seed, err)
+		}
+		interrupted += res.Interrupted
+		noticed += res.Noticed
+		missed += res.Missed
+		total += res.Participants
+		// Transparency is deterministic: always 46/46.
+		for _, s := range res.LikertScores {
+			if s != 1 {
+				t.Fatalf("seed %d: Likert %d", seed, s)
+			}
+		}
+	}
+	// Paper proportions: 52 % / 35 % / 13 %. Allow generous sampling
+	// slack around them.
+	fInterrupted := float64(interrupted) / float64(total)
+	fNoticed := float64(noticed) / float64(total)
+	fMissed := float64(missed) / float64(total)
+	if fInterrupted < 0.42 || fInterrupted > 0.62 {
+		t.Fatalf("interrupted fraction = %.2f, paper 0.52", fInterrupted)
+	}
+	if fNoticed < 0.25 || fNoticed > 0.45 {
+		t.Fatalf("noticed fraction = %.2f, paper 0.35", fNoticed)
+	}
+	if fMissed < 0.05 || fMissed > 0.22 {
+		t.Fatalf("missed fraction = %.2f, paper 0.13", fMissed)
+	}
+}
+
+func TestPromptFatigueComparison(t *testing.T) {
+	res, err := RunPromptFatigue(FatigueConfig{Prompts: 60, MaliciousFraction: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatalf("RunPromptFatigue: %v", err)
+	}
+	if res.Malicious == 0 {
+		t.Fatal("no malicious prompts generated")
+	}
+	// The headline comparison: under the prompt model a habituated user
+	// waves malware through; under the alert model misgrants are
+	// structurally impossible.
+	if res.PromptMisgrants == 0 {
+		t.Fatalf("prompt model misgrants = 0; habituation should leak: %+v", res)
+	}
+	if res.AlertMisgrants != 0 {
+		t.Fatalf("alert model misgrants = %d, want 0 by construction", res.AlertMisgrants)
+	}
+	// Missed notices are a privacy-awareness loss, not a data loss, and
+	// should track the §V-B missing rate (~13%).
+	if res.AlertMissedNotices >= res.Malicious/2 {
+		t.Fatalf("missed notices = %d of %d, too many", res.AlertMissedNotices, res.Malicious)
+	}
+}
+
+func TestPromptFatigueDeterministic(t *testing.T) {
+	a, err := RunPromptFatigue(FatigueConfig{Seed: 5})
+	if err != nil {
+		t.Fatalf("RunPromptFatigue: %v", err)
+	}
+	b, err := RunPromptFatigue(FatigueConfig{Seed: 5})
+	if err != nil {
+		t.Fatalf("RunPromptFatigue: %v", err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

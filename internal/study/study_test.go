@@ -1,0 +1,69 @@
+package study
+
+import (
+	"testing"
+)
+
+func TestRunMatchesPaperShape(t *testing.T) {
+	got, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Participants != DefaultParticipants {
+		t.Fatalf("participants = %d", got.Participants)
+	}
+	// Task 1: Overhaul is transparent, so every participant rates 1.
+	if len(got.LikertScores) != DefaultParticipants {
+		t.Fatalf("scores = %d", len(got.LikertScores))
+	}
+	for i, s := range got.LikertScores {
+		if s != 1 {
+			t.Fatalf("participant %d Likert = %d, want 1 (transparent)", i+1, s)
+		}
+	}
+	// Task 2: counts must sum, and the *shape* must match the paper —
+	// a majority interrupt, a substantial minority notice later, and
+	// only a small group misses the alert.
+	if got.Interrupted+got.Noticed+got.Missed != DefaultParticipants {
+		t.Fatalf("outcome counts do not sum: %+v", got)
+	}
+	if got.Interrupted <= got.Noticed || got.Noticed <= got.Missed {
+		t.Fatalf("outcome ordering broken: %+v (paper: 24 > 16 > 6)", got)
+	}
+	noticedAny := got.Interrupted + got.Noticed
+	if noticedAny < DefaultParticipants*3/4 {
+		t.Fatalf("only %d/%d noticed the alert; paper: 40/46", noticedAny, DefaultParticipants)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a, err := Run(Config{Seed: 7, Participants: 10})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(Config{Seed: 7, Participants: 10})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Interrupted != b.Interrupted || a.Noticed != b.Noticed || a.Missed != b.Missed {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestPaperResultInvariants(t *testing.T) {
+	p := PaperResult()
+	if p.Interrupted+p.Noticed+p.Missed != p.Participants {
+		t.Fatalf("paper counts do not sum: %+v", p)
+	}
+	if p.Interrupted != 24 || p.Noticed != 16 || p.Missed != 6 {
+		t.Fatalf("paper counts wrong: %+v", p)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{OutcomeInterrupted, OutcomeNoticed, OutcomeMissed, Outcome(9)} {
+		if o.String() == "" {
+			t.Fatalf("empty string for %d", o)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"overhaul/internal/apps"
+	"overhaul/internal/core"
+	"overhaul/internal/xserver"
+)
+
+// ErrScenario wraps a figure scenario that did not behave as published.
+var ErrScenario = errors.New("trace: scenario deviated from the paper")
+
+// settle ages windows past the visibility threshold.
+func settle(sys *core.System) {
+	sys.Settle(2 * xserver.DefaultVisibilityThreshold)
+}
+
+// Figure1 regenerates the hardware-device access sequence: dynamic
+// access control over the microphone.
+func Figure1() (*Trace, error) {
+	sys, mic, _, err := core.BootDefault()
+	if err != nil {
+		return nil, err
+	}
+	app, err := sys.Launch("A")
+	if err != nil {
+		return nil, err
+	}
+	settle(sys)
+
+	if err := app.Click(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	clickT := sys.Clock.Now()
+	sys.Settle(120 * time.Millisecond)
+	if _, err := app.OpenDevice(mic); err != nil {
+		return nil, fmt.Errorf("%w: mic open denied: %v", ErrScenario, err)
+	}
+	openT := sys.Clock.Now()
+	alerts := sys.X.ActiveAlerts()
+	if len(alerts) != 1 {
+		return nil, fmt.Errorf("%w: %d alerts", ErrScenario, len(alerts))
+	}
+
+	tr := &Trace{
+		Figure:   1,
+		Title:    "Dynamic access control over privacy-sensitive hardware devices",
+		Scenario: fmt.Sprintf("application A (pid %d) turns on the microphone after a button click", app.Proc.PID()),
+	}
+	pid := app.Proc.PID()
+	tr.add("user", "display mgr", fmt.Sprintf("E_{A,t}: hardware click at t=%s", fmtTime(clickT)), false)
+	tr.add("display mgr", "kernel PM", fmt.Sprintf("N_{A,t}: interaction notification (pid %d, t=%s) over netlink", pid, fmtTime(clickT)), true)
+	tr.add("display mgr", "A", "E_{A,t} forwarded to its destination window", false)
+	tr.add("A", "kernel PM", fmt.Sprintf("mic_{t+n}: open(%s) intercepted at t+n=%s", mic, fmtTime(openT)), true)
+	tr.add("kernel PM", "A", fmt.Sprintf("grant: n=%v < δ=%v", openT.Sub(clickT), sys.Kernel.Monitor().Threshold()), true)
+	tr.add("kernel PM", "display mgr", "V_{A,mic}: visual alert request over netlink", true)
+	tr.Outcome = fmt.Sprintf("microphone opened; alert shown: %q", alerts[0].Message)
+	return tr, nil
+}
+
+// Figure2 regenerates the clipboard-paste mediation sequence.
+func Figure2() (*Trace, error) {
+	sys, _, _, err := core.BootDefault()
+	if err != nil {
+		return nil, err
+	}
+	src, err := apps.NewEditor(sys, "source")
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := apps.NewEditor(sys, "A")
+	if err != nil {
+		return nil, err
+	}
+	settle(sys)
+	if err := src.Copy([]byte("copied data")); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	pasteStart := sys.Clock.Now()
+	data, err := tgt.Paste(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: paste denied: %v", ErrScenario, err)
+	}
+	if string(data) != "copied data" {
+		return nil, fmt.Errorf("%w: pasted %q", ErrScenario, data)
+	}
+	pid := tgt.App().Proc.PID()
+
+	tr := &Trace{
+		Figure:   2,
+		Title:    "Protecting copy & paste operations against clipboard sniffing",
+		Scenario: fmt.Sprintf("application A (pid %d) pastes from the clipboard after the paste keystroke", pid),
+	}
+	tr.add("user", "display mgr", fmt.Sprintf("E_{A,t}: paste keystrokes at t=%s", fmtTime(pasteStart)), false)
+	tr.add("display mgr", "kernel PM", fmt.Sprintf("N_{A,t}: interaction notification (pid %d)", pid), true)
+	tr.add("display mgr", "A", "key event forwarded", false)
+	tr.add("A", "display mgr", "paste_{t+n}: ConvertSelection request", false)
+	tr.add("display mgr", "kernel PM", fmt.Sprintf("Q_{A,t+n}: permission query (pid %d, op=paste)", pid), true)
+	tr.add("kernel PM", "display mgr", "R_{A,t+n} = grant (n < δ)", true)
+	tr.add("display mgr", "A", "clipboard data returned", true)
+	tr.Outcome = fmt.Sprintf("paste served %q; a background sniffer issuing the same request is denied", data)
+	return tr, nil
+}
+
+// Figure3 regenerates the launcher scenario: interaction with Run must
+// authorise the Shot process it spawns (propagation policy P1).
+func Figure3() (*Trace, error) {
+	sys, _, _, err := core.BootDefault()
+	if err != nil {
+		return nil, err
+	}
+	victim, err := sys.Launch("desktop")
+	if err != nil {
+		return nil, err
+	}
+	if err := victim.Client.Draw(victim.Win, []byte("pixels")); err != nil {
+		return nil, err
+	}
+	run, err := apps.NewLauncher(sys, "Run")
+	if err != nil {
+		return nil, err
+	}
+	settle(sys)
+
+	typeT := sys.Clock.Now()
+	shotProc, err := run.Run("Shot")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	shotClient, err := sys.X.Connect(shotProc.PID(), "Shot")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := shotClient.GetImage(xserver.Root); err != nil {
+		return nil, fmt.Errorf("%w: capture denied despite P1: %v", ErrScenario, err)
+	}
+	capT := sys.Clock.Now()
+
+	tr := &Trace{
+		Figure:   3,
+		Title:    "A program launcher executing a screen capture program (P1)",
+		Scenario: fmt.Sprintf("Run (pid %d) spawns Shot (pid %d); Shot captures the screen", run.App().Proc.PID(), shotProc.PID()),
+	}
+	tr.add("user", "display mgr", fmt.Sprintf("E_{Run,t}: keystrokes \"Shot\"+enter at t=%s", fmtTime(typeT)), false)
+	tr.add("display mgr", "kernel PM", fmt.Sprintf("N_{Run,t}: interaction notification (pid %d)", run.App().Proc.PID()), true)
+	tr.add("display mgr", "Run", "key events forwarded", false)
+	tr.add("Run", "Shot", fmt.Sprintf("fork+exec: task struct duplicated, stamp inherited (pid %d)", shotProc.PID()), true)
+	tr.add("Shot", "display mgr", fmt.Sprintf("scr_{t+n}: GetImage(root) at t+n=%s", fmtTime(capT)), false)
+	tr.add("display mgr", "kernel PM", fmt.Sprintf("Q_{Shot,t+n}: permission query (pid %d, op=scr)", shotProc.PID()), true)
+	tr.add("kernel PM", "display mgr", "R = grant: Shot inherited Run's interaction via P1", true)
+	tr.Outcome = "screen captured by the spawned process; without P1 the query would have found no interaction record"
+	return tr, nil
+}
+
+// Figure4 regenerates the multi-process browser scenario (propagation
+// policy P2 over shared memory).
+func Figure4() (*Trace, error) {
+	sys, _, cam, err := core.BootDefault()
+	if err != nil {
+		return nil, err
+	}
+	b, err := apps.NewBrowser(sys, "Browser")
+	if err != nil {
+		return nil, err
+	}
+	tab, ch, err := b.OpenTab()
+	if err != nil {
+		return nil, err
+	}
+	settle(sys)
+	clickT := sys.Clock.Now()
+	if err := b.StartVideoChat(tab, ch, cam); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+
+	tr := &Trace{
+		Figure:   4,
+		Title:    "A multi-process browser communicating via shared memory IPC (P2)",
+		Scenario: fmt.Sprintf("Browser (pid %d) commands Tab (pid %d) to start a video conference", b.App().Proc.PID(), tab.Proc.PID()),
+	}
+	tr.add("user", "display mgr", fmt.Sprintf("E_{Browser,t}: click at t=%s", fmtTime(clickT)), false)
+	tr.add("display mgr", "kernel PM", fmt.Sprintf("N_{Browser,t}: interaction notification (pid %d)", b.App().Proc.PID()), true)
+	tr.add("display mgr", "Browser", "click forwarded", false)
+	tr.add("Browser", "Tab", "\"start camera\" over shared memory; page fault propagates the stamp sender->receiver", true)
+	tr.add("Tab", "kernel PM", fmt.Sprintf("cam_{t+n}: open(%s) intercepted", cam), true)
+	tr.add("kernel PM", "Tab", "grant: Tab adopted Browser's interaction via P2", true)
+	tr.add("kernel PM", "display mgr", "V_{Tab,cam}: visual alert request", true)
+	tr.Outcome = "camera opened by the tab process; the shm write/read pair carried the interaction stamp"
+	return tr, nil
+}
+
+// Figure5 regenerates the visual alerts: one granted access and one
+// blocked attempt, each carrying the visual shared secret.
+func Figure5() (*Trace, error) {
+	sys, mic, _, err := core.BootDefault()
+	if err != nil {
+		return nil, err
+	}
+	app, err := sys.Launch("recorder")
+	if err != nil {
+		return nil, err
+	}
+	settle(sys)
+	if err := app.Click(); err != nil {
+		return nil, err
+	}
+	if _, err := app.OpenDevice(mic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	spy, err := sys.LaunchHeadless("spyware")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Kernel.Open(spy, mic, 1); err == nil {
+		return nil, fmt.Errorf("%w: spyware open granted", ErrScenario)
+	}
+	alerts := sys.X.AlertHistory()
+	if len(alerts) != 2 {
+		return nil, fmt.Errorf("%w: %d alerts", ErrScenario, len(alerts))
+	}
+
+	tr := &Trace{
+		Figure:   5,
+		Title:    "Sample visual alerts shown by Overhaul",
+		Scenario: "a granted microphone access and a blocked background attempt",
+	}
+	for i, a := range alerts {
+		authentic := "with shared secret"
+		if !sys.X.AuthenticAlert(a) {
+			authentic = "MISSING SECRET (forged?)"
+		}
+		tr.add("kernel PM", "overlay", fmt.Sprintf("alert %d: %q [%s]", i+1, a.Message, authentic), true)
+	}
+	tr.Outcome = fmt.Sprintf("both alerts rendered on the unobscurable overlay with secret %q", alerts[0].Secret)
+	return tr, nil
+}
+
+// Figure6 regenerates the full ICCCM copy & paste protocol with the
+// Overhaul-modified steps marked, by running it between two clients.
+func Figure6() (*Trace, error) {
+	sys, _, _, err := core.BootDefault()
+	if err != nil {
+		return nil, err
+	}
+	src, err := apps.NewEditor(sys, "source")
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := apps.NewEditor(sys, "target")
+	if err != nil {
+		return nil, err
+	}
+	settle(sys)
+	if err := src.Copy([]byte("the data")); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	data, err := tgt.Paste(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	if string(data) != "the data" {
+		return nil, fmt.Errorf("%w: pasted %q", ErrScenario, data)
+	}
+	srcPID, tgtPID := src.App().Proc.PID(), tgt.App().Proc.PID()
+
+	tr := &Trace{
+		Figure:   6,
+		Title:    "Protocol diagram for the X11 copy & paste operation",
+		Scenario: fmt.Sprintf("source client pid %d copies; target client pid %d pastes", srcPID, tgtPID),
+	}
+	tr.add("user", "source", "copy initiated by hardware input (verified authentic)", true)
+	tr.add("source", "X server", "SetSelection (permission query op=copy precedes service)", true)
+	tr.add("source", "X server", "GetSelectionOwner", false)
+	tr.add("X server", "source", "owner confirmed", false)
+	tr.add("user", "target", "paste initiated by hardware input (verified authentic)", true)
+	tr.add("target", "X server", "ConvertSelection (permission query op=paste precedes service)", true)
+	tr.add("X server", "source", "SelectionRequest", false)
+	tr.add("source", "X server", "ChangeProperty: data stored on requestor window (in-flight)", false)
+	tr.add("source", "X server", "SendEvent(SelectionNotify) — allowed only owner->pending requestor", true)
+	tr.add("X server", "target", "SelectionNotify delivered", false)
+	tr.add("target", "X server", "GetProperty (in-flight property readable only by the paste target)", true)
+	tr.add("X server", "target", "data returned", false)
+	tr.add("target", "X server", "DeleteProperty: transfer complete", false)
+	tr.Outcome = fmt.Sprintf("transfer completed, %q pasted; forged SelectionRequest / property snooping paths return BadAccess", data)
+	return tr, nil
+}
+
+// All returns every figure trace in order.
+func All() ([]*Trace, error) {
+	figs := []func() (*Trace, error){Figure1, Figure2, Figure3, Figure4, Figure5, Figure6}
+	out := make([]*Trace, 0, len(figs))
+	for i, f := range figs {
+		tr, err := f()
+		if err != nil {
+			return nil, fmt.Errorf("figure %d: %w", i+1, err)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

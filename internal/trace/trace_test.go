@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllFiguresRegenerate(t *testing.T) {
+	traces, err := All()
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(traces) != 6 {
+		t.Fatalf("traces = %d, want 6", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.Figure != i+1 {
+			t.Fatalf("figure %d out of order", tr.Figure)
+		}
+		if len(tr.Steps) == 0 || tr.Outcome == "" {
+			t.Fatalf("figure %d empty: %+v", tr.Figure, tr)
+		}
+		for j, s := range tr.Steps {
+			if s.Seq != j+1 {
+				t.Fatalf("figure %d step %d misnumbered: %d", tr.Figure, j+1, s.Seq)
+			}
+		}
+	}
+}
+
+func TestFigure6HasThirteenStepsWithPaperModifications(t *testing.T) {
+	tr, err := Figure6()
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	if len(tr.Steps) != 13 {
+		t.Fatalf("steps = %d, want 13 (the paper's full protocol)", len(tr.Steps))
+	}
+	// The paper bolds steps 1, 2, 5, 6 (input verification + queries);
+	// our reproduction additionally marks the two hardening changes
+	// (SendEvent screening, in-flight property restriction).
+	for _, mustMod := range []int{1, 2, 5, 6} {
+		if !tr.Steps[mustMod-1].Modified {
+			t.Fatalf("step %d not marked modified: %+v", mustMod, tr.Steps[mustMod-1])
+		}
+	}
+	for _, unmod := range []int{3, 4, 7, 8, 10, 12, 13} {
+		if tr.Steps[unmod-1].Modified {
+			t.Fatalf("step %d wrongly marked modified", unmod)
+		}
+	}
+}
+
+func TestFigure1MentionsDeltaAndAlert(t *testing.T) {
+	tr, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	text := tr.Render()
+	for _, want := range []string{"N_{A,t}", "mic_{t+n}", "δ", "alert", "netlink"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRenderMarksModifiedSteps(t *testing.T) {
+	tr := &Trace{Figure: 9, Title: "t", Scenario: "s", Outcome: "o"}
+	tr.add("a", "b", "plain", false)
+	tr.add("b", "c", "changed", true)
+	out := tr.Render()
+	lines := strings.Split(out, "\n")
+	var plainLine, modLine string
+	for _, l := range lines {
+		if strings.Contains(l, "plain") {
+			plainLine = l
+		}
+		if strings.Contains(l, "changed") {
+			modLine = l
+		}
+	}
+	if !strings.HasPrefix(modLine, " *") {
+		t.Fatalf("modified line not starred: %q", modLine)
+	}
+	if strings.HasPrefix(plainLine, " *") {
+		t.Fatalf("plain line starred: %q", plainLine)
+	}
+}
+
+func TestFigure5BothAlertKinds(t *testing.T) {
+	tr, err := Figure5()
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	text := tr.Render()
+	if !strings.Contains(text, "is recording from the microphone") {
+		t.Fatalf("granted alert missing:\n%s", text)
+	}
+	if !strings.Contains(text, "was blocked from recording the microphone") {
+		t.Fatalf("blocked alert missing:\n%s", text)
+	}
+}

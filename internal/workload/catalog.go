@@ -1,0 +1,158 @@
+// Package workload drives the paper's application-level evaluations:
+// the §V-C applicability & false-positive assessment over a pool of
+// real-world application behaviours, and the §V-D 21-day empirical
+// experiment pitting spying malware against a protected and an
+// unprotected machine.
+package workload
+
+// Category classifies an application's resource behaviour, matching the
+// §V-C pool composition.
+type Category int
+
+// Categories.
+const (
+	CatVideoConf Category = iota + 1
+	CatAudioEditor
+	CatVideoRecorder
+	CatAudioRecorder
+	CatScreenshot
+	CatScreencast
+	CatBrowser
+	CatClipboard
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatVideoConf:
+		return "video conferencing"
+	case CatAudioEditor:
+		return "audio/video editor"
+	case CatVideoRecorder:
+		return "video recorder"
+	case CatAudioRecorder:
+		return "audio recorder"
+	case CatScreenshot:
+		return "screenshot utility"
+	case CatScreencast:
+		return "screencasting tool"
+	case CatBrowser:
+		return "web browser"
+	case CatClipboard:
+		return "clipboard application"
+	default:
+		return "unknown"
+	}
+}
+
+// AppSpec describes one pool entry.
+type AppSpec struct {
+	Name     string   `json:"name"`
+	Category Category `json:"category"`
+	// AutostartProbe reproduces the Skype quirk: the app touches the
+	// camera on startup, before any interaction.
+	AutostartProbe bool `json:"autostartProbe,omitempty"`
+	// DelayedShot marks screenshot tools offering a delayed-capture
+	// option (the documented Overhaul limitation).
+	DelayedShot bool `json:"delayedShot,omitempty"`
+}
+
+// DevicePool returns the 58-application §V-C pool: video conferencing
+// tools, audio/video editors, recorders, screenshot utilities,
+// screencasting tools, and browsers running web video chat. Names follow
+// the paper's examples (Skype, Jitsi, Audacity, Kwave, Cheese, ZArt,
+// Shutter, GNOME Screenshot, Istanbul, recordMyDesktop, Firefox,
+// Chrome) padded with representative package names from the same
+// repository searches.
+func DevicePool() []AppSpec {
+	specs := []AppSpec{
+		{Name: "skype", Category: CatVideoConf, AutostartProbe: true},
+		{Name: "jitsi", Category: CatVideoConf},
+		{Name: "linphone", Category: CatVideoConf},
+		{Name: "ekiga", Category: CatVideoConf},
+		{Name: "mumble", Category: CatVideoConf},
+		{Name: "empathy", Category: CatVideoConf},
+		{Name: "pidgin", Category: CatVideoConf},
+		{Name: "hangouts-app", Category: CatVideoConf},
+
+		{Name: "audacity", Category: CatAudioEditor},
+		{Name: "kwave", Category: CatAudioEditor},
+		{Name: "ardour", Category: CatAudioEditor},
+		{Name: "sweep", Category: CatAudioEditor},
+		{Name: "rezound", Category: CatAudioEditor},
+		{Name: "jokosher", Category: CatAudioEditor},
+		{Name: "traverso", Category: CatAudioEditor},
+		{Name: "lmms", Category: CatAudioEditor},
+
+		{Name: "cheese", Category: CatVideoRecorder},
+		{Name: "zart", Category: CatVideoRecorder},
+		{Name: "guvcview", Category: CatVideoRecorder},
+		{Name: "kamoso", Category: CatVideoRecorder},
+		{Name: "webcamoid", Category: CatVideoRecorder},
+		{Name: "luvcview", Category: CatVideoRecorder},
+		{Name: "fswebcam", Category: CatVideoRecorder},
+		{Name: "motion", Category: CatVideoRecorder},
+
+		{Name: "arecord", Category: CatAudioRecorder},
+		{Name: "gnome-sound-recorder", Category: CatAudioRecorder},
+		{Name: "qarecord", Category: CatAudioRecorder},
+		{Name: "audio-recorder", Category: CatAudioRecorder},
+		{Name: "krecord", Category: CatAudioRecorder},
+		{Name: "sox-rec", Category: CatAudioRecorder},
+		{Name: "ffmpeg-alsa", Category: CatAudioRecorder},
+		{Name: "pulse-recorder", Category: CatAudioRecorder},
+
+		{Name: "shutter", Category: CatScreenshot, DelayedShot: true},
+		{Name: "gnome-screenshot", Category: CatScreenshot, DelayedShot: true},
+		{Name: "ksnapshot", Category: CatScreenshot, DelayedShot: true},
+		{Name: "scrot", Category: CatScreenshot},
+		{Name: "xfce4-screenshooter", Category: CatScreenshot, DelayedShot: true},
+		{Name: "import-im", Category: CatScreenshot},
+		{Name: "maim", Category: CatScreenshot},
+		{Name: "deepin-screenshot", Category: CatScreenshot},
+		{Name: "spectacle", Category: CatScreenshot, DelayedShot: true},
+		{Name: "flameshot", Category: CatScreenshot},
+
+		{Name: "istanbul", Category: CatScreencast},
+		{Name: "recordmydesktop", Category: CatScreencast},
+		{Name: "simplescreenrecorder", Category: CatScreencast},
+		{Name: "vokoscreen", Category: CatScreencast},
+		{Name: "kazam", Category: CatScreencast},
+		{Name: "byzanz", Category: CatScreencast},
+		{Name: "obs-studio", Category: CatScreencast},
+		{Name: "green-recorder", Category: CatScreencast},
+
+		{Name: "firefox", Category: CatBrowser},
+		{Name: "chrome", Category: CatBrowser},
+		{Name: "chromium", Category: CatBrowser},
+		{Name: "opera", Category: CatBrowser},
+		{Name: "vivaldi", Category: CatBrowser},
+		{Name: "qutebrowser", Category: CatBrowser},
+		{Name: "midori", Category: CatBrowser},
+		{Name: "epiphany", Category: CatBrowser},
+	}
+	return specs
+}
+
+// ClipboardPool returns the 50-application clipboard pool: office
+// programs, text and media editors, web browsers, email clients, and
+// terminal emulators (§V-C).
+func ClipboardPool() []AppSpec {
+	names := []string{
+		"libreoffice-writer", "libreoffice-calc", "libreoffice-impress",
+		"abiword", "gnumeric", "calligra-words", "onlyoffice", "wps-office",
+		"gedit", "kate", "mousepad", "leafpad", "nano-x", "emacs", "gvim",
+		"sublime-text", "atom", "geany", "bluefish", "brackets",
+		"gimp", "inkscape", "krita", "darktable", "shotwell", "audacity-clip",
+		"vlc", "mpv", "totem", "rhythmbox",
+		"firefox-clip", "chromium-clip", "opera-clip", "epiphany-clip",
+		"thunderbird", "evolution", "claws-mail", "kmail", "geary", "mutt-x",
+		"xterm", "gnome-terminal", "konsole", "xfce4-terminal", "urxvt",
+		"alacritty", "terminator", "tilix", "st-term", "kitty",
+	}
+	specs := make([]AppSpec, 0, len(names))
+	for _, n := range names {
+		specs = append(specs, AppSpec{Name: n, Category: CatClipboard})
+	}
+	return specs
+}

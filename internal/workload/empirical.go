@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"overhaul/internal/apps"
+	"overhaul/internal/core"
+	"overhaul/internal/devfs"
+	"overhaul/internal/malware"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+// EmpiricalConfig parameterises the §V-D experiment.
+type EmpiricalConfig struct {
+	Days int   // zero selects 21, the paper's duration
+	Seed int64 // drives the user activity and malware schedule
+}
+
+// MachineReport summarises one machine after the experiment.
+type MachineReport struct {
+	Protected bool `json:"protected"`
+	Days      int  `json:"days"`
+
+	// Malware outcome.
+	Malware malware.Report `json:"malware"`
+
+	// Legitimate activity outcome.
+	LegitGrants  map[monitor.Op]int `json:"legitGrants"`  // granted operations by legit apps
+	LegitDenials int                `json:"legitDenials"` // false positives (must be 0)
+
+	// DiskLootFiles is what a forensic inspection of the machine finds
+	// in the sample's on-disk hiding place.
+	DiskLootFiles int `json:"diskLootFiles"`
+}
+
+// EmpiricalReport pairs the two machines.
+type EmpiricalReport struct {
+	ProtectedMachine   MachineReport `json:"protectedMachine"`
+	UnprotectedMachine MachineReport `json:"unprotectedMachine"`
+}
+
+// ErrEmpirical wraps environment failures.
+var ErrEmpirical = errors.New("workload: empirical run failed")
+
+// RunEmpirical reproduces the 21-day experiment: identical daily
+// activity and spyware schedules run on an Overhaul machine and an
+// unmodified one; the report compares what the malware collected and
+// whether any legitimate application was ever blocked.
+func RunEmpirical(cfg EmpiricalConfig) (EmpiricalReport, error) {
+	days := cfg.Days
+	if days <= 0 {
+		days = 21
+	}
+	protected, err := runMachine(true, days, cfg.Seed)
+	if err != nil {
+		return EmpiricalReport{}, fmt.Errorf("%w: protected: %v", ErrEmpirical, err)
+	}
+	unprotected, err := runMachine(false, days, cfg.Seed)
+	if err != nil {
+		return EmpiricalReport{}, fmt.Errorf("%w: unprotected: %v", ErrEmpirical, err)
+	}
+	return EmpiricalReport{ProtectedMachine: protected, UnprotectedMachine: unprotected}, nil
+}
+
+// machine bundles the long-running simulated desktop.
+type machine struct {
+	sys      *core.System
+	mic, cam string
+	video    *apps.VideoConf
+	shot     *apps.Screenshot
+	recorder *apps.Recorder
+	pwMgr    *apps.Editor
+	mail     *apps.Editor
+	spy      *malware.Spyware
+	report   MachineReport
+}
+
+// runMachine drives one machine for the full duration.
+func runMachine(protected bool, days int, seed int64) (MachineReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sys, err := core.Boot(core.Options{Enforce: protected, AlertSecret: "tabby-cat"})
+	if err != nil {
+		return MachineReport{}, err
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		return MachineReport{}, err
+	}
+	cam, err := sys.Helper.Attach(devfs.ClassCamera)
+	if err != nil {
+		return MachineReport{}, err
+	}
+
+	m := &machine{sys: sys, mic: mic, cam: cam}
+	m.report = MachineReport{
+		Protected:   protected,
+		Days:        days,
+		LegitGrants: make(map[monitor.Op]int),
+	}
+	if m.video, err = apps.NewVideoConf(sys, "jitsi", mic, cam, false); err != nil {
+		return MachineReport{}, err
+	}
+	if m.shot, err = apps.NewScreenshot(sys, "gnome-screenshot"); err != nil {
+		return MachineReport{}, err
+	}
+	if m.recorder, err = apps.NewRecorder(sys, "recordmydesktop", ""); err != nil {
+		return MachineReport{}, err
+	}
+	if m.pwMgr, err = apps.NewEditor(sys, "keepassx"); err != nil {
+		return MachineReport{}, err
+	}
+	if m.mail, err = apps.NewEditor(sys, "thunderbird"); err != nil {
+		return MachineReport{}, err
+	}
+	sys.Settle(2 * xserver.DefaultVisibilityThreshold)
+	if m.spy, err = malware.Install(sys, mic); err != nil {
+		return MachineReport{}, err
+	}
+
+	for day := 0; day < days; day++ {
+		if err := m.runDay(rng, protected); err != nil {
+			return MachineReport{}, fmt.Errorf("day %d: %v", day+1, err)
+		}
+	}
+	m.report.Malware = m.spy.Report()
+	files, err := m.spy.DiskLoot()
+	if err != nil {
+		return MachineReport{}, err
+	}
+	m.report.DiskLootFiles = len(files)
+	return m.report, nil
+}
+
+// runDay simulates one day of mixed legitimate use and spying.
+func (m *machine) runDay(rng *rand.Rand, protected bool) error {
+	// Morning: a video call.
+	if err := m.video.PlaceCall(); err != nil {
+		m.report.LegitDenials++
+	} else {
+		m.report.LegitGrants[monitor.OpMic]++
+		m.report.LegitGrants[monitor.OpCam]++
+	}
+	m.hoursPass(rng, 2)
+
+	// The user copies a password from the password manager into email.
+	secret := fmt.Sprintf("pw-%04d", rng.Intn(10000))
+	if err := m.pwMgr.Copy([]byte(secret)); err != nil {
+		m.report.LegitDenials++
+	} else if _, err := m.mail.Paste(m.pwMgr); err != nil {
+		m.report.LegitDenials++
+	} else {
+		m.report.LegitGrants[monitor.OpCopy]++
+		m.report.LegitGrants[monitor.OpPaste]++
+	}
+	m.hoursPass(rng, 3)
+
+	// Afternoon: a screenshot and some desktop recording.
+	if _, err := m.shot.Capture(); err != nil {
+		m.report.LegitDenials++
+	} else {
+		m.report.LegitGrants[monitor.OpScreen]++
+	}
+	if err := m.recorder.Record(); err != nil {
+		m.report.LegitDenials++
+	} else {
+		m.report.LegitGrants[monitor.OpScreen]++
+	}
+
+	// The spyware fires several times a day at random points. On the
+	// unprotected machine the display server has no policy, so the
+	// clipboard owner serves it data like any other client.
+	attempts := 3 + rng.Intn(3)
+	for i := 0; i < attempts; i++ {
+		m.hoursPass(rng, 1)
+		// The password manager serves the selection like any X client
+		// would; under Overhaul it is never even asked, because the
+		// spyware's ConvertSelection is denied first.
+		m.spy.StealClipboard(m.pwMgr.ServePaste)
+		m.spy.StealScreen()
+		m.spy.StealAudio()
+	}
+	m.hoursPass(rng, 10) // overnight
+	return nil
+}
+
+// hoursPass advances simulated time by roughly the given hours.
+func (m *machine) hoursPass(rng *rand.Rand, hours int) {
+	jitter := time.Duration(rng.Intn(3600)) * time.Second
+	m.sys.Settle(time.Duration(hours)*time.Hour + jitter)
+}

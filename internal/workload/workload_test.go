@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"overhaul/internal/malware"
+	"overhaul/internal/monitor"
+)
+
+func TestPoolSizesMatchPaper(t *testing.T) {
+	if got := len(DevicePool()); got != 58 {
+		t.Fatalf("device pool = %d apps, paper tested 58", got)
+	}
+	if got := len(ClipboardPool()); got != 50 {
+		t.Fatalf("clipboard pool = %d apps, paper tested 50", got)
+	}
+}
+
+func TestPoolNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range append(DevicePool(), ClipboardPool()...) {
+		if seen[s.Name] {
+			t.Fatalf("duplicate pool entry %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestApplicabilityMatchesPaper(t *testing.T) {
+	rep, err := RunApplicability()
+	if err != nil {
+		t.Fatalf("RunApplicability: %v", err)
+	}
+	if rep.Tested != 58 {
+		t.Fatalf("tested = %d, want 58", rep.Tested)
+	}
+	// Paper: no malfunctioning applications.
+	if rep.Malfunctioning != 0 {
+		for _, r := range rep.Results {
+			if !r.Worked {
+				t.Logf("broken: %s (%s)", r.Spec.Name, r.Spec.Category)
+			}
+		}
+		t.Fatalf("malfunctioning = %d, want 0", rep.Malfunctioning)
+	}
+	// Paper: exactly one spurious alert — Skype's startup camera probe.
+	if rep.SpuriousAlerts != 1 {
+		t.Fatalf("spurious alerts = %d, want 1 (skype autostart)", rep.SpuriousAlerts)
+	}
+	// Paper: delayed screenshots are a known limitation.
+	if len(rep.Limitations) == 0 {
+		t.Fatal("expected delayed-screenshot limitations")
+	}
+	for _, l := range rep.Limitations {
+		if !strings.Contains(l, "delayed screenshot") {
+			t.Fatalf("unexpected limitation: %s", l)
+		}
+	}
+}
+
+func TestClipboardAssessmentMatchesPaper(t *testing.T) {
+	rep, err := RunClipboard()
+	if err != nil {
+		t.Fatalf("RunClipboard: %v", err)
+	}
+	if rep.Tested != 50 {
+		t.Fatalf("tested = %d, want 50", rep.Tested)
+	}
+	if rep.FalsePositives != 0 {
+		t.Fatalf("false positives = %d, want 0", rep.FalsePositives)
+	}
+	if rep.Misbehaviour != 0 {
+		t.Fatalf("misbehaviour = %d, want 0", rep.Misbehaviour)
+	}
+	if rep.AlertsShown != 0 {
+		t.Fatalf("clipboard alerts = %d, want 0 (silent by design)", rep.AlertsShown)
+	}
+}
+
+func TestEmpiricalMatchesPaper(t *testing.T) {
+	rep, err := RunEmpirical(EmpiricalConfig{Days: 21, Seed: 42})
+	if err != nil {
+		t.Fatalf("RunEmpirical: %v", err)
+	}
+	p, u := rep.ProtectedMachine, rep.UnprotectedMachine
+
+	// Protected machine: the malware collected nothing in 21 days.
+	if got := p.Malware.TotalStolen(); got != 0 {
+		t.Fatalf("protected machine leaked %d records", got)
+	}
+	// No legitimate application was ever blocked.
+	if p.LegitDenials != 0 {
+		t.Fatalf("protected machine false positives = %d, want 0", p.LegitDenials)
+	}
+	// Legitimate use kept working daily: mic/cam/screen/clipboard all
+	// granted 21+ times.
+	for _, op := range []monitor.Op{monitor.OpMic, monitor.OpCam, monitor.OpScreen, monitor.OpCopy, monitor.OpPaste} {
+		if p.LegitGrants[op] < 21 {
+			t.Fatalf("protected grants[%s] = %d, want >= 21", op, p.LegitGrants[op])
+		}
+	}
+
+	// Unprotected machine: the same malware stole everything it tried.
+	if u.Malware.TotalStolen() == 0 {
+		t.Fatal("unprotected machine leaked nothing; the attack should succeed")
+	}
+	for _, a := range []struct {
+		name string
+		att  malware.Attempt
+	}{
+		{"clipboard", u.Malware.Clipboard},
+		{"screen", u.Malware.Screen},
+		{"audio", u.Malware.Audio},
+	} {
+		if a.att.Successes == 0 {
+			t.Fatalf("unprotected %s thefts = 0, want > 0 (tries %d)", a.name, a.att.Tries)
+		}
+	}
+	// Identical schedules: both machines saw the same number of tries.
+	if p.Malware.Clipboard.Tries != u.Malware.Clipboard.Tries {
+		t.Fatalf("schedules diverged: %d vs %d clipboard tries",
+			p.Malware.Clipboard.Tries, u.Malware.Clipboard.Tries)
+	}
+	// The stolen clipboard data includes a copied password.
+	foundPassword := false
+	for _, l := range u.Malware.Loot {
+		if l.Kind == malware.LootClipboard && strings.HasPrefix(string(l.Data), "pw-") {
+			foundPassword = true
+		}
+	}
+	if !foundPassword {
+		t.Fatal("no password found in unprotected loot")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	cats := []Category{CatVideoConf, CatAudioEditor, CatVideoRecorder, CatAudioRecorder,
+		CatScreenshot, CatScreencast, CatBrowser, CatClipboard, Category(99)}
+	for _, c := range cats {
+		if c.String() == "" {
+			t.Fatalf("empty name for category %d", c)
+		}
+	}
+}
+
+func TestEmpiricalDeterministicPerSeed(t *testing.T) {
+	a, err := RunEmpirical(EmpiricalConfig{Days: 4, Seed: 9})
+	if err != nil {
+		t.Fatalf("RunEmpirical: %v", err)
+	}
+	b, err := RunEmpirical(EmpiricalConfig{Days: 4, Seed: 9})
+	if err != nil {
+		t.Fatalf("RunEmpirical: %v", err)
+	}
+	if a.UnprotectedMachine.Malware.TotalStolen() != b.UnprotectedMachine.Malware.TotalStolen() {
+		t.Fatalf("same seed diverged: %d vs %d",
+			a.UnprotectedMachine.Malware.TotalStolen(), b.UnprotectedMachine.Malware.TotalStolen())
+	}
+	if a.ProtectedMachine.Malware.Clipboard.Tries != b.ProtectedMachine.Malware.Clipboard.Tries {
+		t.Fatal("schedules diverged across identical runs")
+	}
+}
+
+func TestEmpiricalDifferentSeedsDiffer(t *testing.T) {
+	a, err := RunEmpirical(EmpiricalConfig{Days: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunEmpirical: %v", err)
+	}
+	b, err := RunEmpirical(EmpiricalConfig{Days: 4, Seed: 2})
+	if err != nil {
+		t.Fatalf("RunEmpirical: %v", err)
+	}
+	// Different activity schedules (attempt counts are randomized per
+	// day); it would be suspicious if they matched exactly.
+	if a.UnprotectedMachine.Malware.Clipboard.Tries == b.UnprotectedMachine.Malware.Clipboard.Tries {
+		t.Log("seeds produced equal try counts; acceptable but unusual")
+	}
+	// The security outcome is seed-independent.
+	if a.ProtectedMachine.Malware.TotalStolen() != 0 || b.ProtectedMachine.Malware.TotalStolen() != 0 {
+		t.Fatal("protected machine leaked under some seed")
+	}
+}

@@ -1,0 +1,87 @@
+package xproto
+
+import (
+	"fmt"
+
+	"overhaul/internal/xserver"
+)
+
+// Reply is the server's answer to a dispatched request.
+type Reply struct {
+	Window xserver.WindowID // CreateWindow result
+	Data   []byte           // GetProperty / GetImage result
+}
+
+// Dispatch applies a decoded request on behalf of the given client
+// connection, exactly as the display server's request loop would. All
+// Overhaul mediation happens inside the server methods; Dispatch adds no
+// policy of its own.
+func Dispatch(c *xserver.Client, req Request) (Reply, error) {
+	switch req.Op {
+	case OpCreateWindow:
+		id, err := c.CreateWindow(int(req.X), int(req.Y), int(req.W), int(req.H))
+		return Reply{Window: id}, err
+
+	case OpMapWindow:
+		return Reply{}, c.MapWindow(req.Window)
+
+	case OpUnmapWindow:
+		return Reply{}, c.UnmapWindow(req.Window)
+
+	case OpConfigureWindow:
+		return Reply{}, c.ConfigureWindow(req.Window, xserver.Geometry{
+			X: int(req.X), Y: int(req.Y), W: int(req.W), H: int(req.H),
+		})
+
+	case OpDraw:
+		return Reply{}, c.Draw(req.Window, req.Data)
+
+	case OpSetSelection:
+		return Reply{}, c.SetSelection(req.Name, req.Window)
+
+	case OpConvertSelection:
+		return Reply{}, c.ConvertSelection(req.Name, req.Target, req.Property, req.Window)
+
+	case OpChangeProperty:
+		return Reply{}, c.ChangeProperty(req.Window, req.Property, req.Data)
+
+	case OpGetProperty:
+		data, err := c.GetProperty(req.Window, req.Property)
+		return Reply{Data: data}, err
+
+	case OpDeleteProperty:
+		return Reply{}, c.DeleteProperty(req.Window, req.Property)
+
+	case OpSendEvent:
+		ev := xserver.Event{
+			Type:      xserver.EventType(req.EventType),
+			Selection: req.Name,
+			Target:    req.Target,
+			Property:  req.Property,
+			Key:       string(req.Data),
+			X:         int(req.X),
+			Y:         int(req.Y),
+		}
+		return Reply{}, c.SendEvent(req.Window2, ev)
+
+	case OpGetImage:
+		data, err := c.GetImage(req.Window)
+		return Reply{Data: data}, err
+
+	case OpCopyArea:
+		return Reply{}, c.CopyArea(req.Window, req.Window2)
+
+	default:
+		return Reply{}, fmt.Errorf("%w: %v", ErrBadOpcode, req.Op)
+	}
+}
+
+// HandleWire decodes one wire message and dispatches it — the full
+// untrusted-bytes-to-server path.
+func HandleWire(c *xserver.Client, msg []byte) (Reply, error) {
+	req, err := Decode(msg)
+	if err != nil {
+		return Reply{}, err
+	}
+	return Dispatch(c, req)
+}

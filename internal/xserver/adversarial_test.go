@@ -1,0 +1,233 @@
+package xserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"overhaul/internal/monitor"
+)
+
+// TestOwnerCannotNotifyWrongWindow: even the legitimate selection owner
+// may only SendEvent a SelectionNotify to the pending requestor — not to
+// an arbitrary third window.
+func TestOwnerCannotNotifyWrongWindow(t *testing.T) {
+	e := newXEnv(t, true)
+	src := e.connect(t, 1, "owner")
+	tgt := e.connect(t, 2, "target")
+	bystander := e.connect(t, 3, "bystander")
+	srcWin := e.mapVisibleWindow(t, src, 0, 0, 100, 100)
+	tgtWin := e.mapVisibleWindow(t, tgt, 200, 0, 100, 100)
+	byWin := e.mapVisibleWindow(t, bystander, 400, 0, 100, 100)
+
+	runCopy(t, e, src, srcWin)
+	e.interactWith(t, tgtWin)
+	if err := tgt.ConvertSelection(clipboard, "UTF8_STRING", "P", tgtWin); err != nil {
+		t.Fatalf("ConvertSelection: %v", err)
+	}
+	notify := Event{Type: SelectionNotify, Selection: clipboard, Property: "P"}
+	if err := src.SendEvent(byWin, notify); !errors.Is(err, ErrBadAccess) {
+		t.Fatalf("notify to bystander = %v, want ErrBadAccess", err)
+	}
+	// The correct destination still works.
+	if err := src.SendEvent(tgtWin, notify); err != nil {
+		t.Fatalf("notify to requestor = %v", err)
+	}
+}
+
+// TestNotifyBeforeConvertBlocked: a SelectionNotify with no pending
+// transfer is forged by definition.
+func TestNotifyBeforeConvertBlocked(t *testing.T) {
+	e := newXEnv(t, true)
+	src := e.connect(t, 1, "owner")
+	tgt := e.connect(t, 2, "target")
+	srcWin := e.mapVisibleWindow(t, src, 0, 0, 100, 100)
+	tgtWin := e.mapVisibleWindow(t, tgt, 200, 0, 100, 100)
+	runCopy(t, e, src, srcWin)
+	notify := Event{Type: SelectionNotify, Selection: clipboard, Property: "P"}
+	if err := src.SendEvent(tgtWin, notify); !errors.Is(err, ErrBadAccess) {
+		t.Fatalf("notify with no pending transfer = %v, want ErrBadAccess", err)
+	}
+}
+
+// TestSelectionOwnerDisconnectClearsOwnership verifies the selection is
+// torn down with its owner, so stale owners cannot be impersonated.
+func TestSelectionOwnerDisconnectClearsOwnership(t *testing.T) {
+	e := newXEnv(t, true)
+	src := e.connect(t, 1, "owner")
+	srcWin := e.mapVisibleWindow(t, src, 0, 0, 100, 100)
+	runCopy(t, e, src, srcWin)
+	if err := src.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	other := e.connect(t, 2, "other")
+	owner, err := other.GetSelectionOwner(clipboard)
+	if err != nil || owner != Root {
+		t.Fatalf("owner after disconnect = %d, %v; want Root", owner, err)
+	}
+}
+
+// TestRapidMapUnmapNeverEarnsTrust: a window cycling visibility faster
+// than the threshold never generates notifications no matter how many
+// cycles it performs.
+func TestRapidMapUnmapNeverEarnsTrust(t *testing.T) {
+	e := newXEnv(t, true)
+	mal := e.connect(t, 666, "flasher")
+	win, err := mal.CreateWindow(0, 0, 300, 300)
+	if err != nil {
+		t.Fatalf("CreateWindow: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := mal.MapWindow(win); err != nil {
+			t.Fatalf("MapWindow: %v", err)
+		}
+		e.clk.Advance(200 * time.Millisecond) // below the 1 s threshold
+		e.srv.HardwareClick(10, 10)
+		if err := mal.UnmapWindow(win); err != nil {
+			t.Fatalf("UnmapWindow: %v", err)
+		}
+		e.clk.Advance(5 * time.Second)
+	}
+	if got := e.pol.notificationCount(); got != 0 {
+		t.Fatalf("notifications = %d, want 0", got)
+	}
+}
+
+// TestInFlightClearedAfterDelete: once the paste target deletes the
+// property, the transfer is over and the property name becomes ordinary
+// again (a new value is readable by anyone on a vanilla basis).
+func TestInFlightClearedAfterDelete(t *testing.T) {
+	e := newXEnv(t, true)
+	src := e.connect(t, 1, "src")
+	tgt := e.connect(t, 2, "tgt")
+	srcWin := e.mapVisibleWindow(t, src, 0, 0, 100, 100)
+	tgtWin := e.mapVisibleWindow(t, tgt, 200, 0, 100, 100)
+	runCopy(t, e, src, srcWin)
+	got := runPaste(t, e, src, tgt, tgtWin, []byte("data"))
+	if string(got) != "data" {
+		t.Fatalf("pasted %q", got)
+	}
+	// The target reuses the property name for its own purposes; a
+	// third client can read it now (ordinary X semantics).
+	if err := tgt.ChangeProperty(tgtWin, "XSEL_DATA", []byte("public")); err != nil {
+		t.Fatalf("ChangeProperty: %v", err)
+	}
+	third := e.connect(t, 3, "third")
+	data, err := third.GetProperty(tgtWin, "XSEL_DATA")
+	if err != nil || string(data) != "public" {
+		t.Fatalf("post-transfer GetProperty = %q, %v", data, err)
+	}
+}
+
+// TestSecondTransferAfterFirstCompletes ensures the pending state fully
+// recycles.
+func TestSecondTransferAfterFirstCompletes(t *testing.T) {
+	e := newXEnv(t, true)
+	src := e.connect(t, 1, "src")
+	tgt := e.connect(t, 2, "tgt")
+	srcWin := e.mapVisibleWindow(t, src, 0, 0, 100, 100)
+	tgtWin := e.mapVisibleWindow(t, tgt, 200, 0, 100, 100)
+	runCopy(t, e, src, srcWin)
+	for i := 0; i < 3; i++ {
+		payload := []byte(fmt.Sprintf("round-%d", i))
+		if got := runPaste(t, e, src, tgt, tgtWin, payload); string(got) != string(payload) {
+			t.Fatalf("round %d pasted %q", i, got)
+		}
+	}
+}
+
+// Property: arbitrary sequences of operations on a client's *own*
+// window never produce BadAccess (ownership is sufficient authority).
+func TestOwnWindowOpsNeverBadAccess(t *testing.T) {
+	e := newXEnv(t, true)
+	c := e.connect(t, 1, "c")
+	win := e.mapVisibleWindow(t, c, 0, 0, 100, 100)
+
+	f := func(ops []uint8) bool {
+		for _, op := range ops {
+			var err error
+			switch op % 6 {
+			case 0:
+				err = c.MapWindow(win)
+			case 1:
+				err = c.RaiseWindow(win)
+			case 2:
+				err = c.Draw(win, []byte{op})
+			case 3:
+				err = c.ChangeProperty(win, "X", []byte{op})
+			case 4:
+				_, err = c.GetImage(win)
+			case 5:
+				err = c.SelectPropertyEvents(win)
+			}
+			if errors.Is(err, ErrBadAccess) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentClientsSmoke runs input, drawing, and capture from
+// several goroutines to shake out races (run with -race).
+func TestConcurrentClientsSmoke(t *testing.T) {
+	e := newXEnv(t, true)
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := e.srv.Connect(100+i, fmt.Sprintf("c%d", i))
+			if err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			win, err := c.CreateWindow(i*100, 0, 90, 90)
+			if err != nil {
+				t.Errorf("CreateWindow: %v", err)
+				return
+			}
+			if err := c.MapWindow(win); err != nil {
+				t.Errorf("MapWindow: %v", err)
+				return
+			}
+			for j := 0; j < 50; j++ {
+				_ = c.Draw(win, []byte{byte(j)})
+				_, _ = c.GetImage(win)
+				e.srv.HardwareClick(i*100+5, 5)
+				c.DrainEvents()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestAlertHistoryBounded verifies the overlay record cap holds under an
+// alert flood from many distinct processes (coalescing does not apply
+// across PIDs).
+func TestAlertHistoryBounded(t *testing.T) {
+	e := newXEnv(t, true)
+	for pid := 0; pid < 5000; pid++ {
+		e.srv.ShowAlert(alertRequestFor(pid))
+	}
+	if got := len(e.srv.AlertHistory()); got > 4096 {
+		t.Fatalf("alert history = %d, want <= 4096", got)
+	}
+	if s := e.srv.StatsSnapshot(); s.AlertsShown != 5000 {
+		t.Fatalf("AlertsShown = %d, want 5000", s.AlertsShown)
+	}
+}
+
+// alertRequestFor builds a distinct alert request per pid.
+func alertRequestFor(pid int) (req monitor.AlertRequest) {
+	req.PID = pid
+	req.Op = OpMic
+	return req
+}

@@ -1,0 +1,139 @@
+package xserver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"overhaul/internal/monitor"
+)
+
+// Alert is one trusted-output overlay notification. Alerts render on a
+// dedicated overlay stacked above every client window; clients have no
+// request that can move, obscure, or close them, and each carries the
+// user's visual shared secret so forged look-alike windows are
+// distinguishable (paper Figure 5).
+type Alert struct {
+	Message string
+	Secret  string // the visual shared secret (authentic alerts only)
+	PID     int
+	Op      Op
+	Blocked bool // true when the alert reports a *blocked* attempt
+	ShownAt time.Time
+	Expires time.Time
+}
+
+// ErrUntrustedAlert is returned when something other than the kernel
+// channel attempts to raise an alert.
+var ErrUntrustedAlert = errors.New("xserver: alert source not the kernel channel")
+
+// alertMessage renders the alert text the user sees.
+func alertMessage(pid int, op Op, blocked bool) string {
+	var what string
+	switch op {
+	case monitor.OpMic:
+		what = "is recording from the microphone"
+	case monitor.OpCam:
+		what = "is using the camera"
+	case monitor.OpScreen:
+		what = "captured the screen"
+	case monitor.OpCopy:
+		what = "copied to the clipboard"
+	case monitor.OpPaste:
+		what = "read the clipboard"
+	default:
+		what = fmt.Sprintf("accessed a protected device (%s)", op)
+	}
+	if blocked {
+		switch op {
+		case monitor.OpMic:
+			what = "was blocked from recording the microphone"
+		case monitor.OpCam:
+			what = "was blocked from using the camera"
+		case monitor.OpScreen:
+			what = "was blocked from capturing the screen"
+		default:
+			what = fmt.Sprintf("was blocked from a protected device (%s)", op)
+		}
+	}
+	return fmt.Sprintf("Application [pid %d] %s", pid, what)
+}
+
+// ShowAlert renders a trusted alert for a granted sensitive access
+// (V_{A,op}). It is invoked by the Overhaul core when the kernel's
+// alert request arrives over the authenticated netlink channel; nothing
+// reachable from a Client can call it.
+func (s *Server) ShowAlert(req monitor.AlertRequest) Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.showAlertLocked(req.PID, req.Op, req.Blocked)
+}
+
+// showAlertLocked renders an alert with s.mu already held — used both by
+// ShowAlert and by the capture path, where the display manager raises
+// the alert itself because it can identify the requesting process
+// without kernel assistance (§III-C).
+func (s *Server) showAlertLocked(pid int, op Op, blocked bool) Alert {
+	now := s.clk.Now()
+	// Coalesce: an identical alert still on screen is extended rather
+	// than re-rendered — the overlay shows one notification per
+	// ongoing activity, not one per system call.
+	if n := len(s.alerts); n > 0 {
+		last := &s.alerts[n-1]
+		if last.PID == pid && last.Op == op && last.Blocked == blocked && now.Before(last.Expires) {
+			last.Expires = now.Add(s.cfg.AlertDuration)
+			return *last
+		}
+	}
+	a := Alert{
+		Message: alertMessage(pid, op, blocked),
+		Secret:  s.cfg.AlertSecret,
+		PID:     pid,
+		Op:      op,
+		Blocked: blocked,
+		ShownAt: now,
+		Expires: now.Add(s.cfg.AlertDuration),
+	}
+	if len(s.alerts) >= maxAlertHistory {
+		s.alerts = s.alerts[1:]
+	}
+	s.alerts = append(s.alerts, a)
+	s.stats.AlertsShown++
+	return a
+}
+
+// maxAlertHistory bounds the retained alert records; the on-screen
+// overlay only ever shows the last few seconds anyway.
+const maxAlertHistory = 4096
+
+// ActiveAlerts returns the alerts currently on screen. The overlay sits
+// above the entire stacking order: no window id exists for it, so no
+// client request can address — let alone obscure — it.
+func (s *Server) ActiveAlerts() []Alert {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Alert, 0, len(s.alerts))
+	for _, a := range s.alerts {
+		if now.Before(a.Expires) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AlertHistory returns every alert ever shown.
+func (s *Server) AlertHistory() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Alert, len(s.alerts))
+	copy(out, s.alerts)
+	return out
+}
+
+// AuthenticAlert reports whether a rendered notification carries the
+// user's visual shared secret — how a user (or a test) tells a real
+// Overhaul alert from a client window mimicking one.
+func (s *Server) AuthenticAlert(a Alert) bool {
+	return s.cfg.AlertSecret != "" && a.Secret == s.cfg.AlertSecret
+}

@@ -1,0 +1,138 @@
+package xserver
+
+import "fmt"
+
+// captureWindow returns a copy of the target window's content; target
+// Root composes every mapped window bottom-to-top, which is what a full
+// screenshot observes. Requires s.mu held.
+func (s *Server) captureWindow(target WindowID) ([]byte, error) {
+	if target == Root {
+		total := 0
+		for _, id := range s.stacking {
+			if w := s.windows[id]; w != nil && w.mapped {
+				total += len(w.content)
+			}
+		}
+		out := make([]byte, 0, total)
+		for _, id := range s.stacking {
+			if w := s.windows[id]; w != nil && w.mapped {
+				out = append(out, w.content...)
+			}
+		}
+		return out, nil
+	}
+	w, err := s.lookupWindow(target)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(w.content))
+	copy(out, w.content)
+	return out, nil
+}
+
+// getImage implements both GetImage and XShmGetImage: they differ only
+// in transport (the MIT-SHM extension hands pixels over shared memory),
+// and both are mediated identically by Overhaul.
+func (c *Client) getImage(req string, target WindowID) ([]byte, error) {
+	if !c.alive() {
+		return nil, ErrDisconnected
+	}
+	s := c.srv
+	s.wire()
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.stats.CaptureRequests++
+
+	// Capturing your own window is never mediated: the data is already
+	// yours.
+	ownWindow := false
+	if target != Root {
+		w, err := s.lookupWindow(target)
+		if err != nil {
+			return nil, err
+		}
+		ownWindow = w.owner == c
+	}
+	if !ownWindow {
+		if !s.query(c.pid, OpScreen, now) {
+			s.stats.CaptureDenied++
+			return nil, fmt.Errorf("%s window %d by pid %d: %w", req, target, c.pid, ErrBadAccess)
+		}
+		if s.policy != nil {
+			s.showAlertLocked(c.pid, OpScreen, false)
+		}
+	}
+	return s.captureWindow(target)
+}
+
+// GetImage is the core protocol request for reading display contents:
+// the full screen (Root) or a specific window. Under Overhaul the
+// request is granted only when correlated with preceding user input.
+func (c *Client) GetImage(target WindowID) ([]byte, error) {
+	return c.getImage("GetImage", target)
+}
+
+// XShmGetImage is the MIT shared-memory variant of GetImage; Overhaul
+// interposes on it identically (§IV-A, "Display contents").
+func (c *Client) XShmGetImage(target WindowID) ([]byte, error) {
+	return c.getImage("XShmGetImage", target)
+}
+
+// CopyArea copies a rectangle of display content between two drawables.
+// Unlike GetImage it is heavily used for ordinary drawing, so Overhaul
+// first inspects the buffer owners: a client copying within its own
+// windows proceeds unmediated; copying from a *foreign* window (or the
+// root) is screen capture by another name and goes through the same
+// input-correlation check.
+func (c *Client) CopyArea(src, dst WindowID) error {
+	if !c.alive() {
+		return ErrDisconnected
+	}
+	s := c.srv
+	s.wire()
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	dstW, err := s.lookupWindow(dst)
+	if err != nil {
+		return err
+	}
+	if dstW.owner != c {
+		return fmt.Errorf("CopyArea to window %d: %w", dst, ErrBadAccess)
+	}
+
+	sameOwner := false
+	if src != Root {
+		srcW, err := s.lookupWindow(src)
+		if err != nil {
+			return err
+		}
+		sameOwner = srcW.owner == dstW.owner
+	}
+	if !sameOwner {
+		s.stats.CaptureRequests++
+		if !s.query(c.pid, OpScreen, now) {
+			s.stats.CaptureDenied++
+			return fmt.Errorf("CopyArea from window %d by pid %d: %w", src, c.pid, ErrBadAccess)
+		}
+		if s.policy != nil {
+			s.showAlertLocked(c.pid, OpScreen, false)
+		}
+	}
+
+	content, err := s.captureWindow(src)
+	if err != nil {
+		return err
+	}
+	dstW.content = content
+	return nil
+}
+
+// CopyPlane is the bit-plane variant of CopyArea; Overhaul treats it
+// identically.
+func (c *Client) CopyPlane(src, dst WindowID) error {
+	return c.CopyArea(src, dst)
+}

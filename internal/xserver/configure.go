@@ -1,0 +1,101 @@
+package xserver
+
+import "fmt"
+
+// Geometry describes a window's position and size.
+type Geometry struct {
+	X, Y, W, H int
+}
+
+// ConfigureWindow moves and/or resizes a window (the core X
+// ConfigureWindow request). Movement does not reset the visibility
+// clock: the clickjacking defence keys on how long the window has been
+// *visible*, and a moving window stays visible — but it does let a
+// malicious client teleport a long-mapped window under the cursor, which
+// is why the defence alone cannot stop all interaction stealing (the
+// paper's residual mimicry caveat, §III-E).
+func (c *Client) ConfigureWindow(id WindowID, g Geometry) error {
+	if !c.alive() {
+		return ErrDisconnected
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("configure window %d: %dx%d: %w", id, g.W, g.H, ErrBadMatch)
+	}
+	s := c.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupWindow(id)
+	if err != nil {
+		return err
+	}
+	if w.owner != c {
+		return fmt.Errorf("configure window %d: %w", id, ErrBadAccess)
+	}
+	w.x, w.y, w.w, w.h = g.X, g.Y, g.W, g.H
+	return nil
+}
+
+// WindowGeometry returns a window's current geometry (any client may
+// query it, as in X).
+func (c *Client) WindowGeometry(id WindowID) (Geometry, error) {
+	if !c.alive() {
+		return Geometry{}, ErrDisconnected
+	}
+	s := c.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupWindow(id)
+	if err != nil {
+		return Geometry{}, err
+	}
+	return Geometry{X: w.x, Y: w.y, W: w.w, H: w.h}, nil
+}
+
+// HardwareMotion injects physical pointer motion at (x, y). Motion is
+// dispatched like clicks but — following the paper's prototype, which
+// correlates *discrete* interactions (clicks, key presses) — it produces
+// no interaction notification: hovering is not intent.
+func (s *Server) HardwareMotion(x, y int) WindowID {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.HardwareEvents++
+	w := s.topWindowAt(x, y)
+	if w == nil {
+		return Root
+	}
+	w.owner.deliver(Event{
+		Type:       MotionNotify,
+		Window:     w.id,
+		Time:       now,
+		Provenance: FromHardware,
+		X:          x,
+		Y:          y,
+	})
+	return w.id
+}
+
+// HardwareKeyRelease injects a physical key release to the focus window.
+// Releases complete the press-release pair but only the press counts as
+// the interaction.
+func (s *Server) HardwareKeyRelease(key string) WindowID {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.HardwareEvents++
+	if s.focus == Root {
+		return Root
+	}
+	w, err := s.lookupWindow(s.focus)
+	if err != nil || !w.mapped {
+		return Root
+	}
+	w.owner.deliver(Event{
+		Type:       KeyRelease,
+		Window:     w.id,
+		Time:       now,
+		Provenance: FromHardware,
+		Key:        key,
+	})
+	return w.id
+}

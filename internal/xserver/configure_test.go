@@ -1,0 +1,174 @@
+package xserver
+
+import (
+	"errors"
+	"testing"
+
+	"overhaul/internal/clock"
+)
+
+func TestConfigureWindowMovesClickTarget(t *testing.T) {
+	e := newXEnv(t, true)
+	c := e.connect(t, 1, "app")
+	win := e.mapVisibleWindow(t, c, 0, 0, 100, 100)
+
+	if got := e.srv.HardwareClick(50, 50); got != win {
+		t.Fatalf("click at old position = %d", got)
+	}
+	if err := c.ConfigureWindow(win, Geometry{X: 500, Y: 500, W: 100, H: 100}); err != nil {
+		t.Fatalf("ConfigureWindow: %v", err)
+	}
+	if got := e.srv.HardwareClick(50, 50); got != Root {
+		t.Fatalf("click at vacated position = %d, want root", got)
+	}
+	if got := e.srv.HardwareClick(550, 550); got != win {
+		t.Fatalf("click at new position = %d, want %d", got, win)
+	}
+	g, err := c.WindowGeometry(win)
+	if err != nil || g != (Geometry{X: 500, Y: 500, W: 100, H: 100}) {
+		t.Fatalf("geometry = %+v, %v", g, err)
+	}
+}
+
+func TestConfigureMovePreservesVisibilityClock(t *testing.T) {
+	// Moving a long-visible window keeps it trusted: the defence keys
+	// on visible time, not position.
+	e := newXEnv(t, true)
+	c := e.connect(t, 1, "app")
+	win := e.mapVisibleWindow(t, c, 0, 0, 100, 100)
+	if err := c.ConfigureWindow(win, Geometry{X: 300, Y: 0, W: 100, H: 100}); err != nil {
+		t.Fatalf("ConfigureWindow: %v", err)
+	}
+	e.srv.HardwareClick(310, 10)
+	if e.pol.notificationCount() != 1 {
+		t.Fatalf("notifications = %d, want 1 (moved window stays trusted)", e.pol.notificationCount())
+	}
+}
+
+func TestConfigureWindowValidation(t *testing.T) {
+	e := newXEnv(t, true)
+	a := e.connect(t, 1, "a")
+	b := e.connect(t, 2, "b")
+	win := e.mapVisibleWindow(t, a, 0, 0, 100, 100)
+	if err := b.ConfigureWindow(win, Geometry{X: 0, Y: 0, W: 10, H: 10}); !errors.Is(err, ErrBadAccess) {
+		t.Fatalf("foreign configure = %v", err)
+	}
+	if err := a.ConfigureWindow(win, Geometry{W: 0, H: 10}); !errors.Is(err, ErrBadMatch) {
+		t.Fatalf("zero-size configure = %v", err)
+	}
+	if err := a.ConfigureWindow(999, Geometry{W: 1, H: 1}); !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("bad window configure = %v", err)
+	}
+}
+
+func TestMotionDeliversButNeverNotifies(t *testing.T) {
+	e := newXEnv(t, true)
+	c := e.connect(t, 1, "app")
+	win := e.mapVisibleWindow(t, c, 0, 0, 100, 100)
+	if got := e.srv.HardwareMotion(10, 10); got != win {
+		t.Fatalf("motion to %d", got)
+	}
+	ev, ok := c.NextEvent()
+	if !ok || ev.Type != MotionNotify || ev.Provenance != FromHardware {
+		t.Fatalf("event = %+v", ev)
+	}
+	if e.pol.notificationCount() != 0 {
+		t.Fatal("motion produced an interaction notification; hovering is not intent")
+	}
+	if got := e.srv.HardwareMotion(1900, 1000); got != Root {
+		t.Fatalf("motion on empty screen = %d", got)
+	}
+}
+
+func TestKeyReleasePairsWithPress(t *testing.T) {
+	e := newXEnv(t, true)
+	c := e.connect(t, 1, "app")
+	win := e.mapVisibleWindow(t, c, 0, 0, 100, 100)
+	if err := c.SetFocus(win); err != nil {
+		t.Fatalf("SetFocus: %v", err)
+	}
+	e.srv.HardwareKey("a")
+	e.srv.HardwareKeyRelease("a")
+	press, _ := c.NextEvent()
+	release, ok := c.NextEvent()
+	if !ok || press.Type != KeyPress || release.Type != KeyRelease {
+		t.Fatalf("events = %+v, %+v", press, release)
+	}
+	// Only the press notified.
+	if e.pol.notificationCount() != 1 {
+		t.Fatalf("notifications = %d, want 1", e.pol.notificationCount())
+	}
+	// No focus: release goes nowhere.
+	if err := c.UnmapWindow(win); err != nil {
+		t.Fatalf("UnmapWindow: %v", err)
+	}
+	if got := e.srv.HardwareKeyRelease("a"); got != Root {
+		t.Fatalf("release without focus = %d", got)
+	}
+}
+
+func TestObscuredFocusWindowMintsNoInteraction(t *testing.T) {
+	// S3 refinement: keyboard events keep flowing to the focus window,
+	// but if it is fully covered by another window, typing "into" it is
+	// not a sighted interaction and earns no stamp.
+	e := newXEnv(t, true)
+	app := e.connect(t, 1, "app")
+	overlay := e.connect(t, 2, "overlay")
+	appWin := e.mapVisibleWindow(t, app, 100, 100, 100, 100)
+	if err := app.SetFocus(appWin); err != nil {
+		t.Fatalf("SetFocus: %v", err)
+	}
+	// Sanity: uncovered typing notifies.
+	e.srv.HardwareKey("a")
+	if e.pol.notificationCount() != 1 {
+		t.Fatalf("notifications = %d, want 1", e.pol.notificationCount())
+	}
+	// Cover the app completely with a long-visible overlay.
+	ovWin := e.mapVisibleWindow(t, overlay, 50, 50, 300, 300)
+	_ = ovWin
+	e.srv.HardwareKey("b")
+	ev2, ok := drainToKey(app, "b")
+	if !ok {
+		t.Fatalf("key not delivered to focus window: %+v", ev2)
+	}
+	if e.pol.notificationCount() != 1 {
+		t.Fatalf("notifications = %d after covered typing, want still 1", e.pol.notificationCount())
+	}
+	// Raising the app back on top restores trust.
+	if err := app.RaiseWindow(appWin); err != nil {
+		t.Fatalf("RaiseWindow: %v", err)
+	}
+	e.srv.HardwareKey("c")
+	if e.pol.notificationCount() != 2 {
+		t.Fatalf("notifications = %d after raise, want 2", e.pol.notificationCount())
+	}
+}
+
+// drainToKey pops events until a KeyPress with the given key.
+func drainToKey(c *Client, key string) (Event, bool) {
+	for {
+		ev, ok := c.NextEvent()
+		if !ok {
+			return Event{}, false
+		}
+		if ev.Type == KeyPress && ev.Key == key {
+			return ev, true
+		}
+	}
+}
+
+func TestDisableXTestRejectsInjection(t *testing.T) {
+	clk := clock.NewSimulated()
+	pol := newFakePolicy()
+	srv, err := NewServer(clk, pol, Config{DisableXTest: true})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	c, err := srv.Connect(1, "robot")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := c.XTestFakeInput(Event{Type: ButtonPress, X: 1, Y: 1}); !errors.Is(err, ErrBadAccess) {
+		t.Fatalf("XTest with extension disabled = %v, want ErrBadAccess", err)
+	}
+}

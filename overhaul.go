@@ -1,0 +1,143 @@
+// Package overhaul is the public API of the Overhaul reproduction: a
+// complete, simulated implementation of "Overhaul: Input-Driven Access
+// Control for Better Privacy on Traditional Operating Systems"
+// (Onarlioglu, Robertson, Kirda — DSN 2016).
+//
+// A System is a booted machine: a simulated Linux-like kernel with the
+// Overhaul permission monitor, an X11-like display server with trusted
+// input and output paths, an authenticated netlink channel between them,
+// and a udev-style trusted helper managing sensitive device nodes.
+// Applications launched on the system are ordinary processes and X
+// clients with no knowledge of Overhaul; access to the microphone,
+// camera, screen contents, and clipboard is granted exactly when it is
+// temporally close to authentic hardware input directed at the
+// requesting application (or an ancestor/IPC peer, via the propagation
+// policies P1 and P2).
+//
+// Quick start:
+//
+//	sys, err := overhaul.New(overhaul.Config{Enforce: true, AlertSecret: "tabby-cat"})
+//	mic, err := sys.AttachDevice(overhaul.Microphone)
+//	app, err := sys.Launch("recorder")
+//	sys.Settle(2 * time.Second) // window becomes trustworthy
+//	_ = app.Click()             // authentic hardware input
+//	h, err := app.OpenDevice(mic) // granted: click was moments ago
+package overhaul
+
+import (
+	"fmt"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/core"
+	"overhaul/internal/devfs"
+	"overhaul/internal/kernel"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+// Re-exported types: the assembled system and its handles.
+type (
+	// System is a booted Overhaul machine.
+	System = core.System
+	// App is a launched application (process + X client + window).
+	App = core.App
+	// Alert is a trusted-output overlay notification.
+	Alert = xserver.Alert
+	// Decision is one permission-monitor audit record.
+	Decision = monitor.Decision
+	// DeviceClass names a category of sensitive hardware.
+	DeviceClass = devfs.Class
+	// Op names a mediated operation (mic, cam, scr, copy, paste).
+	Op = monitor.Op
+	// Verdict is a permission decision outcome.
+	Verdict = monitor.Verdict
+	// Process is a kernel process handle.
+	Process = kernel.Process
+)
+
+// Device classes.
+const (
+	Microphone = devfs.ClassMicrophone
+	Camera     = devfs.ClassCamera
+	GPS        = devfs.ClassGPS
+	Scanner    = devfs.ClassScanner
+)
+
+// Operations and verdicts.
+const (
+	OpCopy       = monitor.OpCopy
+	OpPaste      = monitor.OpPaste
+	OpScreen     = monitor.OpScreen
+	OpMic        = monitor.OpMic
+	OpCam        = monitor.OpCam
+	VerdictGrant = monitor.VerdictGrant
+	VerdictDeny  = monitor.VerdictDeny
+)
+
+// DefaultThreshold is δ, the paper's 2-second temporal proximity window.
+const DefaultThreshold = monitor.DefaultThreshold
+
+// Config selects the system's security posture.
+type Config struct {
+	// Enforce turns blocking on. False boots an observe-only machine
+	// (every access granted but audited) — the paper's unprotected
+	// baseline.
+	Enforce bool
+	// Threshold overrides δ. Zero selects DefaultThreshold.
+	Threshold time.Duration
+	// AlertSecret is the user's visual shared secret rendered into
+	// authentic alerts.
+	AlertSecret string
+	// VisibilityThreshold overrides how long a window must be visible
+	// before its input counts (clickjacking defence; zero = 1 s).
+	VisibilityThreshold time.Duration
+	// ShmWait overrides the shared-memory wait-list duration
+	// (zero = 500 ms).
+	ShmWait time.Duration
+	// RealTime uses the wall clock instead of a deterministic
+	// simulated clock.
+	RealTime bool
+	// DisablePtraceGuard turns off the traced-process permission
+	// guard (ablation only).
+	DisablePtraceGuard bool
+}
+
+// New boots an Overhaul machine.
+func New(cfg Config) (*System, error) {
+	var clk clock.Clock
+	if cfg.RealTime {
+		clk = clock.System{}
+	}
+	sys, err := core.Boot(core.Options{
+		Clock:               clk,
+		Enforce:             cfg.Enforce,
+		Threshold:           cfg.Threshold,
+		AlertSecret:         cfg.AlertSecret,
+		VisibilityThreshold: cfg.VisibilityThreshold,
+		ShmWait:             cfg.ShmWait,
+		DisablePtraceGuard:  cfg.DisablePtraceGuard,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("overhaul: %w", err)
+	}
+	return sys, nil
+}
+
+// NewProtected boots an enforcing machine with a microphone and camera
+// attached, returning their device paths — the most common setup.
+func NewProtected(secret string) (sys *System, micPath, camPath string, err error) {
+	sys, err = New(Config{Enforce: true, AlertSecret: secret})
+	if err != nil {
+		return nil, "", "", err
+	}
+	micPath, err = sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		return nil, "", "", fmt.Errorf("overhaul: attach microphone: %w", err)
+	}
+	camPath, err = sys.Helper.Attach(devfs.ClassCamera)
+	if err != nil {
+		return nil, "", "", fmt.Errorf("overhaul: attach camera: %w", err)
+	}
+	return sys, micPath, camPath, nil
+}

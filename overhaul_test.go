@@ -1,0 +1,102 @@
+package overhaul
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/kernel"
+	"overhaul/internal/xserver"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, mic, cam, err := NewProtected("tabby-cat")
+	if err != nil {
+		t.Fatalf("NewProtected: %v", err)
+	}
+	if mic == "" || cam == "" {
+		t.Fatal("device paths empty")
+	}
+	app, err := sys.Launch("recorder")
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	sys.Settle(2 * time.Second)
+
+	// Before any input: denied.
+	if _, err := app.OpenDevice(mic); !errors.Is(err, kernel.ErrAccessDenied) {
+		t.Fatalf("pre-click open = %v, want deny", err)
+	}
+	// After a click: granted, and alerted.
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	if _, err := app.OpenDevice(mic); err != nil {
+		t.Fatalf("post-click open = %v, want grant", err)
+	}
+	alerts := sys.ActiveAlerts()
+	found := false
+	for _, a := range alerts {
+		if a.Op == OpMic && !a.Blocked {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alerts = %+v, want a granted mic alert", alerts)
+	}
+	// And audited.
+	audit := sys.Audit()
+	if len(audit) < 2 {
+		t.Fatalf("audit = %+v", audit)
+	}
+}
+
+func TestObserveOnlyConfig(t *testing.T) {
+	sys, err := New(Config{Enforce: false})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mic, err := sys.AttachDevice(Microphone)
+	if err != nil {
+		t.Fatalf("AttachDevice: %v", err)
+	}
+	spy, err := sys.LaunchHeadless("spy")
+	if err != nil {
+		t.Fatalf("LaunchHeadless: %v", err)
+	}
+	if _, err := sys.Kernel.Open(spy, mic, 1); err != nil {
+		t.Fatalf("observe-only open = %v, want grant", err)
+	}
+	if len(sys.Audit()) != 1 {
+		t.Fatal("observe-only open not audited")
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	sys, err := New(Config{Enforce: true, Threshold: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := sys.Kernel.Monitor().Threshold(); got != 300*time.Millisecond {
+		t.Fatalf("threshold = %v", got)
+	}
+}
+
+func TestRealTimeClock(t *testing.T) {
+	sys, err := New(Config{Enforce: true, RealTime: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, ok := sys.SimClock(); ok {
+		t.Fatal("RealTime system has a simulated clock")
+	}
+}
+
+func TestDefaultThresholdConstant(t *testing.T) {
+	if DefaultThreshold != 2*time.Second {
+		t.Fatalf("DefaultThreshold = %v, paper uses 2 s", DefaultThreshold)
+	}
+	if xserver.DefaultVisibilityThreshold <= 0 {
+		t.Fatal("visibility threshold must be positive")
+	}
+}
