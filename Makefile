@@ -1,0 +1,41 @@
+# Local workflow mirroring .github/workflows/ci.yml: `make ci` is the
+# full tier-1 gate a PR must pass.
+
+GO ?= go
+
+.PHONY: all build fmt vet lint test race bench fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Domain-invariant static analysis (clockcheck, lockcheck, stampcheck,
+# printcheck, errdrop). See DESIGN.md "Invariants & static analysis".
+lint:
+	$(GO) run ./cmd/overhaul-lint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Short fuzz pass over the stamp-propagation invariants.
+fuzz:
+	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzMsgQueueStampPropagation$$' -fuzztime=10s
+	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzShmStampPropagation$$' -fuzztime=10s
+
+ci: fmt build vet lint race fuzz

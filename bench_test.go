@@ -326,7 +326,7 @@ func BenchmarkTableIFilesystemOverhaul(b *testing.B) {
 func BenchmarkMicroMonitorDecide(b *testing.B) {
 	sys, proc, _ := overhaulSystem(b)
 	mon := sys.Kernel.Monitor()
-	now := time.Now()
+	now := time.Now() //overhaul:allow clockcheck micro-benchmark decides against the live wall clock it booted with
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mon.Decide(proc.PID(), monitor.OpMic, now)
@@ -444,7 +444,7 @@ func BenchmarkAblationAuditCapacity(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			now := time.Now()
+			now := time.Now() //overhaul:allow clockcheck micro-benchmark decides against the live wall clock it booted with
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k.Monitor().Decide(proc.PID(), monitor.OpMic, now)

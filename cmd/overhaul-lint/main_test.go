@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"overhaul/internal/analysis"
+)
+
+const printcheckFixture = "../../internal/analysis/testdata/printcheck"
+
+// golden compares got against the file, so output format changes are
+// deliberate diffs.
+func golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output does not match %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", printcheckFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr: %s", code, errb.String())
+	}
+	golden(t, "testdata/printcheck.json", out.Bytes())
+
+	// The golden must round-trip as the documented machine format.
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output decoded to zero diagnostics")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic in JSON output: %+v", d)
+		}
+	}
+}
+
+func TestHumanGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{printcheckFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	golden(t, "testdata/printcheck.txt", out.Bytes())
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	// The analysistest package has no violations and no fixtures.
+	code := run([]string{"../../internal/analysis/analysistest"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got: %s", out.String())
+	}
+}
+
+func TestJSONCleanTreeEmitsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "../../internal/analysis/analysistest"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json run = %q, want []", out.String())
+	}
+}
+
+func TestEnableDisableFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-disable", "printcheck", printcheckFixture}, &out, &errb); code != 0 {
+		t.Errorf("disabling printcheck should leave the fixture clean, exit = %d: %s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-enable", "clockcheck", printcheckFixture}, &out, &errb); code != 0 {
+		t.Errorf("enabling only clockcheck should leave the fixture clean, exit = %d: %s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-enable", "printcheck", printcheckFixture}, &out, &errb); code != 1 {
+		t.Errorf("enabling printcheck should find the fixture violations, exit = %d", code)
+	}
+	if code := run([]string{"-enable", "nonesuch", printcheckFixture}, &out, &errb); code != 2 {
+		t.Errorf("unknown analyzer should be a usage error, exit = %d", code)
+	}
+	if code := run([]string{"-disable", "nonesuch", printcheckFixture}, &out, &errb); code != 2 {
+		t.Errorf("unknown analyzer in -disable should be a usage error, exit = %d", code)
+	}
+}
+
+func TestMissingRootIsLoadError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"testdata/does-not-exist"}, &out, &errb); code != 2 {
+		t.Errorf("missing root should exit 2, got %d", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("load error should be reported on stderr")
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}

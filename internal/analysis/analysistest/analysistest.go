@@ -1,0 +1,86 @@
+// Package analysistest runs an analyzer over a fixture tree and
+// compares its findings against expectations annotated in the
+// fixtures themselves, in the style of golang.org/x/tools'
+// analysistest but built on the stdlib-only framework.
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	// want "substring"
+//
+// (several quoted substrings allowed; each must be matched by a
+// distinct diagnostic on that line). The harness fails the test on
+// any diagnostic without a want, and any want without a diagnostic.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"overhaul/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want annotation.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run loads the fixture tree rooted at dir, applies the analyzer, and
+// reports mismatches through t. It returns the diagnostics for any
+// further assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	mod, err := analysis.Load(dir)
+	if err != nil {
+		t.Fatalf("load fixtures at %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, group := range f.AST.Comments {
+				for _, c := range group.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					line := mod.Fset.Position(c.Pos()).Line
+					for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+						wants = append(wants, &expectation{
+							file:   f.Name,
+							line:   line,
+							substr: strings.ReplaceAll(q[1], `\"`, `"`),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	diags := analysis.Run(mod, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a %s diagnostic containing %q, got none", w.file, w.line, a.Name, w.substr)
+		}
+	}
+	return diags
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Errdrop flags silently discarded error returns in internal packages.
+// A denial from the permission monitor, a dead-process error from the
+// kernel, or a closed-pipe error from IPC that vanishes into an
+// ignored return value is exactly how an access-control bypass hides;
+// every error must be handled, returned, or *visibly* discarded.
+//
+// Without type information the analyzer is driven by a module-wide
+// name index: a bare call statement is flagged when any function or
+// method declared in the module under that name returns an error,
+// plus a small set of conventional error-returning method names
+// (Close, Flush, Sync). Deliberate discards stay available in two
+// explicit forms: assigning to blank (_ = f()) or an
+// //overhaul:allow errdrop annotation. defer/go statements are exempt
+// — release-on-exit cleanups have nowhere to put the error.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "internal packages must not silently drop error returns; " +
+		"discard explicitly with _ = or an allow annotation",
+	Run: runErrdrop,
+}
+
+// conventionalErr are method names that return an error by stdlib
+// convention even when no module declaration says so.
+var conventionalErr = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func runErrdrop(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Dir, "internal") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(f.Name) {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if name == "" {
+				return true
+			}
+			if conventionalErr[name] || pass.Module.ReturnsError(name) {
+				pass.Reportf(call.Pos(),
+					"result of %s is dropped but a declaration of %s returns an error: handle it or discard with _ =",
+					name, name)
+			}
+			return true
+		})
+	}
+}
+
+// calleeName extracts the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression annotation:
+//
+//	//overhaul:allow <analyzer> <reason>
+//
+// The annotation silences <analyzer> on the line the comment sits on
+// and on the line immediately below it, covering both the trailing
+// form (code //overhaul:allow ...) and the standalone form (comment on
+// its own line above the code). The reason is mandatory and is what a
+// reviewer reads instead of the diagnostic, so an allow without one is
+// reported under the pseudo-analyzer "allow".
+const AllowPrefix = "//overhaul:allow"
+
+// allow is one parsed suppression annotation.
+type allow struct {
+	analyzer string
+	reason   string
+}
+
+// parseAllow splits a raw comment into its annotation parts. ok is
+// false when the comment is not an allow annotation at all; a present
+// annotation with missing fields returns ok true and empty parts.
+func parseAllow(text string) (analyzer, reason string, ok bool) {
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, AllowPrefix)
+	// Require a separator so e.g. //overhaul:allowx is not an allow.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// parseAllows extracts the suppression table of one file: line number
+// of the annotation -> allows declared there. Malformed annotations
+// come back as ready-made diagnostics.
+func parseAllows(fset *token.FileSet, f *File) (map[int][]allow, []Diagnostic) {
+	var allows map[int][]allow
+	var bad []Diagnostic
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			analyzer, reason, ok := parseAllow(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if analyzer == "" || reason == "" {
+				bad = append(bad, Diagnostic{
+					File:     f.Name,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: "allow",
+					Message:  "malformed suppression: want //overhaul:allow <analyzer> <reason>",
+				})
+				continue
+			}
+			if allows == nil {
+				allows = make(map[int][]allow)
+			}
+			allows[pos.Line] = append(allows[pos.Line], allow{analyzer: analyzer, reason: reason})
+		}
+	}
+	return allows, bad
+}
+
+// suppressed reports whether a diagnostic from analyzer at line is
+// covered by an annotation on the same line or the line above.
+func (f *File) suppressed(analyzer string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, a := range f.allows[l] {
+			if a.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

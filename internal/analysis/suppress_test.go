@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	tests := []struct {
+		comment  string
+		analyzer string
+		reason   string
+		isAllow  bool
+	}{
+		{"//overhaul:allow clockcheck benchmark timing", "clockcheck", "benchmark timing", true},
+		{"//overhaul:allow errdrop reason with  spaces kept", "errdrop", "reason with spaces kept", true},
+		{"//overhaul:allow clockcheck", "clockcheck", "", true},
+		{"//overhaul:allow", "", "", true},
+		{"//overhaul:allowx not an allow", "", "", false},
+		{"// ordinary comment", "", "", false},
+		{"//overhaul:deny clockcheck nope", "", "", false},
+	}
+	for _, tt := range tests {
+		analyzer, reason, ok := parseAllow(tt.comment)
+		if ok != tt.isAllow || analyzer != tt.analyzer || reason != tt.reason {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tt.comment, analyzer, reason, ok, tt.analyzer, tt.reason, tt.isAllow)
+		}
+	}
+}
+
+// writeModule materialises sources into a temp dir and loads them.
+func writeModule(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestSuppressionScope(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"app/app.go": `package app
+
+import "time"
+
+func trailing() time.Time {
+	return time.Now() //overhaul:allow clockcheck trailing form
+}
+
+func standalone() time.Time {
+	//overhaul:allow clockcheck standalone form
+	return time.Now()
+}
+
+func wrongAnalyzer() time.Time {
+	//overhaul:allow lockcheck wrong analyzer listed
+	return time.Now()
+}
+
+func tooFarAbove() time.Time {
+	//overhaul:allow clockcheck two lines above the finding
+
+	return time.Now()
+}
+`,
+	})
+	diags := Run(mod, []*Analyzer{Clockcheck})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (wrongAnalyzer and tooFarAbove):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "clockcheck" {
+			t.Errorf("unexpected analyzer in %s", d)
+		}
+	}
+	if diags[0].Line != 16 || diags[1].Line != 22 {
+		t.Errorf("diagnostics at lines %d and %d, want 16 and 22", diags[0].Line, diags[1].Line)
+	}
+}
+
+func TestMalformedAllowReported(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"app/app.go": `package app
+
+//overhaul:allow clockcheck
+func missingReason() {}
+
+//overhaul:allow
+func missingEverything() {}
+`,
+	})
+	diags := Run(mod, []*Analyzer{Clockcheck})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 malformed-allow reports:\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "allow" {
+			t.Errorf("malformed allow reported under %q, want \"allow\"", d.Analyzer)
+		}
+		if !strings.Contains(d.Message, "malformed suppression") {
+			t.Errorf("unexpected message: %s", d.Message)
+		}
+	}
+}
+
+func TestMalformedAllowCannotSuppress(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"app/app.go": `package app
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //overhaul:allow clockcheck
+}
+`,
+	})
+	diags := Run(mod, []*Analyzer{Clockcheck})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want the finding plus the malformed-allow report:\n%v", len(diags), diags)
+	}
+}
+
+func TestReturnsErrorIndex(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"a/a.go": `package a
+
+func Fails() error { return nil }
+
+func Clean() int { return 0 }
+
+type T struct{}
+
+func (T) Method() (int, error) { return 0, nil }
+`,
+	})
+	for name, want := range map[string]bool{"Fails": true, "Method": true, "Clean": false, "Absent": false} {
+		if got := mod.ReturnsError(name); got != want {
+			t.Errorf("ReturnsError(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

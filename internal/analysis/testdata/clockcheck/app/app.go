@@ -1,0 +1,31 @@
+// Package app is a clockcheck fixture: wall-clock reads outside
+// internal/clock must be flagged, deterministic time constructors must
+// not.
+package app
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func wait() {
+	time.Sleep(time.Second) // want "time.Sleep"
+}
+
+func deadline() <-chan time.Time {
+	return time.After(time.Minute) // want "time.After"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since"
+}
+
+// epoch is deterministic: constructors and arithmetic are fine.
+func epoch() time.Time {
+	return time.Date(2016, time.June, 28, 9, 0, 0, 0, time.UTC)
+}
+
+func window() time.Duration {
+	return 2 * time.Second
+}

@@ -1,0 +1,8 @@
+package app
+
+import xtime "time"
+
+// renamed imports of package time are still the wall clock.
+func renamed() xtime.Time {
+	return xtime.Now() // want "time.Now"
+}

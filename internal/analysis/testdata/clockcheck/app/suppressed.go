@@ -1,0 +1,14 @@
+package app
+
+import "time"
+
+// allowed demonstrates the trailing suppression form.
+func allowed() time.Time {
+	return time.Now() //overhaul:allow clockcheck fixture demonstrates the trailing allow form
+}
+
+// allowedAbove demonstrates the standalone suppression form.
+func allowedAbove() time.Time {
+	//overhaul:allow clockcheck fixture demonstrates the standalone allow form
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Package clock mirrors the real internal/clock: the one place
+// allowed to read the wall clock, since it implements the injectable
+// Clock interface over it.
+package clock
+
+import "time"
+
+// Now is exempt by directory.
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,35 @@
+// Package store is an errdrop fixture: silently dropped error returns
+// in internal packages are flagged; explicit discards are not.
+package store
+
+import "errors"
+
+// save returns an error that callers must not drop.
+func save(path string) error {
+	if path == "" {
+		return errors.New("empty path")
+	}
+	return nil
+}
+
+type closer struct{}
+
+// Close returns an error by stdlib convention.
+func (c *closer) Close() error { return nil }
+
+// note returns nothing; bare calls are fine.
+func note() {}
+
+// Flow exercises every drop pattern.
+func Flow(c *closer) error {
+	save("dropped") // want "save"
+	c.Close()       // want "Close"
+	_ = save("explicit discard is visible")
+	defer c.Close() // defer cleanups have nowhere to put the error
+	note()
+	if err := save("handled"); err != nil {
+		return err
+	}
+	save("annotated") //overhaul:allow errdrop fixture demonstrates suppression
+	return nil
+}

@@ -1,0 +1,22 @@
+package locks
+
+import "sync"
+
+// Registry embeds its mutex; Lock/Unlock are promoted methods of the
+// receiver itself.
+type Registry struct {
+	sync.Mutex
+	items map[string]bool
+}
+
+// Put locks through the embedded mutex.
+func (r *Registry) Put(k string) {
+	r.Lock()
+	defer r.Unlock()
+	r.items[k] = true
+}
+
+// Has reads the guarded map without the embedded lock.
+func (r *Registry) Has(k string) bool {
+	return r.items[k] // want "embedded Mutex"
+}

@@ -1,0 +1,97 @@
+// Package locks is a lockcheck fixture covering both rules: lock
+// pairing within a function, and guarded-field access from exported
+// methods of lock-bearing types.
+package locks
+
+import "sync"
+
+// Counter is lock-bearing: n is declared after mu, so it is guarded.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add uses the defer idiom.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Value locks before reading.
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Swap uses a short explicit critical section; pairing is satisfied.
+func (c *Counter) Swap(v int) int {
+	c.mu.Lock()
+	old := c.n
+	c.n = v
+	c.mu.Unlock()
+	return old
+}
+
+// Leak acquires and never releases.
+func (c *Counter) Leak() {
+	c.mu.Lock() // want "never released"
+	c.n++
+}
+
+// Peek reads the guarded field with no lock in sight.
+func (c *Counter) Peek() int {
+	return c.n // want "guarded by"
+}
+
+// peek is unexported: callers inside the package are expected to hold
+// the lock already, so only exported methods are checked.
+func (c *Counter) peek() int { return c.n }
+
+// Table exercises the RWMutex verbs.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get pairs RLock with a deferred RUnlock.
+func (t *Table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Drop releases with the wrong verb: an RLock needs an RUnlock.
+func (t *Table) Drop(k string) {
+	t.mu.RLock() // want "never released"
+	delete(t.m, k)
+	t.mu.Unlock()
+}
+
+// Gauge has config before the mutex: name is not guarded.
+type Gauge struct {
+	name string
+	mu   sync.Mutex
+	v    int
+}
+
+// Name reads a field declared before the mutex; fine without locking.
+func (g *Gauge) Name() string { return g.name }
+
+// Box holds a lock-bearing Counter: accesses through inner are the
+// Counter's own responsibility, but plain guarded fields still need
+// the Box lock.
+type Box struct {
+	mu    sync.Mutex
+	inner *Counter
+	label string
+}
+
+// Inner delegates to the self-locking Counter.
+func (b *Box) Inner() int { return b.inner.Value() }
+
+// Label reads a plain guarded field without locking.
+func (b *Box) Label() string {
+	return b.label // want "guarded by"
+}

@@ -1,0 +1,9 @@
+// Package main sits outside internal/: commands own the terminal and
+// may print.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("commands may print")
+}

@@ -1,0 +1,27 @@
+// Package noisy is a printcheck fixture: internal packages must stay
+// silent.
+package noisy
+
+import (
+	"fmt"
+	"log" // want "must not import log"
+	"os"
+)
+
+// Shout prints straight to stdout.
+func Shout(msg string) {
+	fmt.Println(msg)      // want "fmt.Println"
+	fmt.Printf("%s", msg) // want "fmt.Printf"
+	log.Print(msg)
+	println(msg) // want "builtin println"
+}
+
+// Sink leaks a process-global stream.
+func Sink() *os.File {
+	return os.Stderr // want "os.Stderr"
+}
+
+// Quiet builds strings without printing; fine.
+func Quiet(msg string) string {
+	return fmt.Sprintf("quiet: %s", msg)
+}

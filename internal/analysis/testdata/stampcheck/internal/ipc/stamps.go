@@ -1,0 +1,11 @@
+// Package ipc is a stampcheck fixture mirroring the real internal/ipc
+// layout: stamps.go declares the propagation helpers whose names the
+// analyzer's reachability search targets.
+package ipc
+
+// carrier mimics the real stamp carrier.
+type carrier struct{}
+
+func (c *carrier) onSend(pid int)   {}
+func (c *carrier) onRecv(pid int)   {}
+func (c *carrier) onAccess(pid int) {}

@@ -1,0 +1,21 @@
+// Package kernel is the stampcheck fixture for the constructor rule:
+// building an IPC resource with a nil stamp store silently disables
+// propagation.
+package kernel
+
+import "overhaul/internal/ipc"
+
+// Kernel mimics the real kernel's stamp-store plumbing.
+type Kernel struct{}
+
+func (k *Kernel) stamps() ipc.Stamps { return nil }
+
+// NewPipe threads the kernel's stamp store, as required.
+func (k *Kernel) NewPipe() *ipc.Pipe {
+	return ipc.NewPipe(k.stamps(), 0)
+}
+
+// NewLeakyPipe hardcodes nil and loses P2 propagation.
+func (k *Kernel) NewLeakyPipe() *ipc.Pipe {
+	return ipc.NewPipe(nil, 0) // want "nil stamp store"
+}

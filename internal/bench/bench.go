@@ -168,20 +168,19 @@ func measurePair(ops int, baseline, overhaul func(i int) error) (dBase, dOver ti
 		if done+n > ops {
 			n = ops - done
 		}
-		start := time.Now()
+		watch := startWall()
 		for i := done; i < done+n; i++ {
 			if err := baseline(i); err != nil {
 				return 0, 0, 0, err
 			}
 		}
-		tb := time.Since(start)
-		start = time.Now()
+		tb := watch.lap()
 		for i := done; i < done+n; i++ {
 			if err := overhaul(i); err != nil {
 				return 0, 0, 0, err
 			}
 		}
-		to := time.Since(start)
+		to := watch.lap()
 		dBase += tb
 		dOver += to
 		if tb > 0 {
@@ -559,16 +558,15 @@ func Filesystem(files int) (Row, error) {
 		if hi > files {
 			hi = files
 		}
-		start := time.Now()
+		watch := startWall()
 		if err := createRange(base, done, hi); err != nil {
 			return Row{}, fmt.Errorf("%w: baseline bonnie: %v", ErrBench, err)
 		}
-		tb := time.Since(start)
-		start = time.Now()
+		tb := watch.lap()
 		if err := createRange(over, done, hi); err != nil {
 			return Row{}, fmt.Errorf("%w: overhaul bonnie: %v", ErrBench, err)
 		}
-		to := time.Since(start)
+		to := watch.lap()
 		row.Baseline += tb
 		row.Overhaul += to
 		if tb > 0 {

@@ -2,6 +2,7 @@ package ipc
 
 import (
 	"testing"
+	"time"
 
 	"overhaul/internal/clock"
 )
@@ -39,6 +40,119 @@ func FuzzSharedMemAccess(f *testing.F) {
 			t.Fatalf("out-of-range write [%d,%d) accepted", off, off+len(data))
 		}
 		_, _ = m.Read(off, n) // must be total
+	})
+}
+
+// FuzzMsgQueueStampPropagation checks the paper's sender→receiver rule
+// (§IV-B) on message queues for arbitrary stamp orderings: a send
+// embeds the sender's stamp into the queue unless the queue already
+// holds a newer one, and a receive leaves the receiver with the max of
+// its own stamp and the queue's.
+func FuzzMsgQueueStampPropagation(f *testing.F) {
+	f.Add(uint16(1500), uint16(200), 3, true)
+	f.Add(uint16(0), uint16(0), 1, false)
+	f.Add(uint16(200), uint16(1500), 9, true)
+	f.Fuzz(func(t *testing.T, senderMs, receiverMs uint16, key int, posix bool) {
+		st := newFakeStamps()
+		senderStamp := clock.Epoch.Add(time.Duration(senderMs) * time.Millisecond)
+		receiverStamp := clock.Epoch.Add(time.Duration(receiverMs) * time.Millisecond)
+		st.set(sender, senderStamp)
+		st.set(receiver, receiverStamp)
+
+		flavor := FlavorSysV
+		if posix {
+			flavor = FlavorPOSIX
+		}
+		if flavor == FlavorSysV && key <= 0 {
+			key = 1 // covered by FuzzMsgQueue; here only legal sends matter
+		}
+		q := NewMsgQueue(st, flavor, 4)
+		if err := q.Send(sender, key, []byte("x")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		if got := q.EmbeddedStamp(); got.Before(senderStamp) {
+			t.Fatalf("embedded stamp %v lost the sender's %v", got, senderStamp)
+		}
+		if _, _, err := q.Recv(receiver, 0); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		want := receiverStamp
+		if senderStamp.After(want) {
+			want = senderStamp
+		}
+		if got := st.get(t, receiver); !got.Equal(want) {
+			t.Fatalf("receiver stamp = %v, want max(own %v, sender %v) = %v",
+				got, receiverStamp, senderStamp, want)
+		}
+	})
+}
+
+// FuzzShmStampPropagation checks the shared-memory fault machinery for
+// arbitrary stamp orderings and clock advances: the first access
+// through a mapping faults and propagates in both directions, accesses
+// within the wait window ride the fast path, and a reader adopting
+// through its own fault ends at max(own, writer) exactly as for
+// explicit message passing.
+func FuzzShmStampPropagation(f *testing.F) {
+	f.Add(uint16(1200), uint16(300), uint16(600), 17)
+	f.Add(uint16(300), uint16(1200), uint16(100), 0)
+	f.Add(uint16(0), uint16(0), uint16(500), 4095)
+	f.Fuzz(func(t *testing.T, writerMs, readerMs, advanceMs uint16, off int) {
+		st := newFakeStamps()
+		writerStamp := clock.Epoch.Add(time.Duration(writerMs) * time.Millisecond)
+		readerStamp := clock.Epoch.Add(time.Duration(readerMs) * time.Millisecond)
+		st.set(sender, writerStamp)
+		st.set(receiver, readerStamp)
+
+		clk := clock.NewSimulated()
+		shm, err := NewSharedMem(st, clk, 1, 0) // wait = DefaultShmWait
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off < 0 {
+			off = -off
+		}
+		off %= PageSize
+
+		wMap := shm.Map(sender)
+		if err := wMap.Write(off, []byte{0xA5}); err != nil {
+			t.Fatalf("first write: %v", err)
+		}
+		if got := shm.EmbeddedStamp(); got.Before(writerStamp) {
+			t.Fatalf("embedded stamp %v lost the writer's %v", got, writerStamp)
+		}
+		first := shm.StatsSnapshot()
+		if first.Faults != 1 {
+			t.Fatalf("first access through a fresh mapping must fault, stats %+v", first)
+		}
+
+		advance := time.Duration(advanceMs) * time.Millisecond
+		clk.Advance(advance)
+		if err := wMap.Write(off, []byte{0x5A}); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		second := shm.StatsSnapshot()
+		if advance < DefaultShmWait {
+			if second.Faults != first.Faults || second.FastAccesses != first.FastAccesses+1 {
+				t.Fatalf("write inside the %v wait window must ride the fast path, stats %+v -> %+v",
+					DefaultShmWait, first, second)
+			}
+		} else if second.Faults != first.Faults+1 {
+			t.Fatalf("write after the wait window must fault again, stats %+v -> %+v", first, second)
+		}
+
+		rMap := shm.Map(receiver)
+		if _, err := rMap.Read(off, 1); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		want := readerStamp
+		if writerStamp.After(want) {
+			want = writerStamp
+		}
+		if got := st.get(t, receiver); !got.Equal(want) {
+			t.Fatalf("reader stamp = %v, want max(own %v, writer %v) = %v",
+				got, readerStamp, writerStamp, want)
+		}
 	})
 }
 
