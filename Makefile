@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench fuzz ci
+.PHONY: all build fmt vet lint test race bench fuzz chaos ci
 
 all: build
 
@@ -33,9 +33,19 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Short fuzz pass over the stamp-propagation invariants.
+# Short fuzz pass over the stamp-propagation invariants and the devfs
+# helper protocol codec.
 fuzz:
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzMsgQueueStampPropagation$$' -fuzztime=10s
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzShmStampPropagation$$' -fuzztime=10s
+	$(GO) test ./internal/devfs -run='^$$' -fuzz='^FuzzMappingCodec$$' -fuzztime=10s
 
-ci: fmt build vet lint race fuzz
+# Seeded chaos campaigns: all fault kinds armed, plus the mid-session
+# channel-kill scenario. Deterministic — a failure reproduces from the
+# seed printed in the output.
+chaos:
+	$(GO) run ./cmd/overhaul-chaos -seed 42 -steps 250 -faults default
+	$(GO) run ./cmd/overhaul-chaos -seed 42 -steps 160 -faults default -kill 80
+	$(GO) run ./cmd/overhaul-chaos -seed 7 -steps 160 -faults default -kill 40 -reconnect 90
+
+ci: fmt build vet lint race fuzz chaos

@@ -30,22 +30,38 @@ type Writer struct {
 
 // NewWriter builds a writer targeting the conventional path.
 func NewWriter(fsys *fs.FS, mon *monitor.Monitor) (*Writer, error) {
+	return NewWriterAt(fsys, mon, Path)
+}
+
+// NewWriterAt builds a writer targeting an explicit log path (chaos
+// campaigns log per-run files alongside the conventional one).
+func NewWriterAt(fsys *fs.FS, mon *monitor.Monitor, path string) (*Writer, error) {
 	if fsys == nil || mon == nil {
 		return nil, ErrNilArgs
+	}
+	if path == "" {
+		path = Path
 	}
 	if err := fsys.MkdirAll("/var/log", 0o755, fs.Root); err != nil {
 		return nil, fmt.Errorf("auditlog: %w", err)
 	}
-	return &Writer{fsys: fsys, mon: mon, path: Path}, nil
+	return &Writer{fsys: fsys, mon: mon, path: path}, nil
 }
 
-// FormatDecision renders one audit record as a log line.
+// FormatDecision renders one audit record as a log line. Denials
+// issued in degraded (fail-closed) mode carry an extra marker so the
+// logs distinguish "policy said no" from "enforcement was broken, so
+// everything said no"; ordinary records render exactly as before.
 func FormatDecision(d monitor.Decision) string {
-	return fmt.Sprintf("%s overhaul: pid=%d op=%s verdict=%s stamp=%s reason=%q",
+	line := fmt.Sprintf("%s overhaul: pid=%d op=%s verdict=%s stamp=%s reason=%q",
 		d.OpTime.Format("2006-01-02T15:04:05.000Z07:00"),
 		d.PID, d.Op, d.Verdict,
 		d.Stamp.Format("15:04:05.000"),
 		d.Reason)
+	if d.Degraded {
+		line += " degraded=1"
+	}
+	return line
 }
 
 // Flush writes the monitor's current audit log to the file, replacing

@@ -19,6 +19,7 @@ import (
 
 	"overhaul/internal/clock"
 	"overhaul/internal/devfs"
+	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 	"overhaul/internal/kernel"
 	"overhaul/internal/monitor"
@@ -97,6 +98,23 @@ type Options struct {
 	DisableP1 bool
 	// DisableP2 ablates IPC stamp propagation.
 	DisableP2 bool
+	// FaultHook, when non-nil, is threaded through every trust seam:
+	// the netlink hub, the kernel, the devfs helper and the display
+	// server all consult it at their named fault points. Chaos
+	// campaigns pass a seeded faultinject.Injector hook here.
+	FaultHook faultinject.Hook
+	// ChannelRetries bounds retransmissions of a failed netlink call
+	// before the channel is declared down. Zero selects
+	// DefaultChannelRetries; negative disables retries.
+	ChannelRetries int
+	// ChannelBackoff is the first retry's backoff (doubling per
+	// attempt), realised on the simulated clock. Zero selects
+	// DefaultChannelBackoff.
+	ChannelBackoff time.Duration
+	// AuditCapacity forwards the monitor's audit-ring size. Zero
+	// selects the monitor default (1024). Chaos campaigns raise it so
+	// the invariant checker never loses records to ring eviction.
+	AuditCapacity int
 }
 
 // System is a booted Overhaul machine.
@@ -107,29 +125,33 @@ type System struct {
 	X      *xserver.Server
 	Helper *devfs.Helper
 
-	hub     *netlink.Hub
-	xConn   *netlink.Conn
-	xProc   *kernel.Process
-	enforce bool
+	hub         *netlink.Hub
+	ch          *channel
+	xConn       *netlink.Conn
+	xProc       *kernel.Process
+	userHandler netlink.Handler
+	enforce     bool
 }
 
 // xPolicy implements xserver.Policy by speaking the netlink protocol —
-// the display server never touches kernel state directly.
+// the display server never touches kernel state directly. All calls go
+// through the retrying channel wrapper, so transient faults are
+// absorbed and persistent ones degrade the whole system closed.
 type xPolicy struct {
-	conn *netlink.Conn
+	ch *channel
 }
 
 var _ xserver.Policy = (*xPolicy)(nil)
 
 // NotifyInteraction implements xserver.Policy.
 func (p *xPolicy) NotifyInteraction(pid int, t time.Time) error {
-	_, err := p.conn.Call(interactionMsg{PID: pid, Time: t})
+	_, err := p.ch.call(interactionMsg{PID: pid, Time: t})
 	return err
 }
 
 // Query implements xserver.Policy.
 func (p *xPolicy) Query(pid int, op monitor.Op, t time.Time) (monitor.Verdict, error) {
-	reply, err := p.conn.Call(queryMsg{PID: pid, Op: op, Time: t})
+	reply, err := p.ch.call(queryMsg{PID: pid, Op: op, Time: t})
 	if err != nil {
 		return monitor.VerdictDeny, err
 	}
@@ -164,15 +186,17 @@ func Boot(opts Options) (*System, error) {
 
 	k, err := kernel.New(clk, fsys, kernel.Config{
 		Monitor: monitor.Config{
-			Threshold:  opts.Threshold,
-			Enforce:    opts.Enforce,
-			ForceGrant: opts.ForceGrant,
+			Threshold:     opts.Threshold,
+			Enforce:       opts.Enforce,
+			ForceGrant:    opts.ForceGrant,
+			AuditCapacity: opts.AuditCapacity,
 		},
 		DisablePtraceGuard: opts.DisablePtraceGuard,
 		DeviceInitRounds:   opts.DeviceInitRounds,
 		StorageRounds:      opts.StorageRounds,
 		DisableP1:          opts.DisableP1,
 		DisableP2:          opts.DisableP2,
+		FaultHook:          opts.FaultHook,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -195,6 +219,7 @@ func Boot(opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	hub.SetFaultHook(opts.FaultHook)
 	hub.SetKernelHandler(func(msg any) (any, error) {
 		switch m := msg.(type) {
 		case interactionMsg:
@@ -216,31 +241,60 @@ func Boot(opts Options) (*System, error) {
 		enforce: opts.Enforce,
 	}
 
+	// The channel wrapper owns the retry/degradation policy for both
+	// directions. When it declares the channel dead the monitor flips
+	// into fail-closed degraded mode: with no working path to the
+	// trusted input source, every sensitive access must deny.
+	retries := opts.ChannelRetries
+	switch {
+	case retries == 0:
+		retries = DefaultChannelRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := opts.ChannelBackoff
+	if backoff <= 0 {
+		backoff = DefaultChannelBackoff
+	}
+	sys.ch = &channel{
+		hub:     hub,
+		clk:     clk,
+		pid:     xProc.PID(),
+		retries: retries,
+		backoff: backoff,
+		onDown: func(reason string) {
+			k.Monitor().SetDegraded(reason)
+		},
+	}
+
 	// Connect the X server to the kernel. Its user handler receives
 	// alert requests.
 	var x *xserver.Server
-	conn, err := hub.Connect(xProc.PID(), func(msg any) (any, error) {
+	sys.userHandler = func(msg any) (any, error) {
 		m, ok := msg.(alertMsg)
 		if !ok {
 			return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, msg)
 		}
 		x.ShowAlert(monitor.AlertRequest(m))
 		return nil, nil
-	})
+	}
+	conn, err := hub.Connect(xProc.PID(), sys.userHandler)
 	if err != nil {
 		return nil, fmt.Errorf("core: connect X to netlink: %w", err)
 	}
 	sys.xConn = conn
+	sys.ch.reset(conn)
 
 	var policy xserver.Policy
 	if opts.Enforce || opts.ForceGrant {
-		policy = &xPolicy{conn: conn}
+		policy = &xPolicy{ch: sys.ch}
 	}
 	x, err = xserver.NewServer(clk, policy, xserver.Config{
 		VisibilityThreshold: opts.VisibilityThreshold,
 		AlertSecret:         opts.AlertSecret,
 		WireWork:            opts.WireWork,
 		DisableXTest:        opts.DisableXTest,
+		FaultHook:           opts.FaultHook,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -249,8 +303,10 @@ func Boot(opts Options) (*System, error) {
 
 	// Kernel-side alerts route to the display server over the channel.
 	k.Monitor().SetAlertFunc(func(req monitor.AlertRequest) {
-		// Failures only suppress the alert, never the operation.
-		_, _ = hub.CallUser(xProc.PID(), alertMsg(req))
+		// Failures only suppress the alert, never the already-granted
+		// operation — but exhausting the channel's retries flips the
+		// system into degraded mode, so *future* decisions deny.
+		_, _ = sys.ch.callUser(alertMsg(req))
 	})
 
 	// Start the trusted devfs helper and attach the standard sensors.
@@ -258,6 +314,7 @@ func Boot(opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	helper.SetFaultHook(opts.FaultHook)
 	sys.Helper = helper
 
 	return sys, nil
@@ -287,9 +344,39 @@ func (s *System) Enforcing() bool { return s.enforce }
 
 // DisconnectX tears down the netlink connection between the display
 // server and the kernel (failure injection: the system must fail
-// closed — no notifications, no grants).
+// closed — no notifications, no grants). The channel itself discovers
+// the loss on its next call and degrades the monitor.
 func (s *System) DisconnectX() error {
 	return s.xConn.Close()
+}
+
+// ReconnectX re-establishes the netlink connection after an outage and
+// lifts the degraded mode on both sides: the monitor resumes normal
+// temporal-proximity decisions and the display server clears its
+// protection-degraded banner state.
+func (s *System) ReconnectX() error {
+	// An outage declared after exhausted retries (rather than an
+	// explicit DisconnectX) leaves the stale connection registered on
+	// the hub; tear it down before re-establishing.
+	if s.xConn != nil && s.hub.Connected(s.xProc.PID()) {
+		_ = s.xConn.Close()
+	}
+	conn, err := s.hub.Connect(s.xProc.PID(), s.userHandler)
+	if err != nil {
+		return fmt.Errorf("core: reconnect X: %w", err)
+	}
+	s.xConn = conn
+	s.ch.reset(conn)
+	s.Kernel.Monitor().ClearDegraded()
+	s.X.ClearDegraded()
+	return nil
+}
+
+// ChannelDown reports whether the kernel↔X channel is currently
+// declared dead.
+func (s *System) ChannelDown() bool {
+	_, down := s.ch.state()
+	return down
 }
 
 // AttachDevice hotplugs a sensitive device through the trusted helper

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/devfs"
+	"overhaul/internal/faultinject"
+	"overhaul/internal/kernel"
+	"overhaul/internal/monitor"
+)
+
+// bootWithFaults boots an enforcing system whose seams evaluate the
+// given injector.
+func bootWithFaults(t *testing.T, inj *faultinject.Injector) (*System, string) {
+	t.Helper()
+	clk := clock.NewSimulated()
+	inj.SetClock(clk)
+	sys, err := Boot(Options{
+		Clock:       clk,
+		Enforce:     true,
+		AlertSecret: "tabby-cat",
+		FaultHook:   inj.Hook(),
+	})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach mic: %v", err)
+	}
+	return sys, mic
+}
+
+// TestChannelRetriesTransientFault: a couple of injected drops on the
+// X→kernel call are absorbed by the bounded retry — the query
+// succeeds, the channel stays up, and the monitor never degrades.
+func TestChannelRetriesTransientFault(t *testing.T) {
+	inj, err := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointNetlinkUserToKernel,
+		Kind:  faultinject.KindError,
+		Count: DefaultChannelRetries, // fewer failures than attempts
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys, mic := bootWithFaults(t, inj)
+	app := launchSettled(t, sys, "recorder")
+
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	h, err := app.OpenDevice(mic)
+	if err != nil {
+		t.Fatalf("open after transient channel faults should grant, got %v", err)
+	}
+	_ = h.Close()
+	if sys.ChannelDown() {
+		t.Error("channel marked down although retries succeeded")
+	}
+	if _, degraded := sys.Kernel.Monitor().DegradedReason(); degraded {
+		t.Error("monitor degraded although retries succeeded")
+	}
+}
+
+// TestChannelExhaustionFailsClosed: when the fault outlasts the retry
+// budget the channel goes down, the monitor flips to degraded mode,
+// every subsequent device access denies with the distinct degraded
+// reason, and the X server shows the degraded banner.
+func TestChannelExhaustionFailsClosed(t *testing.T) {
+	inj, err := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointNetlinkUserToKernel,
+		Kind:  faultinject.KindError,
+		Count: 100, // outlasts every retry
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys, mic := bootWithFaults(t, inj)
+	app := launchSettled(t, sys, "recorder")
+
+	// The interaction notification burns through the retries and kills
+	// the channel; input delivery itself still works.
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	if !sys.ChannelDown() {
+		t.Fatal("channel still up after exhausted retries")
+	}
+	reason, degraded := sys.Kernel.Monitor().DegradedReason()
+	if !degraded {
+		t.Fatal("monitor not degraded after channel death")
+	}
+
+	if _, err := app.OpenDevice(mic); !errors.Is(err, kernel.ErrAccessDenied) {
+		t.Fatalf("open with dead channel = %v, want ErrAccessDenied", err)
+	}
+	audit := sys.Audit()
+	last := audit[len(audit)-1]
+	if last.Verdict != monitor.VerdictDeny || !last.Degraded {
+		t.Fatalf("last audit record = %+v, want degraded denial", last)
+	}
+	if !strings.Contains(last.Reason, "protection degraded") || !strings.Contains(last.Reason, reason) {
+		t.Fatalf("denial reason %q lacks distinct degraded wording", last.Reason)
+	}
+
+	// The X server raised its degraded banner when its policy call
+	// failed — visible evidence, not a silent denial.
+	banner := false
+	for _, a := range sys.X.AlertHistory() {
+		if a.Degraded && strings.Contains(a.Message, "protection degraded") {
+			banner = true
+		}
+	}
+	if !banner {
+		t.Error("no degraded banner in X alert history")
+	}
+}
+
+// TestReconnectClearsDegradation: ReconnectX is the operator's path
+// back — after it, a fresh interaction grants again and the degraded
+// state is gone everywhere.
+func TestReconnectClearsDegradation(t *testing.T) {
+	inj, err := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointNetlinkUserToKernel,
+		Kind:  faultinject.KindError,
+		Count: 4, // kill the first notify's retry budget, then heal
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys, mic := bootWithFaults(t, inj)
+	app := launchSettled(t, sys, "recorder")
+
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	if !sys.ChannelDown() {
+		t.Fatal("channel should be down")
+	}
+	if err := sys.ReconnectX(); err != nil {
+		t.Fatalf("ReconnectX: %v", err)
+	}
+	if sys.ChannelDown() {
+		t.Fatal("channel still down after reconnect")
+	}
+	if _, degraded := sys.Kernel.Monitor().DegradedReason(); degraded {
+		t.Fatal("monitor still degraded after reconnect")
+	}
+	if _, degraded := sys.X.Degraded(); degraded {
+		t.Fatal("X server still degraded after reconnect")
+	}
+
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click after reconnect: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	h, err := app.OpenDevice(mic)
+	if err != nil {
+		t.Fatalf("open after reconnect = %v, want grant", err)
+	}
+	_ = h.Close()
+}
+
+// TestAlertRenderFailureIsNotSilent: a failed alert render neither
+// blocks the (already decided) grant nor disappears — the failure is
+// counted and the alert is kept in history, flagged.
+func TestAlertRenderFailureIsNotSilent(t *testing.T) {
+	inj, err := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointAlertRender,
+		Kind:  faultinject.KindError,
+		Count: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys, mic := bootWithFaults(t, inj)
+	app := launchSettled(t, sys, "recorder")
+
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	h, err := app.OpenDevice(mic)
+	if err != nil {
+		t.Fatalf("open = %v, want grant despite render failure", err)
+	}
+	_ = h.Close()
+
+	if got := sys.X.StatsSnapshot().AlertRenderFailures; got != 1 {
+		t.Fatalf("AlertRenderFailures = %d, want 1", got)
+	}
+	if len(sys.ActiveAlerts()) != 0 {
+		t.Error("failed render still listed as an active overlay")
+	}
+	hist := sys.X.AlertHistory()
+	if len(hist) == 0 || !hist[len(hist)-1].RenderFailed {
+		t.Fatalf("render failure not recorded in history: %+v", hist)
+	}
+}
+
+// TestTransientOpenFaultDenoted: an injected transient kernel error on
+// the open path converts to a denial with an audit record (fail
+// closed, not silent) and does not poison later opens.
+func TestTransientOpenFaultDenoted(t *testing.T) {
+	inj, err := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointKernelOpen,
+		Kind:  faultinject.KindError,
+		Count: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys, mic := bootWithFaults(t, inj)
+	app := launchSettled(t, sys, "recorder")
+
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	before := len(sys.Audit())
+	if _, err := app.OpenDevice(mic); !errors.Is(err, kernel.ErrTransientIO) {
+		t.Fatalf("open = %v, want ErrTransientIO", err)
+	}
+	audit := sys.Audit()
+	if len(audit) <= before {
+		t.Fatal("transient open failure left no audit record")
+	}
+	last := audit[len(audit)-1]
+	if last.Verdict != monitor.VerdictDeny || !strings.Contains(last.Reason, "fail closed") {
+		t.Fatalf("audit record = %+v, want fail-closed denial", last)
+	}
+
+	// The very next open (fault exhausted) must behave normally.
+	h, err := app.OpenDevice(mic)
+	if err != nil {
+		t.Fatalf("open after fault = %v, want grant", err)
+	}
+	_ = h.Close()
+}

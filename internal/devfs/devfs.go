@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
+	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 )
 
@@ -63,7 +65,14 @@ func devPrefixFor(c Class) (dir, prefix string) {
 var (
 	ErrUnknownDevice = errors.New("unknown device")
 	ErrNotSensitive  = errors.New("class is not privacy-sensitive")
+	// ErrHelperDown is returned while the trusted helper is crashed;
+	// Restart brings it back.
+	ErrHelperDown = errors.New("devfs: trusted helper is down")
 )
+
+// JournalPath is where the helper persists its device-class map (in
+// the simulated filesystem) so a restart after a crash can rebuild it.
+const JournalPath = "/var/run/overhaul-devd.journal"
 
 // MappingSink receives path→class mapping updates from the trusted
 // helper. In the assembled system the kernel permission monitor
@@ -86,6 +95,8 @@ type Helper struct {
 	mu      sync.Mutex
 	counter map[Class]int
 	nodes   map[string]Class // path -> class
+	down    bool             // crashed; Restart recovers
+	faults  faultinject.Hook
 }
 
 // NewHelper creates the helper, ensuring the /dev hierarchy exists.
@@ -99,12 +110,75 @@ func NewHelper(fsys *fs.FS, sink MappingSink) (*Helper, error) {
 	if err := fsys.MkdirAll("/dev/snd", 0o755, fs.Root); err != nil {
 		return nil, fmt.Errorf("devfs: create /dev: %w", err)
 	}
+	if err := fsys.MkdirAll("/var/run", 0o755, fs.Root); err != nil {
+		return nil, fmt.Errorf("devfs: create /var/run: %w", err)
+	}
 	return &Helper{
 		fsys:    fsys,
 		sink:    sink,
 		counter: make(map[Class]int),
 		nodes:   make(map[string]Class),
 	}, nil
+}
+
+// SetFaultHook installs the fault-injection hook consulted at
+// PointDevfsPush (mapping pushes to the kernel) and PointDevfsCrash
+// (helper crash checkpoints mid-protocol). A nil hook disables
+// injection.
+func (h *Helper) SetFaultHook(hook faultinject.Hook) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faults = hook
+}
+
+// crashLocked evaluates one crash checkpoint; if the fault fires the
+// helper marks itself down and the caller must abort mid-operation,
+// leaving whatever inconsistent state the checkpoint implies for
+// Restart to reconcile. Requires h.mu held.
+func (h *Helper) crashLocked(where string) error {
+	if faultinject.Eval(h.faults, faultinject.PointDevfsCrash).Injected() {
+		h.down = true
+		return fmt.Errorf("%w: crashed %s", ErrHelperDown, where)
+	}
+	return nil
+}
+
+// push delivers one mapping update to the kernel through the wire
+// codec, exercising encode → (fault point) → decode on every update
+// exactly as the real helper's messages would traverse the channel.
+// Requires h.mu held (the sink call is made while holding it; sinks
+// must not call back into the helper).
+func (h *Helper) pushLocked(m MappingMsg) error {
+	wire, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if f := faultinject.Eval(h.faults, faultinject.PointDevfsPush); f.Kind == faultinject.KindError {
+		return fmt.Errorf("devfs push %s %s: %w", m.Op, m.Path, f.Err)
+	}
+	decoded, err := DecodeMapping(wire)
+	if err != nil {
+		return err
+	}
+	if decoded.Op == OpMap {
+		return h.sink.UpdateMapping(decoded.Path, decoded.Class)
+	}
+	return h.sink.RemoveMapping(decoded.Path)
+}
+
+// Down reports whether the helper is currently crashed.
+func (h *Helper) Down() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down
+}
+
+// Crash forces the helper down (as if the process died), without
+// touching any state. Used by chaos campaigns and tests.
+func (h *Helper) Crash() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.down = true
 }
 
 // Attach simulates hotplug of a device of the given class: it allocates
@@ -118,6 +192,12 @@ func (h *Helper) Attach(class Class) (string, error) {
 
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.down {
+		return "", fmt.Errorf("devfs attach %q: %w", class, ErrHelperDown)
+	}
+	if err := h.crashLocked("before mknod"); err != nil {
+		return "", fmt.Errorf("devfs attach %q: %w", class, err)
+	}
 
 	dir, prefix := devPrefixFor(class)
 	idx := h.counter[class]
@@ -133,13 +213,32 @@ func (h *Helper) Attach(class Class) (string, error) {
 	if err := h.fsys.Mknod(path, string(class), 0o666, fs.Root); err != nil {
 		return "", fmt.Errorf("devfs attach %q: %w", class, err)
 	}
-	if err := h.sink.UpdateMapping(path, class); err != nil {
+	if err := h.crashLocked("after mknod, before push"); err != nil {
+		// The node exists but the kernel was never told: Restart's
+		// orphan scan will unlink it.
+		return "", fmt.Errorf("devfs attach %q: %w", class, err)
+	}
+	if err := h.pushLocked(MappingMsg{Op: OpMap, Path: path, Class: class}); err != nil {
 		// Roll back the node: a device the kernel does not know
 		// about must not exist, or mediation would be bypassed.
 		_ = h.fsys.Unlink(path, fs.Root)
 		return "", fmt.Errorf("devfs attach %q: push mapping: %w", class, err)
 	}
+	if err := h.crashLocked("after push, before journal"); err != nil {
+		// The kernel learned the mapping but the journal did not:
+		// Restart treats the un-journaled node as untrusted and
+		// removes both node and mapping (fail closed).
+		return "", fmt.Errorf("devfs attach %q: %w", class, err)
+	}
 	h.nodes[path] = class
+	if err := h.writeJournalLocked(); err != nil {
+		// A mapping the journal cannot persist would silently vanish
+		// across a restart; undo the whole attach instead.
+		delete(h.nodes, path)
+		_ = h.sink.RemoveMapping(path)
+		_ = h.fsys.Unlink(path, fs.Root)
+		return "", fmt.Errorf("devfs attach %q: journal: %w", class, err)
+	}
 	return path, nil
 }
 
@@ -147,17 +246,34 @@ func (h *Helper) Attach(class Class) (string, error) {
 func (h *Helper) Detach(path string) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.down {
+		return fmt.Errorf("devfs detach %s: %w", path, ErrHelperDown)
+	}
 
 	if _, ok := h.nodes[path]; !ok {
 		return fmt.Errorf("devfs detach %s: %w", path, ErrUnknownDevice)
 	}
-	if err := h.sink.RemoveMapping(path); err != nil {
+	if err := h.crashLocked("before unmap"); err != nil {
+		// Nothing changed; after Restart the device is still attached
+		// and mediated.
+		return fmt.Errorf("devfs detach %s: %w", path, err)
+	}
+	if err := h.pushLocked(MappingMsg{Op: OpUnmap, Path: path}); err != nil {
 		return fmt.Errorf("devfs detach %s: pull mapping: %w", path, err)
+	}
+	if err := h.crashLocked("after unmap, before unlink"); err != nil {
+		// The kernel already dropped the mapping but the node and
+		// journal entry remain; Restart re-pushes the journaled
+		// mapping, so the device comes back mediated.
+		return fmt.Errorf("devfs detach %s: %w", path, err)
 	}
 	if err := h.fsys.Unlink(path, fs.Root); err != nil {
 		return fmt.Errorf("devfs detach %s: %w", path, err)
 	}
 	delete(h.nodes, path)
+	if err := h.writeJournalLocked(); err != nil {
+		return fmt.Errorf("devfs detach %s: journal: %w", path, err)
+	}
 	return nil
 }
 
@@ -184,6 +300,152 @@ func (h *Helper) Paths() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// writeJournalLocked persists the helper's state (name counters and
+// the device-class map) to JournalPath. The journal is rewritten whole
+// on every mutation; its size is bounded by the number of attached
+// devices. Requires h.mu held.
+func (h *Helper) writeJournalLocked() error {
+	var b strings.Builder
+	b.WriteString(ProtocolMagic + "\n")
+	classes := make([]string, 0, len(h.counter))
+	for c := range h.counter {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		b.WriteString("counter " + c + " " + strconv.Itoa(h.counter[Class(c)]) + "\n")
+	}
+	for _, p := range sortedPaths(h.nodes) {
+		b.WriteString("node " + p + " " + string(h.nodes[p]) + "\n")
+	}
+	return h.fsys.WriteFile(JournalPath, []byte(b.String()), 0o600, fs.Root)
+}
+
+// sortedPaths returns the map's keys in lexical order; every
+// journal-driven walk uses it so the helper's kernel pushes (and any
+// fault-point evaluations they trigger) happen in a stable order.
+func sortedPaths(nodes map[string]Class) []string {
+	paths := make([]string, 0, len(nodes))
+	for p := range nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// loadJournal parses the journal file; a missing journal yields empty
+// state (first boot).
+func (h *Helper) loadJournal() (map[Class]int, map[string]Class, error) {
+	counter := make(map[Class]int)
+	nodes := make(map[string]Class)
+	data, err := h.fsys.ReadFile(JournalPath, fs.Root)
+	if errors.Is(err, fs.ErrNotExist) {
+		return counter, nodes, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("devfs journal: %w", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != ProtocolMagic {
+		return nil, nil, fmt.Errorf("devfs journal: bad magic")
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 3 && fields[0] == "counter":
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("devfs journal: bad counter %q", line)
+			}
+			counter[Class(fields[1])] = n
+		case len(fields) == 3 && fields[0] == "node":
+			if !isSensitive(Class(fields[2])) || !validDevicePath(fields[1]) {
+				return nil, nil, fmt.Errorf("devfs journal: bad node %q", line)
+			}
+			nodes[fields[1]] = Class(fields[2])
+		default:
+			return nil, nil, fmt.Errorf("devfs journal: bad line %q", line)
+		}
+	}
+	return counter, nodes, nil
+}
+
+// Restart recovers a crashed helper: it reloads the journal, resyncs
+// the kernel's mapping from it, and reconciles /dev against it —
+// journaled nodes that vanished are unmapped, and device nodes that
+// carry a sensitive-class name but appear in no journal entry are
+// removed along with any kernel mapping (fail closed: a node the
+// trusted helper cannot vouch for must not exist). The device-class
+// map therefore survives any crash point in Attach/Detach.
+func (h *Helper) Restart() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	counter, nodes, err := h.loadJournal()
+	if err != nil {
+		return err
+	}
+
+	// Drop journal entries whose node no longer exists, unmapping them
+	// in the kernel. Paths are visited in sorted order so that the
+	// sequence of fault-point evaluations is reproducible.
+	for _, path := range sortedPaths(nodes) {
+		if _, err := h.fsys.Stat(path); errors.Is(err, fs.ErrNotExist) {
+			delete(nodes, path)
+			if err := h.pushLocked(MappingMsg{Op: OpUnmap, Path: path}); err != nil {
+				return fmt.Errorf("devfs restart: unmap vanished %s: %w", path, err)
+			}
+		} else if err != nil {
+			return fmt.Errorf("devfs restart: %w", err)
+		}
+	}
+
+	// Remove sensitive-looking nodes the journal does not vouch for
+	// (e.g. created by an attach that crashed before journaling).
+	for _, class := range SensitiveClasses() {
+		dir, prefix := devPrefixFor(class)
+		names, err := h.fsys.ReadDir(dir, fs.Root)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("devfs restart: scan %s: %w", dir, err)
+		}
+		for _, name := range names {
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			path := dir + "/" + name
+			st, err := h.fsys.Stat(path)
+			if err != nil || st.Kind != fs.KindDevice {
+				continue
+			}
+			if _, ok := nodes[path]; ok {
+				continue
+			}
+			if err := h.fsys.Unlink(path, fs.Root); err != nil {
+				return fmt.Errorf("devfs restart: remove orphan %s: %w", path, err)
+			}
+			if err := h.pushLocked(MappingMsg{Op: OpUnmap, Path: path}); err != nil {
+				return fmt.Errorf("devfs restart: unmap orphan %s: %w", path, err)
+			}
+		}
+	}
+
+	// Resync the kernel's map from the surviving journal entries, in
+	// sorted order (reproducible fault-evaluation sequence).
+	for _, path := range sortedPaths(nodes) {
+		if err := h.pushLocked(MappingMsg{Op: OpMap, Path: path, Class: nodes[path]}); err != nil {
+			return fmt.Errorf("devfs restart: resync %s: %w", path, err)
+		}
+	}
+
+	h.counter = counter
+	h.nodes = nodes
+	h.down = false
+	return h.writeJournalLocked()
 }
 
 func isSensitive(c Class) bool {

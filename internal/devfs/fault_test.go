@@ -1,0 +1,184 @@
+package devfs
+
+import (
+	"errors"
+	"testing"
+
+	"overhaul/internal/faultinject"
+	"overhaul/internal/fs"
+)
+
+// crashAfter returns a hook that crashes the helper on the n-th
+// evaluation of the crash point.
+func crashAfter(n int) faultinject.Hook {
+	seen := 0
+	return func(p faultinject.Point) faultinject.Fault {
+		if p != faultinject.PointDevfsCrash {
+			return faultinject.Fault{Point: p}
+		}
+		seen++
+		if seen == n {
+			return faultinject.Fault{Point: p, Kind: faultinject.KindCrash}
+		}
+		return faultinject.Fault{Point: p}
+	}
+}
+
+// TestHelperCrashMidAttachRestart walks every crash window of the
+// attach protocol: whichever instant the helper dies, a Restart must
+// reconcile journal, filesystem and kernel map to a consistent state —
+// and previously attached devices keep their class mapping.
+func TestHelperCrashMidAttachRestart(t *testing.T) {
+	// Crash windows inside Attach, in evaluation order.
+	for _, tc := range []struct {
+		name       string
+		crashEval  int
+		wantMapped bool // is the new camera attached after Restart?
+	}{
+		{name: "before mknod", crashEval: 1, wantMapped: false},
+		{name: "after mknod before push", crashEval: 2, wantMapped: false},
+		{name: "after push before journal", crashEval: 3, wantMapped: false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h, fsys, sink := newTestHelper(t)
+			mic, err := h.Attach(ClassMicrophone)
+			if err != nil {
+				t.Fatalf("Attach mic: %v", err)
+			}
+			h.SetFaultHook(crashAfter(tc.crashEval))
+
+			_, err = h.Attach(ClassCamera)
+			if !errors.Is(err, ErrHelperDown) {
+				t.Fatalf("Attach during crash = %v, want ErrHelperDown", err)
+			}
+			if !h.Down() {
+				t.Fatal("helper not marked down after crash")
+			}
+			// Down helper refuses all work.
+			if _, err := h.Attach(ClassScanner); !errors.Is(err, ErrHelperDown) {
+				t.Fatalf("Attach while down = %v, want ErrHelperDown", err)
+			}
+
+			if err := h.Restart(); err != nil {
+				t.Fatalf("Restart: %v", err)
+			}
+			if h.Down() {
+				t.Fatal("helper still down after Restart")
+			}
+
+			// The microphone's mapping survived the crash+restart.
+			if c, ok := sink.classOf(mic); !ok || c != ClassMicrophone {
+				t.Fatalf("mic mapping after restart = (%q,%v), want microphone", c, ok)
+			}
+			// The half-attached camera is fully rolled back: no stray
+			// unmapped node (fail closed — an unmapped sensitive node
+			// would dodge mediation) and no stray mapping.
+			if c, ok := sink.classOf("/dev/video0"); ok && tc.wantMapped == false {
+				t.Fatalf("half-attached camera still mapped as %q", c)
+			}
+			if _, err := fsys.Stat("/dev/video0"); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("half-attached camera node still present (err=%v)", err)
+			}
+
+			// The helper is fully operational again and does not reuse
+			// a stale name for the rolled-back node.
+			cam, err := h.Attach(ClassCamera)
+			if err != nil {
+				t.Fatalf("Attach after restart: %v", err)
+			}
+			if c, ok := sink.classOf(cam); !ok || c != ClassCamera {
+				t.Fatalf("camera mapping after re-attach = (%q,%v)", c, ok)
+			}
+		})
+	}
+}
+
+// TestHelperCrashMidDetachRestart crashes the helper between the
+// kernel unmap and the node unlink; Restart must restore the
+// journal-vouched mapping so the still-present node stays mediated.
+func TestHelperCrashMidDetachRestart(t *testing.T) {
+	h, fsys, sink := newTestHelper(t)
+	mic, err := h.Attach(ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	// Detach evaluates the crash point twice: before unmap, then
+	// between unmap and unlink. Crash at the second window.
+	h.SetFaultHook(crashAfter(2))
+	if err := h.Detach(mic); !errors.Is(err, ErrHelperDown) {
+		t.Fatalf("Detach = %v, want ErrHelperDown", err)
+	}
+	// The dangerous interim state: node exists but kernel no longer
+	// maps it.
+	if _, err := fsys.Stat(mic); err != nil {
+		t.Fatalf("node vanished during crash window: %v", err)
+	}
+	if _, ok := sink.classOf(mic); ok {
+		t.Fatal("mapping should be gone mid-detach")
+	}
+
+	if err := h.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	// The journal still vouches for the node, so the mapping is back.
+	if c, ok := sink.classOf(mic); !ok || c != ClassMicrophone {
+		t.Fatalf("mapping after restart = (%q,%v), want microphone restored", c, ok)
+	}
+	// And a clean detach now completes.
+	if err := h.Detach(mic); err != nil {
+		t.Fatalf("Detach after restart: %v", err)
+	}
+	if _, ok := sink.classOf(mic); ok {
+		t.Fatal("mapping survived clean detach")
+	}
+}
+
+// TestRestartRemovesOrphanNodes: a sensitive-looking device node that
+// the journal does not vouch for is removed on restart and its
+// (possibly stale) kernel mapping dropped — fail closed: better no
+// device than an unmediated one.
+func TestRestartRemovesOrphanNodes(t *testing.T) {
+	h, fsys, sink := newTestHelper(t)
+	if _, err := h.Attach(ClassMicrophone); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	// Plant an orphan camera node behind the helper's back.
+	if err := fsys.Mknod("/dev/video7", "camera", 0o666, fs.Root); err != nil {
+		t.Fatalf("Mknod: %v", err)
+	}
+	h.Crash()
+	if err := h.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if _, err := fsys.Stat("/dev/video7"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("orphan node survived restart (err=%v)", err)
+	}
+	if c, ok := sink.classOf("/dev/snd/pcmC0D0c"); !ok || c != ClassMicrophone {
+		t.Fatalf("journaled mic lost in restart: (%q,%v)", c, ok)
+	}
+}
+
+// TestPushFaultFailsAttachCleanly: an injected push failure (the
+// helper→kernel message dropped) aborts the attach with full rollback
+// rather than leaving an unmediated node.
+func TestPushFaultFailsAttachCleanly(t *testing.T) {
+	h, fsys, sink := newTestHelper(t)
+	h.SetFaultHook(func(p faultinject.Point) faultinject.Fault {
+		if p == faultinject.PointDevfsPush {
+			return faultinject.Fault{Point: p, Kind: faultinject.KindError}
+		}
+		return faultinject.Fault{Point: p}
+	})
+	if _, err := h.Attach(ClassCamera); err == nil {
+		t.Fatal("Attach with dropped push should fail")
+	}
+	if h.Down() {
+		t.Fatal("push fault is not a crash; helper must stay up")
+	}
+	if _, err := fsys.Stat("/dev/video0"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("node left behind after failed push (err=%v)", err)
+	}
+	if _, ok := sink.classOf("/dev/video0"); ok {
+		t.Fatal("mapping left behind after failed push")
+	}
+}

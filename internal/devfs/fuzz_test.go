@@ -1,0 +1,94 @@
+package devfs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzMappingCodec drives arbitrary bytes through the helper→kernel
+// mapping-protocol decoder. The seam's contract under fuzzing:
+//
+//   - malformed input returns an error — never a panic;
+//   - anything the decoder accepts satisfies every protocol invariant
+//     (sensitive class on map, no class on unmap, strict device path);
+//   - accepted messages round-trip byte-identically through Encode,
+//     so the decoder cannot launder an untrusted name into a mapping
+//     the trusted helper could not itself have produced.
+func FuzzMappingCodec(f *testing.F) {
+	f.Add([]byte(ProtocolMagic + " map /dev/video0 camera"))
+	f.Add([]byte(ProtocolMagic + " unmap /dev/video0"))
+	f.Add([]byte(ProtocolMagic + " map /dev/snd/pcmC0D0c microphone"))
+	f.Add([]byte(ProtocolMagic + " map /dev/../etc/passwd camera"))
+	f.Add([]byte(ProtocolMagic + " map /dev/video0 keyboard"))
+	f.Add([]byte(ProtocolMagic + " unmap /dev/video0 camera"))
+	f.Add([]byte("overhaul-devd/0 map /dev/video0 camera"))
+	f.Add([]byte(ProtocolMagic + " map /dev/vid\x00eo0 camera"))
+	f.Add([]byte(ProtocolMagic + "  map /dev/video0 camera"))
+	f.Add([]byte(strings.Repeat("A", maxMsgLen+1)))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMapping(data)
+		if err != nil {
+			if m != (MappingMsg{}) {
+				t.Fatalf("decode error %v but non-zero message %+v", err, m)
+			}
+			return
+		}
+
+		// Accepted ⇒ every invariant of the trusted protocol holds.
+		switch m.Op {
+		case OpMap:
+			if !isSensitive(m.Class) {
+				t.Fatalf("decoder accepted non-sensitive class %q from %q", m.Class, data)
+			}
+		case OpUnmap:
+			if m.Class != "" {
+				t.Fatalf("decoder accepted unmap with class %q from %q", m.Class, data)
+			}
+		default:
+			t.Fatalf("decoder accepted unknown op %q from %q", m.Op, data)
+		}
+		if !validDevicePath(m.Path) {
+			t.Fatalf("decoder accepted untrusted path %q from %q", m.Path, data)
+		}
+
+		// Accepted ⇒ canonical: re-encoding reproduces the input, so
+		// no two distinct wire forms decode to the same mapping.
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted message %+v does not re-encode: %v", m, err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("round trip mismatch: decoded %+v, re-encoded %q from %q", m, enc, data)
+		}
+	})
+}
+
+// FuzzMappingEncode drives arbitrary field values through Encode: it
+// must refuse anything invalid, and everything it emits must decode
+// back to the identical message.
+func FuzzMappingEncode(f *testing.F) {
+	f.Add("map", "/dev/video0", "camera")
+	f.Add("unmap", "/dev/video0", "")
+	f.Add("map", "/dev/snd/pcmC0D0c", "microphone")
+	f.Add("map", "/dev/a b", "camera")
+	f.Add("map", "/etc/passwd", "camera")
+	f.Add("format", "/dev/video0", "camera")
+
+	f.Fuzz(func(t *testing.T, op, path, class string) {
+		m := MappingMsg{Op: op, Path: path, Class: Class(class)}
+		enc, err := m.Encode()
+		if err != nil {
+			return
+		}
+		back, err := DecodeMapping(enc)
+		if err != nil {
+			t.Fatalf("Encode emitted undecodable %q: %v", enc, err)
+		}
+		if back != m {
+			t.Fatalf("round trip mismatch: %+v → %q → %+v", m, enc, back)
+		}
+	})
+}

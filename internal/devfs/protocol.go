@@ -1,0 +1,128 @@
+package devfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// The helper→kernel mapping protocol. The paper's trusted helper pushes
+// path→class updates to the kernel over an authenticated channel; this
+// codec pins down the wire format of those updates so that the seam can
+// be fuzzed: a malformed message must produce an error — never a panic,
+// and never a mapping from an untrusted name to a device class.
+//
+// Wire format (single line, ASCII, space-separated):
+//
+//	overhaul-devd/1 map /dev/video0 camera
+//	overhaul-devd/1 unmap /dev/video0
+const ProtocolMagic = "overhaul-devd/1"
+
+// Mapping message operations.
+const (
+	OpMap   = "map"
+	OpUnmap = "unmap"
+)
+
+// maxMsgLen bounds an encoded message; anything longer is rejected
+// before parsing.
+const maxMsgLen = 512
+
+// ErrBadMessage is returned for any malformed mapping message.
+var ErrBadMessage = errors.New("devfs: malformed mapping message")
+
+// MappingMsg is one helper→kernel mapping update.
+type MappingMsg struct {
+	Op    string // OpMap or OpUnmap
+	Path  string // absolute /dev path of the device node
+	Class Class  // sensitive class for OpMap; empty for OpUnmap
+}
+
+// validDevicePath reports whether p is an acceptable device-node path:
+// absolute under /dev, printable ASCII with no whitespace, and free of
+// empty, "." or ".." segments. The strictness is the point — the kernel
+// side must never accept a name the trusted helper could not have
+// produced.
+func validDevicePath(p string) bool {
+	if len(p) < len("/dev/x") || len(p) > 128 {
+		return false
+	}
+	if !strings.HasPrefix(p, "/dev/") {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if p[i] <= ' ' || p[i] >= 0x7f {
+			return false
+		}
+	}
+	for _, seg := range strings.Split(p[1:], "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks the message against the protocol's invariants.
+func (m MappingMsg) validate() error {
+	switch m.Op {
+	case OpMap:
+		if !isSensitive(m.Class) {
+			return fmt.Errorf("%w: class %q is not sensitive", ErrBadMessage, m.Class)
+		}
+	case OpUnmap:
+		if m.Class != "" {
+			return fmt.Errorf("%w: unmap carries a class", ErrBadMessage)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %q", ErrBadMessage, m.Op)
+	}
+	if !validDevicePath(m.Path) {
+		return fmt.Errorf("%w: bad device path %q", ErrBadMessage, m.Path)
+	}
+	return nil
+}
+
+// Encode serialises the message, refusing to emit anything invalid.
+func (m MappingMsg) Encode() ([]byte, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if m.Op == OpMap {
+		return []byte(ProtocolMagic + " " + OpMap + " " + m.Path + " " + string(m.Class)), nil
+	}
+	return []byte(ProtocolMagic + " " + OpUnmap + " " + m.Path), nil
+}
+
+// DecodeMapping parses and validates one mapping message. Any
+// deviation from the protocol — wrong magic, wrong field count,
+// unknown op, non-sensitive class, suspicious path — returns
+// ErrBadMessage.
+func DecodeMapping(b []byte) (MappingMsg, error) {
+	if len(b) > maxMsgLen {
+		return MappingMsg{}, fmt.Errorf("%w: %d bytes exceeds limit", ErrBadMessage, len(b))
+	}
+	fields := strings.Split(string(b), " ")
+	if len(fields) < 3 || fields[0] != ProtocolMagic {
+		return MappingMsg{}, fmt.Errorf("%w: bad framing", ErrBadMessage)
+	}
+	var m MappingMsg
+	switch fields[1] {
+	case OpMap:
+		if len(fields) != 4 {
+			return MappingMsg{}, fmt.Errorf("%w: map wants 4 fields, got %d", ErrBadMessage, len(fields))
+		}
+		m = MappingMsg{Op: OpMap, Path: fields[2], Class: Class(fields[3])}
+	case OpUnmap:
+		if len(fields) != 3 {
+			return MappingMsg{}, fmt.Errorf("%w: unmap wants 3 fields, got %d", ErrBadMessage, len(fields))
+		}
+		m = MappingMsg{Op: OpUnmap, Path: fields[2]}
+	default:
+		return MappingMsg{}, fmt.Errorf("%w: unknown op %q", ErrBadMessage, fields[1])
+	}
+	if err := m.validate(); err != nil {
+		return MappingMsg{}, err
+	}
+	return m, nil
+}

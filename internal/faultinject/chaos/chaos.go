@@ -1,0 +1,505 @@
+// Package chaos runs seeded fault-injection campaigns against a fully
+// assembled Overhaul system and checks its fail-closed invariants
+// online.
+//
+// A Campaign is completely determined by its seed: the fault schedule
+// comes from a seeded faultinject.Injector, the operation script from a
+// second seeded generator, and time from a virtual clock — two runs of
+// the same campaign produce byte-identical transcripts (fault events,
+// decisions, audit records and alerts). After every step the runner
+// asserts the two invariants the paper's security argument rests on,
+// extended to component failure:
+//
+//  1. No grant without a fresh hardware-input stamp: every granted
+//     decision in the audit log carries a non-zero stamp within δ of
+//     the operation.
+//  2. No silent denial: every mediated operation that failed left
+//     evidence — a deny record in the audit log, or the distinct
+//     "protection degraded" alert announcing that enforcement itself
+//     is down.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"overhaul/internal/auditlog"
+	"overhaul/internal/clock"
+	"overhaul/internal/core"
+	"overhaul/internal/devfs"
+	"overhaul/internal/faultinject"
+	"overhaul/internal/fs"
+	"overhaul/internal/ipc"
+	"overhaul/internal/kernel"
+	"overhaul/internal/monitor"
+	"overhaul/internal/xserver"
+)
+
+// DefaultSteps is the campaign length when none is given.
+const DefaultSteps = 200
+
+// Campaign describes one seeded chaos run.
+type Campaign struct {
+	// Seed determines the fault schedule and the operation script.
+	Seed int64
+	// Steps is the number of scripted operations. Zero selects
+	// DefaultSteps.
+	Steps int
+	// Rules arm the fault injector. Nil runs a fault-free campaign
+	// (the invariants must hold there too).
+	Rules []faultinject.Rule
+	// KillChannelAt, when positive, severs the kernel↔X netlink
+	// connection before the given (1-based) step — the mid-session
+	// channel-death scenario.
+	KillChannelAt int
+	// ReconnectAt, when positive, re-establishes the channel before
+	// the given step (must be after KillChannelAt to matter).
+	ReconnectAt int
+	// Threshold is δ. Zero selects monitor.DefaultThreshold.
+	Threshold time.Duration
+}
+
+// Violation is one invariant breach found by the online checker.
+type Violation struct {
+	Step      int    `json:"step"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// Result is the deterministic outcome of a campaign.
+type Result struct {
+	Seed       int64         `json:"seed"`
+	Steps      int           `json:"steps"`
+	Events     []string      `json:"events"`
+	Schedule   string        `json:"schedule"`
+	AuditLines []string      `json:"audit"`
+	AlertLines []string      `json:"alerts"`
+	Violations []Violation   `json:"violations"`
+	Monitor    monitor.Stats `json:"monitor_stats"`
+	Kernel     kernel.Stats  `json:"kernel_stats"`
+	X          xserver.Stats `json:"x_stats"`
+	Degraded   bool          `json:"degraded"`
+}
+
+// Ok reports whether every invariant held.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// Transcript renders the full deterministic record of the run; two
+// runs with the same campaign must produce byte-identical transcripts.
+func (r *Result) Transcript() string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("chaos campaign seed=%d steps=%d\n", r.Seed, r.Steps))
+	b.WriteString("== events ==\n")
+	for _, e := range r.Events {
+		b.WriteString(e + "\n")
+	}
+	b.WriteString("== fault schedule ==\n")
+	b.WriteString(r.Schedule)
+	b.WriteString("== audit ==\n")
+	for _, l := range r.AuditLines {
+		b.WriteString(l + "\n")
+	}
+	b.WriteString("== alerts ==\n")
+	for _, l := range r.AlertLines {
+		b.WriteString(l + "\n")
+	}
+	b.WriteString("== violations ==\n")
+	for _, v := range r.Violations {
+		b.WriteString(fmt.Sprintf("step %d [%s]: %s\n", v.Step, v.Invariant, v.Detail))
+	}
+	return b.String()
+}
+
+// runner carries the campaign's live state.
+type runner struct {
+	c         Campaign
+	threshold time.Duration
+	sys       *core.System
+	inj       *faultinject.Injector
+	rng       *rand.Rand
+	armed     bool
+	mic, cam  string
+	apps      []*core.App
+	shmA      *ipc.Mapping
+	shmB      *ipc.Mapping
+	scanners  []string
+	res       *Result
+}
+
+// hook gates the injector behind r.armed so that the setup and the
+// end-of-run probes run fault-free; only scripted steps inject. The
+// campaign is single-goroutine, so the flag needs no lock.
+func (r *runner) hook() faultinject.Hook {
+	return func(p faultinject.Point) faultinject.Fault {
+		if !r.armed {
+			return faultinject.Fault{Point: p}
+		}
+		return r.inj.Eval(p)
+	}
+}
+
+func (r *runner) event(step int, format string, args ...any) {
+	prefix := fmt.Sprintf("step %03d ", step)
+	if step == 0 {
+		prefix = "setup    "
+	}
+	r.res.Events = append(r.res.Events, prefix+fmt.Sprintf(format, args...))
+}
+
+func (r *runner) violate(step int, invariant, format string, args ...any) {
+	r.res.Violations = append(r.res.Violations, Violation{
+		Step:      step,
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the campaign and returns its deterministic result. The
+// returned error covers only harness failures (bad rules, boot
+// failure); invariant breaches are reported in Result.Violations.
+func Run(c Campaign) (*Result, error) {
+	if c.Steps <= 0 {
+		c.Steps = DefaultSteps
+	}
+	inj, err := faultinject.New(c.Seed, c.Rules...)
+	if err != nil {
+		return nil, err
+	}
+	clk := clock.NewSimulated()
+	inj.SetClock(clk)
+
+	threshold := c.Threshold
+	if threshold == 0 {
+		threshold = monitor.DefaultThreshold
+	}
+
+	r := &runner{
+		c:         c,
+		threshold: threshold,
+		inj:       inj,
+		// A distinct stream from the injector's: faults and script are
+		// independent dimensions of the same seed.
+		rng: rand.New(rand.NewSource(c.Seed ^ 0x5eed0fca0515)),
+		res: &Result{Seed: c.Seed, Steps: c.Steps},
+	}
+
+	sys, err := core.Boot(core.Options{
+		Clock:       clk,
+		Enforce:     true,
+		Threshold:   c.Threshold,
+		AlertSecret: "chaos-cat",
+		FaultHook:   r.hook(),
+		// Large enough that the checker never loses records to ring
+		// eviction mid-campaign.
+		AuditCapacity: 1 << 16,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: boot: %w", err)
+	}
+	r.sys = sys
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+
+	r.armed = true
+	for step := 1; step <= c.Steps; step++ {
+		if step == c.KillChannelAt {
+			_ = sys.DisconnectX()
+			r.event(step, "kill-channel")
+		}
+		if step == c.ReconnectAt && c.ReconnectAt > c.KillChannelAt {
+			if err := sys.ReconnectX(); err != nil {
+				r.event(step, "reconnect-channel: %v", err)
+			} else {
+				r.event(step, "reconnect-channel")
+			}
+		}
+		r.step(step)
+	}
+	r.armed = false
+
+	r.finish()
+
+	r.res.Schedule = inj.Schedule()
+	for _, d := range sys.Audit() {
+		r.res.AuditLines = append(r.res.AuditLines, auditlog.FormatDecision(d))
+	}
+	for _, a := range sys.X.AlertHistory() {
+		r.res.AlertLines = append(r.res.AlertLines, formatAlert(a))
+	}
+	r.res.Monitor = sys.Kernel.Monitor().StatsSnapshot()
+	r.res.Kernel = sys.Kernel.StatsSnapshot()
+	r.res.X = sys.X.StatsSnapshot()
+	_, r.res.Degraded = sys.Kernel.Monitor().DegradedReason()
+	return r.res, nil
+}
+
+func formatAlert(a xserver.Alert) string {
+	return fmt.Sprintf("%s alert pid=%d op=%s blocked=%v degraded=%v renderfailed=%v msg=%q",
+		a.ShownAt.Format("15:04:05.000"),
+		a.PID, a.Op, a.Blocked, a.Degraded, a.RenderFailed, a.Message)
+}
+
+// setup boots the fixed scenario: microphone and camera attached, two
+// GUI applications launched and settled past the visibility threshold,
+// and a shared-memory segment mapped into both.
+func (r *runner) setup() error {
+	sys := r.sys
+	var err error
+	if r.mic, err = sys.Helper.Attach(devfs.ClassMicrophone); err != nil {
+		return fmt.Errorf("chaos: attach mic: %w", err)
+	}
+	if r.cam, err = sys.Helper.Attach(devfs.ClassCamera); err != nil {
+		return fmt.Errorf("chaos: attach cam: %w", err)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		app, err := sys.Launch(name)
+		if err != nil {
+			return fmt.Errorf("chaos: launch %s: %w", name, err)
+		}
+		r.apps = append(r.apps, app)
+	}
+	seg, err := sys.Kernel.ShmGet(1, 4)
+	if err != nil {
+		return fmt.Errorf("chaos: shmget: %w", err)
+	}
+	r.shmA = seg.Map(r.apps[0].Proc.PID())
+	r.shmB = seg.Map(r.apps[1].Proc.PID())
+	sys.Settle(1500 * time.Millisecond)
+	r.event(0, "mic=%s cam=%s apps=alpha,beta", r.mic, r.cam)
+	return nil
+}
+
+// step runs one scripted operation and then the invariant checks.
+func (r *runner) step(step int) {
+	app := r.apps[r.rng.Intn(len(r.apps))]
+	before := len(r.sys.Audit())
+	deniedOp := ""
+
+	switch op := r.rng.Intn(10); op {
+	case 0: // user clicks
+		r.event(step, "click %s: %s", app.Client.Name(), outcome(app.Click()))
+	case 1: // time passes
+		d := time.Duration(100+r.rng.Intn(800)) * time.Millisecond
+		r.sys.Settle(d)
+		r.event(step, "advance %v", d)
+	case 2, 3: // device opens
+		path := r.mic
+		if op == 3 {
+			path = r.cam
+		}
+		h, err := app.OpenDevice(path)
+		if err == nil {
+			_ = h.Close()
+		}
+		if mediatedDenial(err) {
+			deniedOp = fmt.Sprintf("open %s", path)
+		}
+		r.event(step, "open %s by %s: %s", path, app.Client.Name(), outcome(err))
+	case 4: // clipboard copy
+		err := app.Client.SetSelection("CLIPBOARD", app.Win)
+		if errors.Is(err, xserver.ErrBadAccess) {
+			deniedOp = "copy"
+		}
+		r.event(step, "copy by %s: %s", app.Client.Name(), outcome(err))
+	case 5: // screen capture
+		_, err := app.Client.GetImage(xserver.Root)
+		if errors.Is(err, xserver.ErrBadAccess) {
+			deniedOp = "capture"
+		}
+		r.event(step, "capture by %s: %s", app.Client.Name(), outcome(err))
+	case 6: // shared-memory traffic (P2 propagation under timer faults)
+		err := r.shmA.Write(0, []byte{byte(step)})
+		if err == nil {
+			_, err = r.shmB.Read(0, 1)
+		}
+		r.event(step, "shm traffic: %s", outcome(err))
+	case 7: // fork + inherited-stamp device open (P1 under faults)
+		child, err := app.Proc.Fork()
+		if err != nil {
+			r.event(step, "fork %s: %s", app.Client.Name(), outcome(err))
+			break
+		}
+		h, err := r.sys.Kernel.Open(child, r.mic, fs.AccessRead)
+		if err == nil {
+			_ = h.Close()
+		}
+		if mediatedDenial(err) {
+			deniedOp = "forked open"
+		}
+		r.event(step, "fork+open by %s: %s", app.Client.Name(), outcome(err))
+		_ = child.Exit()
+	case 8: // hotplug churn through the (crashable) trusted helper
+		if p, err := r.sys.Helper.Attach(devfs.ClassScanner); err != nil {
+			r.event(step, "attach scanner: %s", outcome(err))
+		} else {
+			r.scanners = append(r.scanners, p)
+			r.event(step, "attach scanner: %s", p)
+		}
+		if n := len(r.scanners); n > 0 {
+			p := r.scanners[n-1]
+			if err := r.sys.Helper.Detach(p); err == nil {
+				r.scanners = r.scanners[:n-1]
+				r.event(step, "detach scanner %s: ok", p)
+			} else {
+				r.event(step, "detach scanner %s: %s", p, outcome(err))
+			}
+		}
+	case 9: // helper restart (protocol recovery)
+		if r.sys.Helper.Down() {
+			err := r.sys.Helper.Restart()
+			r.event(step, "helper restart: %s", outcome(err))
+			if err == nil {
+				r.checkHelperMap(step)
+			}
+		} else {
+			r.event(step, "helper up")
+		}
+	}
+
+	r.checkGrants(step, before)
+	if deniedOp != "" {
+		r.checkDenialEvidence(step, before, deniedOp)
+	}
+}
+
+// outcome renders an operation result deterministically.
+func outcome(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "ERR " + err.Error()
+}
+
+// mediatedDenial reports whether err is the kernel refusing a
+// sensitive-device open — by policy or by fail-closed conversion of an
+// injected fault.
+func mediatedDenial(err error) bool {
+	return errors.Is(err, kernel.ErrAccessDenied) || errors.Is(err, kernel.ErrTransientIO)
+}
+
+// checkGrants asserts invariant 1 on every audit record the step
+// appended: a grant must rest on a fresh hardware-input stamp.
+func (r *runner) checkGrants(step, before int) {
+	audit := r.sys.Audit()
+	for _, d := range audit[min(before, len(audit)):] {
+		if d.Verdict != monitor.VerdictGrant {
+			continue
+		}
+		if d.Stamp.IsZero() {
+			r.violate(step, "grant-without-stamp",
+				"pid %d op %s granted with zero stamp (reason %q)", d.PID, d.Op, d.Reason)
+			continue
+		}
+		if d.OpTime.Sub(d.Stamp) >= r.threshold {
+			r.violate(step, "grant-stale-stamp",
+				"pid %d op %s granted %v after stamp (δ=%v)", d.PID, d.Op, d.OpTime.Sub(d.Stamp), r.threshold)
+		}
+	}
+}
+
+// checkDenialEvidence asserts invariant 2 for a denial the script just
+// observed: a deny audit record from this step, or the recorded
+// protection-degraded alert.
+func (r *runner) checkDenialEvidence(step, before int, what string) {
+	audit := r.sys.Audit()
+	for _, d := range audit[min(before, len(audit)):] {
+		if d.Verdict == monitor.VerdictDeny {
+			return
+		}
+	}
+	for _, a := range r.sys.X.AlertHistory() {
+		if a.Degraded {
+			return
+		}
+	}
+	r.violate(step, "silent-denial", "%s denied with no audit record and no degraded alert", what)
+}
+
+// checkHelperMap asserts that a successful helper restart preserved
+// the kernel's device-class map for the fixed sensors.
+func (r *runner) checkHelperMap(step int) {
+	for _, want := range []struct {
+		path  string
+		class devfs.Class
+	}{{r.mic, devfs.ClassMicrophone}, {r.cam, devfs.ClassCamera}} {
+		if got, ok := r.sys.Kernel.SensitiveClassOf(want.path); !ok || got != want.class {
+			r.violate(step, "helper-map-lost",
+				"after restart %s maps to (%q,%v), want %s", want.path, got, ok, want.class)
+		}
+	}
+}
+
+// finish runs the end-of-run assertions. After a mid-session channel
+// kill (with no reconnect) the system must be visibly degraded: every
+// device access denies, and the distinct protection-degraded alert is
+// on record. After a reconnect the system must be healthy again.
+func (r *runner) finish() {
+	killed := r.c.KillChannelAt > 0 && r.c.KillChannelAt <= r.c.Steps
+	reconnected := killed && r.c.ReconnectAt > r.c.KillChannelAt && r.c.ReconnectAt <= r.c.Steps
+	step := r.c.Steps + 1
+
+	if killed && !reconnected {
+		// One more user interaction forces the channel loss to be
+		// detected even if no call failed since the kill.
+		_ = r.apps[0].Click()
+		before := len(r.sys.Audit())
+		for _, app := range r.apps {
+			for _, path := range []string{r.mic, r.cam} {
+				h, err := app.OpenDevice(path)
+				if err == nil {
+					_ = h.Close()
+					r.violate(step, "grant-after-channel-death",
+						"pid %d opened %s with the channel dead", app.Proc.PID(), path)
+				}
+			}
+		}
+		r.checkGrants(step, before)
+		degradedAlert := false
+		for _, a := range r.sys.X.AlertHistory() {
+			if a.Degraded && strings.Contains(a.Message, "protection degraded") {
+				degradedAlert = true
+				break
+			}
+		}
+		if !degradedAlert {
+			r.violate(step, "missing-degraded-alert",
+				"channel died at step %d but no protection-degraded alert was recorded", r.c.KillChannelAt)
+		}
+		if _, down := r.sys.Kernel.Monitor().DegradedReason(); !down {
+			r.violate(step, "monitor-not-degraded",
+				"channel dead but the monitor is not in degraded mode")
+		}
+		r.event(step, "post-kill probes done")
+		return
+	}
+
+	if reconnected {
+		if _, down := r.sys.Kernel.Monitor().DegradedReason(); down {
+			r.violate(step, "degraded-after-reconnect",
+				"channel reconnected at step %d but the monitor is still degraded", r.c.ReconnectAt)
+		}
+		before := len(r.sys.Audit())
+		if err := r.apps[0].Click(); err == nil {
+			r.sys.Settle(50 * time.Millisecond)
+			if h, err := r.apps[0].OpenDevice(r.mic); err != nil {
+				r.violate(step, "deny-after-reconnect",
+					"fresh interaction after reconnect still denied: %v", err)
+			} else {
+				_ = h.Close()
+			}
+		}
+		r.checkGrants(step, before)
+		r.event(step, "post-reconnect probes done")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+)
+
+func mustNew(t *testing.T, seed int64, rules ...Rule) *Injector {
+	t.Helper()
+	in, err := New(seed, rules...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return in
+}
+
+func TestEvalNoRulesNeverInjects(t *testing.T) {
+	in := mustNew(t, 1)
+	for i := 0; i < 100; i++ {
+		for _, p := range Points() {
+			if f := in.Eval(p); f.Injected() {
+				t.Fatalf("unarmed point %s injected %v", p, f.Kind)
+			}
+		}
+	}
+	if got := len(in.Events()); got != 0 {
+		t.Fatalf("events = %d, want 0", got)
+	}
+	if in.Evaluations() != 100*len(Points()) {
+		t.Fatalf("evaluations = %d", in.Evaluations())
+	}
+}
+
+func TestEvalDeterministicRule(t *testing.T) {
+	in := mustNew(t, 1, Rule{Point: PointKernelOpen, Kind: KindError, After: 2, Count: 3})
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, in.Eval(PointKernelOpen).Injected())
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("eval %d injected=%v, want %v (after=2 count=3)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvalErrorWrapsErrInjected(t *testing.T) {
+	in := mustNew(t, 1, Rule{Point: PointStampWrite, Kind: KindError})
+	f := in.Eval(PointStampWrite)
+	if !f.Injected() || f.Err == nil {
+		t.Fatalf("fault = %+v, want armed error", f)
+	}
+	if !errors.Is(f.Err, ErrInjected) {
+		t.Fatalf("err %v does not wrap ErrInjected", f.Err)
+	}
+}
+
+func TestEvalSeededSequencesMatch(t *testing.T) {
+	rules := []Rule{
+		{Point: PointNetlinkUserToKernel, Kind: KindError, Prob: 0.3},
+		{Point: PointNetlinkUserToKernel, Kind: KindDuplicate, Prob: 0.2},
+		{Point: PointShmTimer, Kind: KindError, Prob: 0.5},
+	}
+	run := func(seed int64) string {
+		in := mustNew(t, seed, rules...)
+		for i := 0; i < 500; i++ {
+			in.Eval(PointNetlinkUserToKernel)
+			in.Eval(PointShmTimer)
+		}
+		return in.Schedule()
+	}
+	if run(42) != run(42) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if run(42) == run(43) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestEvalDelayAdvancesVirtualClock(t *testing.T) {
+	in := mustNew(t, 1, Rule{Point: PointNetlinkUserToKernel, Kind: KindDelay, Delay: 250 * time.Millisecond})
+	clk := clock.NewSimulated()
+	in.SetClock(clk)
+	before := clk.Now()
+	f := in.Eval(PointNetlinkUserToKernel)
+	if f.Kind != KindDelay {
+		t.Fatalf("kind = %v, want delay", f.Kind)
+	}
+	if got := clk.Now().Sub(before); got != 250*time.Millisecond {
+		t.Fatalf("clock advanced %v, want 250ms", got)
+	}
+}
+
+func TestNilInjectorAndHook(t *testing.T) {
+	var in *Injector
+	if in.Eval(PointKernelOpen).Injected() {
+		t.Fatal("nil injector injected")
+	}
+	if in.Hook() != nil {
+		t.Fatal("nil injector returned non-nil hook")
+	}
+	if Eval(nil, PointKernelOpen).Injected() {
+		t.Fatal("nil hook injected")
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	if _, err := New(1, Rule{Point: "bogus.point", Kind: KindError}); err == nil {
+		t.Fatal("unknown point accepted")
+	}
+	if _, err := New(1, Rule{Point: PointKernelOpen}); err == nil {
+		t.Fatal("missing kind accepted")
+	}
+	if _, err := New(1, Rule{Point: PointKernelOpen, Kind: KindDelay}); err == nil {
+		t.Fatal("delay rule without delay accepted")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(
+		"netlink.user_to_kernel:drop:0.2, devfs.helper_crash:crash:after=3:count=1," +
+			"netlink.kernel_to_user:delay:delay=40ms:prob=0.5")
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	want := []Rule{
+		{Point: PointNetlinkUserToKernel, Kind: KindError, Prob: 0.2},
+		{Point: PointDevfsCrash, Kind: KindCrash, After: 3, Count: 1},
+		{Point: PointNetlinkKernelToUser, Kind: KindDelay, Delay: 40 * time.Millisecond, Prob: 0.5},
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"justapoint",
+		"kernel.open:explode",
+		"bogus.point:drop",
+		"kernel.open:drop:nonsense=1",
+		"kernel.open:delay:delay=xyz",
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules(%q) accepted", bad)
+		}
+	}
+
+	if rules, err := ParseRules(""); err != nil || rules != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", rules, err)
+	}
+}
+
+func TestRuleStringRoundTrips(t *testing.T) {
+	for _, r := range DefaultRules() {
+		parsed, err := ParseRules(r.String())
+		if err != nil {
+			t.Fatalf("ParseRules(%q): %v", r.String(), err)
+		}
+		if len(parsed) != 1 || parsed[0] != r {
+			t.Fatalf("round trip %q → %+v, want %+v", r.String(), parsed, r)
+		}
+	}
+}
+
+func TestDefaultRulesValid(t *testing.T) {
+	if _, err := New(7, DefaultRules()...); err != nil {
+		t.Fatalf("DefaultRules invalid: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"overhaul/internal/clock"
+	"overhaul/internal/faultinject"
 )
 
 // DefaultShmWait is the paper's wait-list duration: after a simulated
@@ -26,6 +27,10 @@ var ErrOutOfRange = errors.New("ipc: shared memory access out of range")
 type ShmStats struct {
 	Faults       uint64
 	FastAccesses uint64
+	// TimerMisfires counts injected wait-list timer faults. A misfire
+	// ends the disarm window early; the access re-faults and
+	// re-propagates stamps instead of trusting the stale window.
+	TimerMisfires uint64
 }
 
 // SharedMem is a POSIX (shm_open) or SysV (shmget) shared-memory
@@ -49,6 +54,7 @@ type SharedMem struct {
 	data     []byte
 	removed  bool
 	stats    ShmStats
+	faults   faultinject.Hook
 }
 
 // NewSharedMem creates a segment of the given number of pages. wait <= 0
@@ -88,6 +94,15 @@ func (s *SharedMem) SetCheckInterval(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.interval = n
+}
+
+// SetFaultHook installs the fault-injection hook consulted at
+// PointShmTimer whenever a fast-path access relies on the wait-list
+// window. A nil hook disables injection.
+func (s *SharedMem) SetFaultHook(hook faultinject.Hook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = hook
 }
 
 // Size returns the segment size in bytes.
@@ -161,6 +176,15 @@ func (m *Mapping) accessLocked() bool {
 
 	now := s.clk.Now()
 	if now.Before(m.disarmedUntil) {
+		if faultinject.Eval(s.faults, faultinject.PointShmTimer).Injected() {
+			// The wait-list timer misfired: the disarm window cannot
+			// be trusted. Fail closed — take the fault path and
+			// re-propagate stamps rather than skip propagation.
+			s.stats.TimerMisfires++
+			m.disarmedUntil = now.Add(s.wait)
+			s.stats.Faults++
+			return true
+		}
 		s.stats.FastAccesses++
 		return false
 	}

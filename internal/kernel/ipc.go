@@ -53,7 +53,9 @@ func (k *Kernel) stamps() ipc.Stamps {
 	if disabled {
 		return nil
 	}
-	return (*stampStore)(k)
+	// Fault-hooked writes (PointStampWrite) can only lose updates,
+	// leaving stamps older than reality — errors degrade toward denial.
+	return ipc.FaultyStamps((*stampStore)(k), k.faults)
 }
 
 // SetShmWait overrides the shared-memory wait-list duration for
@@ -123,7 +125,12 @@ func (k *Kernel) NewSharedMem(pages int) (*ipc.SharedMem, error) {
 	k.ipc.mu.Lock()
 	wait := k.ipc.shmWait
 	k.ipc.mu.Unlock()
-	return ipc.NewSharedMem(k.stamps(), k.clk, pages, wait)
+	seg, err := ipc.NewSharedMem(k.stamps(), k.clk, pages, wait)
+	if err != nil {
+		return nil, err
+	}
+	seg.SetFaultHook(k.faults)
+	return seg, nil
 }
 
 // NewPty allocates a pseudo-terminal pair (posix_openpt).
@@ -145,6 +152,7 @@ func (k *Kernel) ShmGet(key, pages int) (*ipc.SharedMem, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shmget key %d: %w", key, err)
 	}
+	seg.SetFaultHook(k.faults)
 	k.ipc.shmSegs[key] = seg
 	return seg, nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"overhaul/internal/clock"
 	"overhaul/internal/devfs"
+	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 	"overhaul/internal/monitor"
 )
@@ -29,6 +30,11 @@ var (
 	ErrNoSuchProcess = errors.New("no such process")
 	ErrNotPermitted  = errors.New("operation not permitted")
 	ErrDeadProcess   = errors.New("process has exited")
+	// ErrTransientIO marks an injected transient I/O failure inside
+	// open(2). For sensitive devices the failure is converted into a
+	// denial with an audit record — never a silent failure, never a
+	// grant.
+	ErrTransientIO = errors.New("kernel: transient I/O error")
 )
 
 // State is a process lifecycle state.
@@ -67,6 +73,11 @@ type Config struct {
 	// of propagation policy P2; breaks multi-process applications by
 	// design).
 	DisableP2 bool
+	// FaultHook, when non-nil, is consulted at the kernel's fault
+	// points: PointKernelOpen (transient open errors), PointStampWrite
+	// (stamp-store write loss, via the ipc layer) and PointShmTimer
+	// (wait-list misfires, via shm segments).
+	FaultHook faultinject.Hook
 }
 
 // Stats aggregates kernel activity.
@@ -77,13 +88,16 @@ type Stats struct {
 	Forks       uint64
 	Execs       uint64
 	Exits       uint64
+	// OpenFaults counts injected transient open(2) failures.
+	OpenFaults uint64
 }
 
 // Kernel is the simulated OS kernel. It is safe for concurrent use.
 type Kernel struct {
-	clk  clock.Clock
-	fsys *fs.FS
-	mon  *monitor.Monitor
+	clk    clock.Clock
+	fsys   *fs.FS
+	mon    *monitor.Monitor
+	faults faultinject.Hook // immutable after New
 
 	mu          sync.Mutex
 	procs       map[int]*Process
@@ -110,6 +124,7 @@ func New(clk clock.Clock, fsys *fs.FS, cfg Config) (*Kernel, error) {
 	k := &Kernel{
 		clk:         clk,
 		fsys:        fsys,
+		faults:      cfg.FaultHook,
 		procs:       make(map[int]*Process),
 		nextPID:     1,
 		devmap:      make(map[string]devfs.Class),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"overhaul/internal/devfs"
+	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 	"overhaul/internal/monitor"
 )
@@ -51,6 +52,25 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 		// Simulated driver initialisation, paid by every device open
 		// on both the baseline and the Overhaul kernel.
 		deviceInitWork(devRounds)
+	}
+
+	if f := faultinject.Eval(k.faults, faultinject.PointKernelOpen); f.Kind == faultinject.KindError {
+		// Transient I/O failure mid-open. Fail closed: the open does
+		// not complete, and for a sensitive device the failure is
+		// recorded as an audited denial rather than disappearing into
+		// an opaque errno.
+		k.mu.Lock()
+		k.stats.OpenFaults++
+		if sensitive {
+			k.stats.Denials++
+		}
+		k.mu.Unlock()
+		if sensitive {
+			k.mon.RecordDenial(p.pid, opForClass(class), k.clk.Now(),
+				"transient open failure: fail closed")
+		}
+		_ = h.Close()
+		return nil, fmt.Errorf("open %s by pid %d: %w: %v", path, p.pid, ErrTransientIO, f.Err)
 	}
 
 	if sensitive {

@@ -84,12 +84,15 @@ type TaskStore interface {
 // alert: "process PID performed Op" (V_{A,op} in the paper), or — for
 // Blocked requests — that an undesired access attempt was stopped (the
 // §V-B user-study scenario: a hidden camera access is blocked *and* the
-// user is alerted).
+// user is alerted). Degraded requests carry the distinct
+// protection-degraded wording: the denial happened because the
+// mediation path itself is broken, not because the stamp was stale.
 type AlertRequest struct {
-	PID     int
-	Op      Op
-	Time    time.Time
-	Blocked bool
+	PID      int
+	Op       Op
+	Time     time.Time
+	Blocked  bool
+	Degraded bool
 }
 
 // AlertFunc delivers an AlertRequest to the display manager. It is
@@ -105,6 +108,9 @@ type Decision struct {
 	Stamp   time.Time // interaction stamp consulted (zero if none)
 	Verdict Verdict
 	Reason  string
+	// Degraded marks denials issued while the monitor was in degraded
+	// (fail-closed) mode rather than by the temporal-proximity rule.
+	Degraded bool
 }
 
 // ErrNoSuchProcess is returned by Notify for unknown PIDs.
@@ -161,16 +167,18 @@ type Monitor struct {
 	auditHead int        // index of the oldest record
 	auditLen  int
 	dropped   uint64
+	degraded  string // non-empty: fail-closed degraded mode, with reason
 	stats     Stats
 }
 
 // Stats aggregates monitor activity.
 type Stats struct {
-	Notifications uint64
-	Queries       uint64
-	Grants        uint64
-	Denials       uint64
-	AlertsSent    uint64
+	Notifications   uint64
+	Queries         uint64
+	Grants          uint64
+	Denials         uint64
+	AlertsSent      uint64
+	DegradedDenials uint64
 }
 
 // New constructs a Monitor over the given task store.
@@ -234,12 +242,67 @@ func (m *Monitor) Notify(pid int, t time.Time) error {
 	return nil
 }
 
+// SetDegraded switches the monitor into fail-closed degraded mode:
+// every subsequent decision denies with a distinct
+// "protection degraded" reason until ClearDegraded. The core flips
+// this when a trusted component the decision path depends on — in
+// practice the netlink channel — is detected dead: a monitor that
+// cannot reach its sensors' user must block the sensors.
+func (m *Monitor) SetDegraded(reason string) {
+	if reason == "" {
+		reason = "trusted component failure"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.degraded = reason
+}
+
+// ClearDegraded returns the monitor to normal operation (the channel
+// was re-established).
+func (m *Monitor) ClearDegraded() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.degraded = ""
+}
+
+// DegradedReason returns the degradation reason and whether the
+// monitor is currently degraded.
+func (m *Monitor) DegradedReason() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded, m.degraded != ""
+}
+
+// appendAuditLocked appends one decision to the audit ring. Requires
+// m.mu held.
+func (m *Monitor) appendAuditLocked(d Decision) {
+	if m.audit == nil {
+		// Grown lazily but allocated once: the ring must not churn
+		// the allocator on the hot decision path.
+		m.audit = make([]Decision, m.auditCap)
+	}
+	if m.auditLen == m.auditCap {
+		m.audit[m.auditHead] = d
+		m.auditHead = (m.auditHead + 1) % m.auditCap
+		m.dropped++
+	} else {
+		m.audit[(m.auditHead+m.auditLen)%m.auditCap] = d
+		m.auditLen++
+	}
+}
+
 // Decide answers a permission query Q_{A,t}: may pid perform op at
 // opTime? It consults the process's interaction stamp, applies the
 // temporal-proximity rule, appends an audit record, and — for granted
 // operations in the alert set — dispatches a visual alert request.
+// While the monitor is degraded, every query denies (fail closed) with
+// the distinct protection-degraded reason.
 func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 	stamp, exists := m.tasks.InteractionStamp(pid)
+
+	m.mu.Lock()
+	degraded := m.degraded
+	m.mu.Unlock()
 
 	verdict := VerdictDeny
 	reason := ""
@@ -248,6 +311,10 @@ func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 		verdict, reason = VerdictGrant, "force-grant (benchmark mode)"
 	case !m.enforce:
 		verdict, reason = VerdictGrant, "observe-only mode"
+	case degraded != "":
+		// Fail closed: a decision path whose trusted substrate is
+		// broken must deny, whatever the stamps say.
+		reason = "protection degraded: " + degraded
 	case !exists:
 		reason = "no such process"
 	case m.tasks.PermissionsDisabled(pid):
@@ -264,7 +331,8 @@ func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 		reason = fmt.Sprintf("interaction stale by %v (δ=%v)", opTime.Sub(stamp)-m.threshold, m.threshold)
 	}
 
-	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: verdict, Reason: reason}
+	isDegraded := degraded != "" && !m.force && m.enforce
+	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: verdict, Reason: reason, Degraded: isDegraded}
 
 	m.mu.Lock()
 	m.stats.Queries++
@@ -272,20 +340,11 @@ func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 		m.stats.Grants++
 	} else {
 		m.stats.Denials++
+		if isDegraded {
+			m.stats.DegradedDenials++
+		}
 	}
-	if m.audit == nil {
-		// Grown lazily but allocated once: the ring must not churn
-		// the allocator on the hot decision path.
-		m.audit = make([]Decision, m.auditCap)
-	}
-	if m.auditLen == m.auditCap {
-		m.audit[m.auditHead] = d
-		m.auditHead = (m.auditHead + 1) % m.auditCap
-		m.dropped++
-	} else {
-		m.audit[(m.auditHead+m.auditLen)%m.auditCap] = d
-		m.auditLen++
-	}
+	m.appendAuditLocked(d)
 	alertFn := m.alertFn
 	sendAlert := m.alertOps[op] && alertFn != nil
 	if sendAlert {
@@ -294,9 +353,24 @@ func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 	m.mu.Unlock()
 
 	if sendAlert {
-		alertFn(AlertRequest{PID: pid, Op: op, Time: opTime, Blocked: verdict == VerdictDeny})
+		alertFn(AlertRequest{PID: pid, Op: op, Time: opTime, Blocked: verdict == VerdictDeny, Degraded: isDegraded})
 	}
 	return verdict
+}
+
+// RecordDenial appends an audit record for a denial decided *outside*
+// the monitor — e.g. a sensitive-device open aborted by a transient
+// kernel error. The fail-closed policy turns such failures into
+// denials, and this method keeps them from being silent: every denial
+// along the decision path leaves an audit record.
+func (m *Monitor) RecordDenial(pid int, op Op, opTime time.Time, reason string) {
+	stamp, _ := m.tasks.InteractionStamp(pid)
+	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: VerdictDeny, Reason: reason}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Queries++
+	m.stats.Denials++
+	m.appendAuditLocked(d)
 }
 
 // Audit returns a copy of the audit log, oldest first.

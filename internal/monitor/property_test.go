@@ -1,0 +1,159 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property-based checks of the temporal-proximity rule. The generator
+// is seeded, so a failure reproduces exactly; each property prints the
+// case that broke it.
+
+// decideModel is the specification Decide must agree with in enforcing,
+// non-degraded mode: grant iff the process has a recorded interaction
+// stamp and the operation falls within δ of it (operations timestamped
+// before the stamp count as immediate proximity).
+func decideModel(stamp time.Time, opTime time.Time, threshold time.Duration) Verdict {
+	if stamp.IsZero() {
+		return VerdictDeny
+	}
+	if opTime.Sub(stamp) < threshold {
+		return VerdictGrant
+	}
+	return VerdictDeny
+}
+
+// randomDelay spreads elapsed times across the interesting range:
+// dense around ±δ, sparse tails out to minutes.
+func randomDelay(rng *rand.Rand, threshold time.Duration) time.Duration {
+	switch rng.Intn(4) {
+	case 0: // tight around the boundary, including exactly δ
+		return threshold + time.Duration(rng.Int63n(int64(20*time.Millisecond))) - 10*time.Millisecond
+	case 1: // clearly fresh
+		return time.Duration(rng.Int63n(int64(threshold)))
+	case 2: // operation timestamped before the interaction
+		return -time.Duration(rng.Int63n(int64(time.Second)))
+	default: // clearly stale
+		return threshold + time.Duration(rng.Int63n(int64(time.Minute)))
+	}
+}
+
+// TestDecideMatchesModel: grant ⇔ now − stamp ≤ δ, for randomized
+// stamps, operation times and thresholds.
+func TestDecideMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for i := 0; i < 2000; i++ {
+		threshold := time.Duration(1+rng.Int63n(int64(5*time.Second))) * 1
+		m, tasks, clk := newTestMonitor(t, Config{Enforce: true, Threshold: threshold})
+		pid := 100 + rng.Intn(50)
+		tasks.add(pid)
+
+		stamp := time.Time{}
+		if rng.Intn(8) != 0 { // mostly stamped, sometimes never-interacted
+			stamp = clk.Now().Add(time.Duration(rng.Int63n(int64(time.Hour))))
+			if err := tasks.SetInteractionStamp(pid, stamp); err != nil {
+				t.Fatalf("SetInteractionStamp: %v", err)
+			}
+		}
+		opTime := stamp.Add(randomDelay(rng, threshold))
+		if stamp.IsZero() {
+			opTime = clk.Now().Add(time.Duration(rng.Int63n(int64(time.Hour))))
+		}
+
+		got := m.Decide(pid, OpMic, opTime)
+		want := decideModel(stamp, opTime, threshold)
+		if got != want {
+			t.Fatalf("case %d: Decide=%v model=%v (stamp=%v opTime=%v δ=%v elapsed=%v)",
+				i, got, want, stamp, opTime, threshold, opTime.Sub(stamp))
+		}
+	}
+}
+
+// TestDecideDenialMonotone: once an operation is stale it stays stale —
+// for a fixed stamp, granting at elapsed e₂ implies granting at any
+// e₁ ≤ e₂, and denying at e₁ implies denying at any e₂ ≥ e₁.
+func TestDecideDenialMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	m, tasks, clk := newTestMonitor(t, Config{Enforce: true})
+	pid := 7
+	tasks.add(pid)
+	stamp := clk.Now().Add(time.Hour)
+	if err := tasks.SetInteractionStamp(pid, stamp); err != nil {
+		t.Fatalf("SetInteractionStamp: %v", err)
+	}
+	for i := 0; i < 2000; i++ {
+		e1 := randomDelay(rng, DefaultThreshold)
+		e2 := randomDelay(rng, DefaultThreshold)
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		v1 := m.Decide(pid, OpCam, stamp.Add(e1))
+		v2 := m.Decide(pid, OpCam, stamp.Add(e2))
+		if v2 == VerdictGrant && v1 != VerdictGrant {
+			t.Fatalf("case %d: grant at elapsed %v but deny at earlier %v", i, e2, e1)
+		}
+	}
+}
+
+// TestDecideHistoryIndependent: a decision depends only on the stamp
+// and the operation time — not on which queries (or how many) came
+// before it. The same query set evaluated in two different orders must
+// produce the same verdict for every query.
+func TestDecideHistoryIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	type query struct {
+		pid    int
+		op     Op
+		opTime time.Time
+	}
+	ops := []Op{OpMic, OpCam, OpCopy, OpPaste, OpScreen}
+
+	for trial := 0; trial < 50; trial++ {
+		// Two monitors over identically-stamped task stores.
+		m1, tasks1, clk := newTestMonitor(t, Config{Enforce: true})
+		m2, tasks2, _ := newTestMonitor(t, Config{Enforce: true})
+		base := clk.Now()
+
+		pids := []int{10, 11, 12}
+		for _, pid := range pids {
+			tasks1.add(pid)
+			tasks2.add(pid)
+			if rng.Intn(4) != 0 {
+				stamp := base.Add(time.Duration(rng.Int63n(int64(10 * time.Second))))
+				if err := tasks1.SetInteractionStamp(pid, stamp); err != nil {
+					t.Fatalf("SetInteractionStamp: %v", err)
+				}
+				if err := tasks2.SetInteractionStamp(pid, stamp); err != nil {
+					t.Fatalf("SetInteractionStamp: %v", err)
+				}
+			}
+		}
+
+		queries := make([]query, 40)
+		for i := range queries {
+			queries[i] = query{
+				pid:    pids[rng.Intn(len(pids))],
+				op:     ops[rng.Intn(len(ops))],
+				opTime: base.Add(time.Duration(rng.Int63n(int64(15 * time.Second)))),
+			}
+		}
+		perm := rng.Perm(len(queries))
+
+		verdicts1 := make([]Verdict, len(queries))
+		for i, q := range queries {
+			verdicts1[i] = m1.Decide(q.pid, q.op, q.opTime)
+		}
+		verdicts2 := make([]Verdict, len(queries))
+		for _, i := range perm {
+			q := queries[i]
+			verdicts2[i] = m2.Decide(q.pid, q.op, q.opTime)
+		}
+		for i := range queries {
+			if verdicts1[i] != verdicts2[i] {
+				t.Fatalf("trial %d query %d: verdict %v in program order, %v shuffled (q=%+v)",
+					trial, i, verdicts1[i], verdicts2[i], queries[i])
+			}
+		}
+	}
+}

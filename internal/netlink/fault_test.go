@@ -1,0 +1,157 @@
+package netlink
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/faultinject"
+)
+
+// newFaultyPair wires a hub with a connected peer and an injector.
+func newFaultyPair(t *testing.T, rules ...faultinject.Rule) (*Hub, *Conn, *faultinject.Injector, *clock.Simulated) {
+	t.Helper()
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	inj, err := faultinject.New(1, rules...)
+	if err != nil {
+		t.Fatalf("faultinject.New: %v", err)
+	}
+	clk := clock.NewSimulated()
+	inj.SetClock(clk)
+	h.SetFaultHook(inj.Hook())
+	conn, err := h.Connect(42, func(msg any) (any, error) { return "user-reply", nil })
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	return h, conn, inj, clk
+}
+
+// TestCallDropFault: an injected drop on the user→kernel direction
+// surfaces as ErrChannelFault (wrapping ErrInjected) and never reaches
+// the kernel handler; the next message flows normally.
+func TestCallDropFault(t *testing.T) {
+	h, conn, _, _ := newFaultyPair(t, faultinject.Rule{
+		Point: faultinject.PointNetlinkUserToKernel,
+		Kind:  faultinject.KindError,
+		Count: 1,
+	})
+	calls := 0
+	h.SetKernelHandler(func(msg any) (any, error) { calls++; return "kernel-reply", nil })
+
+	_, err := conn.Call("q")
+	if !errors.Is(err, ErrChannelFault) {
+		t.Fatalf("Call = %v, want ErrChannelFault", err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Call error %v does not wrap ErrInjected", err)
+	}
+	if calls != 0 {
+		t.Fatalf("kernel handler ran %d times for a dropped message", calls)
+	}
+	if got := h.StatsSnapshot().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+
+	reply, err := conn.Call("q")
+	if err != nil || reply != "kernel-reply" {
+		t.Fatalf("Call after fault = (%v,%v), want kernel-reply", reply, err)
+	}
+	if calls != 1 {
+		t.Fatalf("handler calls = %d, want 1", calls)
+	}
+}
+
+// TestCallDuplicateFault: a duplicated message runs the kernel handler
+// twice; the retransmission's reply wins.
+func TestCallDuplicateFault(t *testing.T) {
+	h, conn, _, _ := newFaultyPair(t, faultinject.Rule{
+		Point: faultinject.PointNetlinkUserToKernel,
+		Kind:  faultinject.KindDuplicate,
+		Count: 1,
+	})
+	calls := 0
+	h.SetKernelHandler(func(msg any) (any, error) { calls++; return calls, nil })
+
+	reply, err := conn.Call("notify")
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("handler calls = %d, want 2 (double delivery)", calls)
+	}
+	if reply != 2 {
+		t.Fatalf("reply = %v, want the retransmission's (2)", reply)
+	}
+	if got := h.StatsSnapshot().Duplicated; got != 1 {
+		t.Fatalf("Duplicated = %d, want 1", got)
+	}
+}
+
+// TestCallDelayFault: an injected delay advances the virtual clock
+// before delivery — the message arrives late but intact.
+func TestCallDelayFault(t *testing.T) {
+	const lag = 250 * time.Millisecond
+	h, conn, _, clk := newFaultyPair(t, faultinject.Rule{
+		Point: faultinject.PointNetlinkUserToKernel,
+		Kind:  faultinject.KindDelay,
+		Delay: lag,
+		Count: 1,
+	})
+	var seenAt time.Time
+	h.SetKernelHandler(func(msg any) (any, error) { seenAt = clk.Now(); return nil, nil })
+
+	start := clk.Now()
+	if _, err := conn.Call("notify"); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := seenAt.Sub(start); got != lag {
+		t.Fatalf("message delivered after %v, want %v", got, lag)
+	}
+	if got := h.StatsSnapshot().Delayed; got != 1 {
+		t.Fatalf("Delayed = %d, want 1", got)
+	}
+}
+
+// TestCallUserDropFault: the kernel→user direction fails closed the
+// same way.
+func TestCallUserDropFault(t *testing.T) {
+	h, _, _, _ := newFaultyPair(t, faultinject.Rule{
+		Point: faultinject.PointNetlinkKernelToUser,
+		Kind:  faultinject.KindError,
+		Count: 1,
+	})
+	if _, err := h.CallUser(42, "alert"); !errors.Is(err, ErrChannelFault) {
+		t.Fatalf("CallUser = %v, want ErrChannelFault", err)
+	}
+	reply, err := h.CallUser(42, "alert")
+	if err != nil || reply != "user-reply" {
+		t.Fatalf("CallUser after fault = (%v,%v), want user-reply", reply, err)
+	}
+}
+
+// TestFaultsRequireArmedHook: with no hook the fault counters stay
+// zero and traffic is untouched — production builds pay nothing.
+func TestFaultsRequireArmedHook(t *testing.T) {
+	h, err := NewHub(AuthenticatorFunc(allowAll))
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	h.SetKernelHandler(func(msg any) (any, error) { return msg, nil })
+	conn, err := h.Connect(7, func(msg any) (any, error) { return msg, nil })
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := conn.Call(i); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	s := h.StatsSnapshot()
+	if s.Dropped+s.Delayed+s.Duplicated != 0 {
+		t.Fatalf("fault counters moved without a hook: %+v", s)
+	}
+}

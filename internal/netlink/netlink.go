@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"overhaul/internal/faultinject"
 )
 
 // Sentinel errors.
@@ -28,6 +30,10 @@ var (
 	ErrNoHandler    = errors.New("netlink: no handler installed")
 	ErrNotConnected = errors.New("netlink: peer not connected")
 	ErrDuplicate    = errors.New("netlink: pid already connected")
+	// ErrChannelFault marks a message lost to an injected channel
+	// fault. Callers treat it like any transport failure: the message
+	// did not arrive, and the affected decision path must fail closed.
+	ErrChannelFault = errors.New("netlink: channel fault")
 )
 
 // Handler processes one message and returns a reply.
@@ -54,6 +60,10 @@ type Stats struct {
 	AuthFailures uint64
 	UserToKernel uint64
 	KernelToUser uint64
+	// Fault-injection accounting (zero without an armed hook).
+	Dropped    uint64
+	Delayed    uint64
+	Duplicated uint64
 }
 
 // Hub is the kernel endpoint of a netlink family. It is safe for
@@ -64,6 +74,7 @@ type Hub struct {
 	mu            sync.Mutex
 	kernelHandler Handler
 	conns         map[int]*Conn
+	faults        faultinject.Hook
 	stats         Stats
 }
 
@@ -80,6 +91,42 @@ func (h *Hub) SetKernelHandler(fn Handler) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.kernelHandler = fn
+}
+
+// SetFaultHook installs the fault-injection hook consulted on every
+// message in both directions (PointNetlinkUserToKernel and
+// PointNetlinkKernelToUser). A nil hook disables injection.
+func (h *Hub) SetFaultHook(hook faultinject.Hook) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faults = hook
+}
+
+// applyFault evaluates the channel fault point for one message and
+// updates the fault counters. The returned fault tells the caller
+// whether to drop (KindError) or double-deliver (KindDuplicate) the
+// message; delays have already been realised on the virtual clock by
+// the injector.
+func (h *Hub) applyFault(p faultinject.Point) faultinject.Fault {
+	h.mu.Lock()
+	hook := h.faults
+	h.mu.Unlock()
+
+	f := faultinject.Eval(hook, p)
+	if !f.Injected() {
+		return f
+	}
+	h.mu.Lock()
+	switch f.Kind {
+	case faultinject.KindError:
+		h.stats.Dropped++
+	case faultinject.KindDelay:
+		h.stats.Delayed++
+	case faultinject.KindDuplicate:
+		h.stats.Duplicated++
+	}
+	h.mu.Unlock()
+	return f
 }
 
 // Connect authenticates the peer and returns its connection. A given
@@ -120,6 +167,14 @@ func (h *Hub) CallUser(pid int, msg any) (any, error) {
 	}
 	if fn == nil {
 		return nil, fmt.Errorf("%w: pid %d has no user handler", ErrNoHandler, pid)
+	}
+	switch f := h.applyFault(faultinject.PointNetlinkKernelToUser); f.Kind {
+	case faultinject.KindError:
+		return nil, fmt.Errorf("%w: kernel→user pid %d: %w", ErrChannelFault, pid, f.Err)
+	case faultinject.KindDuplicate:
+		// The message arrives twice; the reply to the first copy is
+		// lost in favour of the retransmission's.
+		_, _ = fn(msg)
 	}
 	return fn(msg)
 }
@@ -174,6 +229,16 @@ func (c *Conn) Call(msg any) (any, error) {
 
 	if fn == nil {
 		return nil, ErrNoHandler
+	}
+	switch f := c.hub.applyFault(faultinject.PointNetlinkUserToKernel); f.Kind {
+	case faultinject.KindError:
+		return nil, fmt.Errorf("%w: user→kernel pid %d: %w", ErrChannelFault, c.pid, f.Err)
+	case faultinject.KindDuplicate:
+		// Double delivery: the kernel handler runs twice (the monitor's
+		// newest-wins stamp semantics make notifications idempotent;
+		// duplicated queries simply audit twice). The first reply is
+		// superseded by the retransmission's.
+		_, _ = fn(msg)
 	}
 	return fn(msg)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"overhaul/internal/faultinject"
 	"overhaul/internal/monitor"
 )
 
@@ -19,8 +20,18 @@ type Alert struct {
 	PID     int
 	Op      Op
 	Blocked bool // true when the alert reports a *blocked* attempt
-	ShownAt time.Time
-	Expires time.Time
+	// Degraded marks alerts raised while protection is degraded —
+	// either a denial issued by a degraded monitor or the banner
+	// announcing the degradation itself. Their wording is distinct so
+	// the user can tell "you were denied by policy" from "the system
+	// cannot currently enforce policy and is blocking everything".
+	Degraded bool
+	// RenderFailed marks alerts whose overlay rendering failed (fault
+	// injection): they never reached the screen but stay in the history
+	// as evidence — a failure of the alert engine must not be silent.
+	RenderFailed bool
+	ShownAt      time.Time
+	Expires      time.Time
 }
 
 // ErrUntrustedAlert is returned when something other than the kernel
@@ -28,7 +39,7 @@ type Alert struct {
 var ErrUntrustedAlert = errors.New("xserver: alert source not the kernel channel")
 
 // alertMessage renders the alert text the user sees.
-func alertMessage(pid int, op Op, blocked bool) string {
+func alertMessage(pid int, op Op, blocked, degraded bool) string {
 	var what string
 	switch op {
 	case monitor.OpMic:
@@ -56,6 +67,9 @@ func alertMessage(pid int, op Op, blocked bool) string {
 			what = fmt.Sprintf("was blocked from a protected device (%s)", op)
 		}
 	}
+	if degraded {
+		what += " (OVERHAUL protection degraded)"
+	}
 	return fmt.Sprintf("Application [pid %d] %s", pid, what)
 }
 
@@ -66,39 +80,54 @@ func alertMessage(pid int, op Op, blocked bool) string {
 func (s *Server) ShowAlert(req monitor.AlertRequest) Alert {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.showAlertLocked(req.PID, req.Op, req.Blocked)
+	return s.showAlertLocked(req.PID, req.Op, req.Blocked, req.Degraded)
 }
 
 // showAlertLocked renders an alert with s.mu already held — used both by
 // ShowAlert and by the capture path, where the display manager raises
 // the alert itself because it can identify the requesting process
 // without kernel assistance (§III-C).
-func (s *Server) showAlertLocked(pid int, op Op, blocked bool) Alert {
+func (s *Server) showAlertLocked(pid int, op Op, blocked, degraded bool) Alert {
 	now := s.clk.Now()
 	// Coalesce: an identical alert still on screen is extended rather
 	// than re-rendered — the overlay shows one notification per
 	// ongoing activity, not one per system call.
 	if n := len(s.alerts); n > 0 {
 		last := &s.alerts[n-1]
-		if last.PID == pid && last.Op == op && last.Blocked == blocked && now.Before(last.Expires) {
+		if last.PID == pid && last.Op == op && last.Blocked == blocked &&
+			last.Degraded == degraded && !last.RenderFailed && now.Before(last.Expires) {
 			last.Expires = now.Add(s.cfg.AlertDuration)
 			return *last
 		}
 	}
-	a := Alert{
-		Message: alertMessage(pid, op, blocked),
-		Secret:  s.cfg.AlertSecret,
-		PID:     pid,
-		Op:      op,
-		Blocked: blocked,
-		ShownAt: now,
-		Expires: now.Add(s.cfg.AlertDuration),
+	return s.renderAlertLocked(Alert{
+		Message:  alertMessage(pid, op, blocked, degraded),
+		Secret:   s.cfg.AlertSecret,
+		PID:      pid,
+		Op:       op,
+		Blocked:  blocked,
+		Degraded: degraded,
+		ShownAt:  now,
+		Expires:  now.Add(s.cfg.AlertDuration),
+	})
+}
+
+// renderAlertLocked runs the overlay render step (the fault point of
+// the alert engine) and appends the alert to the history either way:
+// a render failure keeps its record — with RenderFailed set and kept
+// off the live overlay — so the failure is observable rather than
+// silent. Requires s.mu held.
+func (s *Server) renderAlertLocked(a Alert) Alert {
+	if f := faultinject.Eval(s.cfg.FaultHook, faultinject.PointAlertRender); f.Kind == faultinject.KindError {
+		a.RenderFailed = true
+		s.stats.AlertRenderFailures++
+	} else {
+		s.stats.AlertsShown++
 	}
 	if len(s.alerts) >= maxAlertHistory {
 		s.alerts = s.alerts[1:]
 	}
 	s.alerts = append(s.alerts, a)
-	s.stats.AlertsShown++
 	return a
 }
 
@@ -115,7 +144,7 @@ func (s *Server) ActiveAlerts() []Alert {
 	defer s.mu.Unlock()
 	out := make([]Alert, 0, len(s.alerts))
 	for _, a := range s.alerts {
-		if now.Before(a.Expires) {
+		if now.Before(a.Expires) && !a.RenderFailed {
 			out = append(out, a)
 		}
 	}

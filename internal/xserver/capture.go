@@ -61,7 +61,7 @@ func (c *Client) getImage(req string, target WindowID) ([]byte, error) {
 			return nil, fmt.Errorf("%s window %d by pid %d: %w", req, target, c.pid, ErrBadAccess)
 		}
 		if s.policy != nil {
-			s.showAlertLocked(c.pid, OpScreen, false)
+			s.showAlertLocked(c.pid, OpScreen, false, false)
 		}
 	}
 	return s.captureWindow(target)
@@ -119,7 +119,7 @@ func (c *Client) CopyArea(src, dst WindowID) error {
 			return fmt.Errorf("CopyArea from window %d by pid %d: %w", src, c.pid, ErrBadAccess)
 		}
 		if s.policy != nil {
-			s.showAlertLocked(c.pid, OpScreen, false)
+			s.showAlertLocked(c.pid, OpScreen, false, false)
 		}
 	}
 

@@ -25,8 +25,13 @@ func (s *Server) notifyInteraction(w *window, now time.Time) {
 	}
 	if err := s.policy.NotifyInteraction(w.owner.pid, now); err != nil {
 		// The kernel channel failing closed means no permission is
-		// granted later; the input event itself still flows.
+		// granted later; the input event itself still flows, and the
+		// degraded banner tells the user why grants will stop.
+		s.degradeLocked("kernel channel unreachable")
 		return
+	}
+	if s.degraded != "" {
+		s.degraded = ""
 	}
 	s.stats.Notifications++
 }

@@ -14,7 +14,14 @@ func (s *Server) query(pid int, op Op, now time.Time) bool {
 	s.stats.Queries++
 	verdict, err := s.policy.Query(pid, op, now)
 	if err != nil {
-		return false // fail closed
+		// Fail closed, and flag the degraded episode: a channel that
+		// cannot answer queries means nothing sensitive proceeds.
+		s.degradeLocked("kernel channel unreachable")
+		return false
+	}
+	if s.degraded != "" {
+		// The channel answered again: the episode is over.
+		s.degraded = ""
 	}
 	return verdict == VerdictGrant
 }

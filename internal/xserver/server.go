@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"overhaul/internal/clock"
+	"overhaul/internal/faultinject"
 )
 
 // Sentinel errors (the X protocol's error vocabulary, abridged).
@@ -57,6 +58,9 @@ type Config struct {
 	// Zero (the default) disables it; the benchmark harness enables it
 	// for both the baseline and the Overhaul server.
 	WireWork int
+	// FaultHook, when non-nil, is consulted at PointAlertRender on
+	// every overlay render (chaos testing of the alert engine).
+	FaultHook faultinject.Hook
 }
 
 // Stats counts server activity.
@@ -68,6 +72,12 @@ type Stats struct {
 	AlertsShown      uint64
 	CaptureRequests  uint64
 	CaptureDenied    uint64
+	// PolicyErrors counts kernel-channel calls that returned transport
+	// errors (each fails closed).
+	PolicyErrors uint64
+	// AlertRenderFailures counts overlay renders that failed; the
+	// alerts stay in the history with RenderFailed set.
+	AlertRenderFailures uint64
 }
 
 // Server is the display server. It is safe for concurrent use.
@@ -85,6 +95,7 @@ type Server struct {
 	focus      WindowID
 	selections map[string]*selection
 	alerts     []Alert
+	degraded   string // non-empty: the channel to the kernel is failing
 	stats      Stats
 }
 
@@ -158,6 +169,45 @@ func NewServer(clk clock.Clock, policy Policy, cfg Config) (*Server, error) {
 
 // Protected reports whether the server runs with an Overhaul policy.
 func (s *Server) Protected() bool { return s.policy != nil }
+
+// Degraded returns the reason the server considers its kernel channel
+// broken and whether it currently does.
+func (s *Server) Degraded() (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degraded != ""
+}
+
+// ClearDegraded resets the degraded episode (the channel was repaired,
+// e.g. by the core reconnecting it).
+func (s *Server) ClearDegraded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.degraded = ""
+}
+
+// degradeLocked records a failed kernel-channel call and, on the first
+// failure of an episode, raises the distinct protection-degraded
+// banner on the overlay: the user must learn that enforcement — not
+// policy — is why everything is suddenly blocked. Requires s.mu held
+// (which is why the banner goes through renderAlertLocked, never
+// ShowAlert).
+func (s *Server) degradeLocked(reason string) {
+	s.stats.PolicyErrors++
+	if s.degraded != "" {
+		return // episode already announced
+	}
+	s.degraded = reason
+	now := s.clk.Now()
+	s.renderAlertLocked(Alert{
+		Message:  "OVERHAUL protection degraded: " + reason + " — sensitive access is blocked",
+		Secret:   s.cfg.AlertSecret,
+		Blocked:  true,
+		Degraded: true,
+		ShownAt:  now,
+		Expires:  now.Add(s.cfg.AlertDuration),
+	})
+}
 
 // wireSink defeats dead-code elimination of the wire-work loop.
 var wireSink uint64

@@ -416,11 +416,11 @@ func TestAlertMessageWording(t *testing.T) {
 		{monitor.OpOther, "Application [pid 7] accessed a protected device (dev)"},
 	}
 	for _, tt := range tests {
-		if got := alertMessage(7, tt.op, false); got != tt.want {
+		if got := alertMessage(7, tt.op, false, false); got != tt.want {
 			t.Errorf("alertMessage(%s) = %q, want %q", tt.op, got, tt.want)
 		}
 	}
-	blocked := alertMessage(7, monitor.OpCam, true)
+	blocked := alertMessage(7, monitor.OpCam, true, false)
 	if blocked != "Application [pid 7] was blocked from using the camera" {
 		t.Errorf("blocked alertMessage = %q", blocked)
 	}
