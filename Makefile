@@ -30,8 +30,13 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
+# Benchmarks, recorded machine-readably: the run and the conversion
+# are separate steps so a bench failure is not masked by a pipe.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=100x -benchmem -run='^$$' ./... > bench.out
+	@cat bench.out
+	$(GO) run ./cmd/overhaul-benchjson -in bench.out -out BENCH_overhaul.json
+	@rm -f bench.out
 
 # Short fuzz pass over the stamp-propagation invariants and the devfs
 # helper protocol codec.
@@ -48,4 +53,5 @@ chaos:
 	$(GO) run ./cmd/overhaul-chaos -seed 42 -steps 160 -faults default -kill 80
 	$(GO) run ./cmd/overhaul-chaos -seed 7 -steps 160 -faults default -kill 40 -reconnect 90
 
-ci: fmt build vet lint race fuzz chaos
+ci: fmt build vet lint race bench fuzz chaos
+	$(GO) run ./cmd/overhaul-benchjson -check BENCH_overhaul.json

@@ -1,0 +1,155 @@
+// Command overhaul-benchjson converts `go test -bench -benchmem`
+// output into the machine-readable BENCH_overhaul.json the repository
+// keeps at its root: a map from benchmark name to ns/op and allocs/op.
+//
+//	go test -bench=. -benchmem -run='^$' ./... > bench.out
+//	overhaul-benchjson -in bench.out -out BENCH_overhaul.json
+//
+// The parse is strict: zero recognisable benchmark lines, or a line
+// that starts like a benchmark but fails to parse, is an error — CI
+// runs this to fail on malformed bench output rather than silently
+// recording nothing. The -check mode validates an existing JSON file
+// instead of writing one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded cost.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// BenchmarkDecideTelemetryDisabled-8  9416926  120.7 ns/op  0 B/op  0 allocs/op
+// The name is kept verbatim (including any -GOMAXPROCS suffix):
+// sub-benchmark names like cap-256 are indistinguishable from the
+// suffix syntactically, and stripping would collide them.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	in := flag.String("in", "-", "bench output to parse ('-' = stdin)")
+	out := flag.String("out", "BENCH_overhaul.json", "JSON file to write")
+	check := flag.String("check", "", "validate this existing JSON file and exit")
+	flag.Parse()
+
+	if *check != "" {
+		if err := validate(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
+			return 1
+		}
+		return 0
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s: %d benchmarks\n", *out, len(entries))
+	return 0
+}
+
+// parse extracts every benchmark line, keyed by the full benchmark
+// name exactly as go test printed it.
+func parse(r io.Reader) (map[string]Entry, error) {
+	entries := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		// A bare "BenchmarkFoo" line (no fields yet) precedes the result
+		// line in verbose output; skip it, but flag anything else that
+		// looks like a result and does not parse.
+		if !strings.Contains(line, "ns/op") {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed ns/op in %q: %v", line, err)
+		}
+		var allocs int64
+		if m[3] != "" {
+			if allocs, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("malformed allocs/op in %q: %v", line, err)
+			}
+		}
+		entries[m[1]] = Entry{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found: was the input produced by go test -bench -benchmem?")
+	}
+	return entries, nil
+}
+
+// validate checks that an existing JSON file is a non-empty map of
+// well-formed entries.
+func validate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries map[string]Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	for name, e := range entries {
+		if !strings.HasPrefix(name, "Benchmark") {
+			return fmt.Errorf("%s: entry %q does not name a benchmark", path, name)
+		}
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %s has non-positive ns/op %v", path, name, e.NsPerOp)
+		}
+		if e.AllocsPerOp < 0 {
+			return fmt.Errorf("%s: %s has negative allocs/op %d", path, name, e.AllocsPerOp)
+		}
+	}
+	return nil
+}

@@ -97,6 +97,12 @@ func report(res *chaos.Result, verbose bool) {
 	if res.Degraded {
 		fmt.Println("state:   monitor DEGRADED (fail closed) at end of run")
 	}
+	if len(res.Flight) > 0 && (verbose || !res.Ok()) {
+		fmt.Printf("flight:  %d dump(s); last dump:\n", res.FlightDumps)
+		for _, l := range res.Flight {
+			fmt.Println("  " + l)
+		}
+	}
 	if res.Ok() {
 		fmt.Println("result:  OK — all fail-closed invariants held")
 		return

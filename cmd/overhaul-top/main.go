@@ -1,0 +1,151 @@
+// Command overhaul-top is the observability console for a simulated
+// Overhaul system: it boots the default enforcing machine with a
+// telemetry recorder attached, replays a deterministic interaction
+// workload (clicks, sensitive-device opens, a stale open that denies),
+// and renders what the enforcement stack recorded — metrics, decision-
+// path traces, and the flight recorder's post-mortem dumps.
+//
+// Because the whole system runs on a virtual clock with sequential
+// trace IDs, the output is byte-for-byte reproducible: two invocations
+// with the same flags print the same bytes.
+//
+//	overhaul-top           # dashboard: metrics, traces, flight dumps
+//	overhaul-top -json     # the full telemetry snapshot as JSON
+//	overhaul-top -trace 4  # the span tree of the trace containing span 4
+//	overhaul-top -watch    # re-render the dashboard after each round
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/core"
+	"overhaul/internal/devfs"
+	"overhaul/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit the full telemetry snapshot as JSON")
+	traceSpan := flag.Uint64("trace", 0, "print the span tree of the trace containing this span ID")
+	watch := flag.Bool("watch", false, "render the dashboard after every workload round")
+	rounds := flag.Int("rounds", 3, "number of interaction rounds to replay")
+	flag.Parse()
+
+	clk := clock.NewSimulated()
+	tel := telemetry.New(clk)
+	sys, err := core.Boot(core.Options{
+		Clock:       clk,
+		Enforce:     true,
+		AlertSecret: "tabby-cat",
+		Telemetry:   tel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-top:", err)
+		return 2
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-top:", err)
+		return 2
+	}
+	app, err := sys.Launch("recorder")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-top:", err)
+		return 2
+	}
+	sys.Settle(1500 * time.Millisecond)
+
+	for i := 1; i <= *rounds; i++ {
+		round(sys, app, mic)
+		if *watch && !*jsonOut && *traceSpan == 0 {
+			fmt.Printf("── round %d/%d ──\n", i, *rounds)
+			dashboard(tel)
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tel.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-top:", err)
+			return 2
+		}
+	case *traceSpan != 0:
+		id, ok := tel.TraceOf(telemetry.SpanID(*traceSpan))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "overhaul-top: no span %d recorded\n", *traceSpan)
+			return 1
+		}
+		fmt.Printf("trace %d (via span %d):\n", id, *traceSpan)
+		fmt.Print(telemetry.FormatTrace(tel.TraceSpans(id)))
+	case !*watch:
+		dashboard(tel)
+	}
+	return 0
+}
+
+// round replays one deterministic interaction sequence: a click that
+// stamps the process, a microphone open inside δ (grant + alert), then
+// a second open after the stamp went stale (deny + flight dump).
+func round(sys *core.System, app *core.App, mic string) {
+	_ = app.Click()
+	sys.Settle(50 * time.Millisecond)
+	if h, err := app.OpenDevice(mic); err == nil {
+		_ = h.Close()
+	}
+	sys.Settle(3 * time.Second) // δ expires: the stamp is stale now
+	if h, err := app.OpenDevice(mic); err == nil {
+		_ = h.Close()
+	}
+	sys.Settle(5 * time.Second) // let the alerts expire between rounds
+}
+
+// dashboard renders the human-readable console view.
+func dashboard(tel *telemetry.Recorder) {
+	snap := tel.Snapshot()
+	fmt.Println("== metrics ==")
+	fmt.Print(telemetry.FormatMetrics(snap.Metrics))
+	fmt.Println("== traces ==")
+	printTraces(tel, snap)
+	fmt.Println("== flight ==")
+	if len(snap.Dumps) == 0 {
+		fmt.Println("(no dumps)")
+		return
+	}
+	for _, d := range snap.Dumps {
+		fmt.Printf("dump %d at %s: %s\n", d.Seq, d.Time.Format("15:04:05.000000"), d.Reason)
+	}
+	last := snap.Dumps[len(snap.Dumps)-1]
+	fmt.Printf("last dump (%d events):\n", len(last.Events))
+	fmt.Print(telemetry.FormatFlight(last.Events))
+}
+
+// printTraces lists every recorded trace as an indented span tree.
+func printTraces(tel *telemetry.Recorder, snap telemetry.Snapshot) {
+	seen := map[telemetry.TraceID]bool{}
+	for _, s := range snap.Spans {
+		if seen[s.Trace] {
+			continue
+		}
+		seen[s.Trace] = true
+		spans := tel.TraceSpans(s.Trace)
+		fmt.Printf("trace %d (%d spans, subsystems %v):\n",
+			s.Trace, len(spans), telemetry.Subsystems(spans))
+		fmt.Print(telemetry.FormatTrace(spans))
+	}
+	if len(seen) == 0 {
+		fmt.Println("(no traces)")
+	}
+	if snap.SpansDropped > 0 {
+		fmt.Printf("(%d spans dropped)\n", snap.SpansDropped)
+	}
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Spancheck enforces the telemetry tracing discipline: every span
+// minted with StartSpan must be ended on every return path. A span
+// that is started and never ended stays open in the recorder forever —
+// the decision-path trace renders as truncated, duration accounting is
+// wrong, and the span ring fills with zombies. The repository
+// convention is to follow the assignment immediately with
+// defer span.End(); the analyzer also accepts an explicit span.End()
+// reached before every subsequent return.
+//
+// Like errdrop, the check is syntactic: any call whose selector is
+// named StartSpan is treated as minting a span, in both the := and =
+// assignment forms. Test files are exempt (they routinely leave spans
+// open to assert on intermediate state).
+var Spancheck = &Analyzer{
+	Name: "spancheck",
+	Doc: "every telemetry.StartSpan result must be ended on all return " +
+		"paths; follow the assignment with defer span.End()",
+	Run: runSpancheck,
+}
+
+func runSpancheck(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Dir, "internal") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(f.Name) {
+			continue
+		}
+		// Each FuncDecl and FuncLit body is scanned exactly once at its
+		// own level: the statement walker never descends into nested
+		// function literals (their return paths are their own), and the
+		// Inspect below reaches every literal independently.
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					spanScanList(pass, fn.Body.List, false)
+				}
+			case *ast.FuncLit:
+				spanScanList(pass, fn.Body.List, false)
+			}
+			return true
+		})
+	}
+}
+
+// spanScanList walks one statement list looking for StartSpan mints and
+// checks each one's lifetime over the remainder of the list. It also
+// recurses into composite statements so mints inside branches are
+// found. The protected flag is unused at this level (it belongs to
+// spanLifetime's scan) but keeps the two walkers symmetric.
+func spanScanList(pass *Pass, stmts []ast.Stmt, _ bool) {
+	for i, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if name, call, ok := spanMint(s); ok {
+				if name == "_" {
+					pass.Reportf(call.Pos(),
+						"StartSpan result assigned to blank: the span can never be ended")
+					continue
+				}
+				spanLifetime(pass, name, call, stmts[i+1:])
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isStartSpanCall(call) {
+				pass.Reportf(call.Pos(),
+					"result of StartSpan is dropped: assign it and defer its End")
+			}
+		}
+		spanRecurse(pass, stmt)
+	}
+}
+
+// spanRecurse descends into the blocks of a composite statement.
+// Function literals are deliberately skipped: they are separate
+// functions with separate return paths, scanned on their own.
+func spanRecurse(pass *Pass, stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		spanScanList(pass, s.List, false)
+	case *ast.IfStmt:
+		spanScanList(pass, s.Body.List, false)
+		if s.Else != nil {
+			spanRecurse(pass, s.Else)
+		}
+	case *ast.ForStmt:
+		spanScanList(pass, s.Body.List, false)
+	case *ast.RangeStmt:
+		spanScanList(pass, s.Body.List, false)
+	case *ast.SwitchStmt:
+		spanScanList(pass, s.Body.List, false)
+	case *ast.TypeSwitchStmt:
+		spanScanList(pass, s.Body.List, false)
+	case *ast.SelectStmt:
+		spanScanList(pass, s.Body.List, false)
+	case *ast.CaseClause:
+		spanScanList(pass, s.Body, false)
+	case *ast.CommClause:
+		spanScanList(pass, s.Body, false)
+	case *ast.LabeledStmt:
+		spanRecurse(pass, s.Stmt)
+	}
+}
+
+// spanLifetime checks that the span named name, minted by call, is
+// ended on every return path through the trailing statements.
+func spanLifetime(pass *Pass, name string, call *ast.CallExpr, tail []ast.Stmt) {
+	if !spanTailEnds(pass, name, tail, false) {
+		pass.Reportf(call.Pos(),
+			"span %s is never ended: follow the assignment with defer %s.End()", name, name)
+	}
+}
+
+// spanTailEnds scans a statement list with the given entry protection
+// state, reporting any return reached while the span is still open. It
+// returns whether the span is protected (defer installed or End
+// called) when control falls off the end of the list.
+func spanTailEnds(pass *Pass, name string, stmts []ast.Stmt, protected bool) bool {
+	for _, stmt := range stmts {
+		if isDeferEnd(stmt, name) || isEndCall(stmt, name) {
+			protected = true
+			continue
+		}
+		if protected {
+			continue
+		}
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			pass.Reportf(s.Pos(),
+				"span %s may not be ended on this return path: add defer %s.End() after StartSpan", name, name)
+			return true // one report per span-path is enough
+		case *ast.BlockStmt:
+			protected = spanTailEnds(pass, name, s.List, protected)
+		case *ast.IfStmt:
+			// Branch-local Ends do not protect the code after the
+			// branch, so the entry state is passed down and discarded.
+			spanTailEnds(pass, name, s.Body.List, protected)
+			if s.Else != nil {
+				spanTailEnds(pass, name, []ast.Stmt{s.Else}, protected)
+			}
+		case *ast.ForStmt:
+			spanTailEnds(pass, name, s.Body.List, protected)
+		case *ast.RangeStmt:
+			spanTailEnds(pass, name, s.Body.List, protected)
+		case *ast.SwitchStmt:
+			spanTailEnds(pass, name, s.Body.List, protected)
+		case *ast.TypeSwitchStmt:
+			spanTailEnds(pass, name, s.Body.List, protected)
+		case *ast.SelectStmt:
+			spanTailEnds(pass, name, s.Body.List, protected)
+		case *ast.CaseClause:
+			spanTailEnds(pass, name, s.Body, protected)
+		case *ast.CommClause:
+			spanTailEnds(pass, name, s.Body, protected)
+		case *ast.LabeledStmt:
+			protected = spanTailEnds(pass, name, []ast.Stmt{s.Stmt}, protected)
+		}
+	}
+	return protected
+}
+
+// spanMint matches span := x.StartSpan(...) and span = x.StartSpan(...)
+// and returns the bound identifier plus the call.
+func spanMint(s *ast.AssignStmt) (string, *ast.CallExpr, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return "", nil, false
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return "", nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !isStartSpanCall(call) {
+		return "", nil, false
+	}
+	return id.Name, call, true
+}
+
+// isStartSpanCall matches any call whose selector is named StartSpan.
+func isStartSpanCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "StartSpan"
+}
+
+// isDeferEnd matches defer name.End().
+func isDeferEnd(stmt ast.Stmt, name string) bool {
+	d, ok := stmt.(*ast.DeferStmt)
+	return ok && isEndOn(d.Call, name)
+}
+
+// isEndCall matches a bare name.End() statement.
+func isEndCall(stmt ast.Stmt, name string) bool {
+	e, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := e.X.(*ast.CallExpr)
+	return ok && isEndOn(call, name)
+}
+
+// isEndOn matches the call name.End().
+func isEndOn(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,106 @@
+// Package tracer is a spancheck fixture: spans minted with StartSpan
+// must be ended on every return path.
+package tracer
+
+// Recorder mimics the telemetry recorder's span-minting surface.
+type Recorder struct{}
+
+// Span mimics a telemetry span.
+type Span struct{}
+
+// StartSpan mints a span.
+func (r *Recorder) StartSpan(subsystem, name string) *Span { return &Span{} }
+
+// End closes a span.
+func (s *Span) End() {}
+
+func work() {}
+
+// Deferred is the repository convention: assignment immediately
+// followed by defer span.End().
+func Deferred(r *Recorder) {
+	span := r.StartSpan("fix", "deferred")
+	defer span.End()
+	work()
+}
+
+// Sequential ends the span explicitly before falling off the end.
+func Sequential(r *Recorder) {
+	span := r.StartSpan("fix", "sequential")
+	work()
+	span.End()
+}
+
+// EndBeforeEveryReturn ends on the early path and the fall-through.
+func EndBeforeEveryReturn(r *Recorder, cond bool) int {
+	span := r.StartSpan("fix", "branches")
+	if cond {
+		span.End()
+		return 1
+	}
+	span.End()
+	return 0
+}
+
+// AssignForm mints through a plain assignment inside a branch, with
+// the defer in the same block — the kernel.Open shape.
+func AssignForm(r *Recorder, sensitive bool) {
+	var span *Span
+	if sensitive {
+		span = r.StartSpan("fix", "assign")
+		defer span.End()
+	}
+	_ = span
+	work()
+}
+
+// Dropped discards the span outright.
+func Dropped(r *Recorder) {
+	r.StartSpan("fix", "dropped") // want "result of StartSpan is dropped"
+}
+
+// Blank assigns the span to blank, which can never be ended.
+func Blank(r *Recorder) {
+	_ = r.StartSpan("fix", "blank") // want "assigned to blank"
+}
+
+// NeverEnded starts a span and forgets it.
+func NeverEnded(r *Recorder) {
+	span := r.StartSpan("fix", "leak") // want "span span is never ended"
+	_ = span
+	work()
+}
+
+// EarlyReturn leaks the span on the error path.
+func EarlyReturn(r *Recorder, cond bool) int {
+	span := r.StartSpan("fix", "early")
+	if cond {
+		return 1 // want "may not be ended on this return path"
+	}
+	span.End()
+	return 0
+}
+
+// DeferTooLate installs the defer after a return has already escaped.
+func DeferTooLate(r *Recorder, cond bool) int {
+	span := r.StartSpan("fix", "late")
+	if cond {
+		return 1 // want "may not be ended on this return path"
+	}
+	defer span.End()
+	return 0
+}
+
+// InsideLiteral checks that function literals are scanned too.
+func InsideLiteral(r *Recorder) func() {
+	return func() {
+		span := r.StartSpan("fix", "lit") // want "span span is never ended"
+		_ = span
+	}
+}
+
+// Suppressed demonstrates the allow annotation.
+func Suppressed(r *Recorder) {
+	span := r.StartSpan("fix", "allowed") //overhaul:allow spancheck fixture demonstrates suppression
+	_ = span
+}

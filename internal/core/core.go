@@ -24,6 +24,7 @@ import (
 	"overhaul/internal/kernel"
 	"overhaul/internal/monitor"
 	"overhaul/internal/netlink"
+	"overhaul/internal/telemetry"
 	"overhaul/internal/xserver"
 )
 
@@ -37,16 +38,20 @@ const (
 // netlink message vocabulary (the wire protocol between the display
 // server and the kernel permission monitor).
 type (
-	// interactionMsg is N_{A,t}.
+	// interactionMsg is N_{A,t}. Ctx carries the originating input
+	// span's IDs across the channel exactly as the interaction
+	// timestamp does, so the kernel-side trace links to the X-side one.
 	interactionMsg struct {
 		PID  int
 		Time time.Time
+		Ctx  telemetry.SpanContext
 	}
-	// queryMsg is Q_{A,t}.
+	// queryMsg is Q_{A,t}; Ctx as in interactionMsg.
 	queryMsg struct {
 		PID  int
 		Op   monitor.Op
 		Time time.Time
+		Ctx  telemetry.SpanContext
 	}
 	// queryReply is R_{A,t}.
 	queryReply struct {
@@ -115,6 +120,10 @@ type Options struct {
 	// selects the monitor default (1024). Chaos campaigns raise it so
 	// the invariant checker never loses records to ring eviction.
 	AuditCapacity int
+	// Telemetry, when non-nil, instruments every enforcement subsystem
+	// (metrics, decision-path spans, flight recorder). Nil disables
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Recorder
 }
 
 // System is a booted Overhaul machine.
@@ -131,6 +140,7 @@ type System struct {
 	xProc       *kernel.Process
 	userHandler netlink.Handler
 	enforce     bool
+	tel         *telemetry.Recorder
 }
 
 // xPolicy implements xserver.Policy by speaking the netlink protocol —
@@ -138,21 +148,35 @@ type System struct {
 // through the retrying channel wrapper, so transient faults are
 // absorbed and persistent ones degrade the whole system closed.
 type xPolicy struct {
-	ch *channel
+	ch  *channel
+	tel *telemetry.Recorder // nil-safe; shared with the whole system
 }
 
 var _ xserver.Policy = (*xPolicy)(nil)
 
-// NotifyInteraction implements xserver.Policy.
-func (p *xPolicy) NotifyInteraction(pid int, t time.Time) error {
-	_, err := p.ch.call(interactionMsg{PID: pid, Time: t})
+// NotifyInteraction implements xserver.Policy. The netlink call gets
+// its own span nested under the display server's notify span, and the
+// span context rides the wire inside the message so the kernel-side
+// monitor span links back here.
+func (p *xPolicy) NotifyInteraction(ctx telemetry.SpanContext, pid int, t time.Time) error {
+	span := p.tel.StartSpan(ctx, "netlink", "notify_call")
+	defer span.End()
+	_, err := p.ch.call(interactionMsg{PID: pid, Time: t, Ctx: span.Context()})
+	if err != nil && p.tel.Enabled() {
+		span.Annotate("error", err.Error())
+	}
 	return err
 }
 
 // Query implements xserver.Policy.
-func (p *xPolicy) Query(pid int, op monitor.Op, t time.Time) (monitor.Verdict, error) {
-	reply, err := p.ch.call(queryMsg{PID: pid, Op: op, Time: t})
+func (p *xPolicy) Query(ctx telemetry.SpanContext, pid int, op monitor.Op, t time.Time) (monitor.Verdict, error) {
+	span := p.tel.StartSpan(ctx, "netlink", "query_call")
+	defer span.End()
+	reply, err := p.ch.call(queryMsg{PID: pid, Op: op, Time: t, Ctx: span.Context()})
 	if err != nil {
+		if p.tel.Enabled() {
+			span.Annotate("error", err.Error())
+		}
 		return monitor.VerdictDeny, err
 	}
 	r, ok := reply.(queryReply)
@@ -190,6 +214,7 @@ func Boot(opts Options) (*System, error) {
 			Enforce:       opts.Enforce,
 			ForceGrant:    opts.ForceGrant,
 			AuditCapacity: opts.AuditCapacity,
+			Telemetry:     opts.Telemetry,
 		},
 		DisablePtraceGuard: opts.DisablePtraceGuard,
 		DeviceInitRounds:   opts.DeviceInitRounds,
@@ -220,12 +245,13 @@ func Boot(opts Options) (*System, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	hub.SetFaultHook(opts.FaultHook)
+	hub.SetTelemetry(opts.Telemetry)
 	hub.SetKernelHandler(func(msg any) (any, error) {
 		switch m := msg.(type) {
 		case interactionMsg:
-			return nil, k.Monitor().Notify(m.PID, m.Time)
+			return nil, k.Monitor().NotifyCtx(m.Ctx, m.PID, m.Time)
 		case queryMsg:
-			return queryReply{Verdict: k.Monitor().Decide(m.PID, m.Op, m.Time)}, nil
+			return queryReply{Verdict: k.Monitor().DecideCtx(m.Ctx, m.PID, m.Op, m.Time)}, nil
 		default:
 			return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, msg)
 		}
@@ -239,6 +265,7 @@ func Boot(opts Options) (*System, error) {
 		hub:     hub,
 		xProc:   xProc,
 		enforce: opts.Enforce,
+		tel:     opts.Telemetry,
 	}
 
 	// The channel wrapper owns the retry/degradation policy for both
@@ -287,7 +314,7 @@ func Boot(opts Options) (*System, error) {
 
 	var policy xserver.Policy
 	if opts.Enforce || opts.ForceGrant {
-		policy = &xPolicy{ch: sys.ch}
+		policy = &xPolicy{ch: sys.ch, tel: opts.Telemetry}
 	}
 	x, err = xserver.NewServer(clk, policy, xserver.Config{
 		VisibilityThreshold: opts.VisibilityThreshold,
@@ -295,6 +322,7 @@ func Boot(opts Options) (*System, error) {
 		WireWork:            opts.WireWork,
 		DisableXTest:        opts.DisableXTest,
 		FaultHook:           opts.FaultHook,
+		Telemetry:           opts.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -302,10 +330,14 @@ func Boot(opts Options) (*System, error) {
 	sys.X = x
 
 	// Kernel-side alerts route to the display server over the channel.
+	tel := opts.Telemetry
 	k.Monitor().SetAlertFunc(func(req monitor.AlertRequest) {
 		// Failures only suppress the alert, never the already-granted
 		// operation — but exhausting the channel's retries flips the
 		// system into degraded mode, so *future* decisions deny.
+		span := tel.StartSpan(req.Ctx, "netlink", "alert_call")
+		defer span.End()
+		req.Ctx = span.Context()
 		_, _ = sys.ch.callUser(alertMsg(req))
 	})
 
@@ -341,6 +373,10 @@ func BootDefault() (*System, string, string, error) {
 
 // Enforcing reports whether the system blocks (true) or only observes.
 func (s *System) Enforcing() bool { return s.enforce }
+
+// Telemetry returns the system's telemetry recorder (nil when booted
+// without one; every recorder method is nil-safe).
+func (s *System) Telemetry() *telemetry.Recorder { return s.tel }
 
 // DisconnectX tears down the netlink connection between the display
 // server and the kernel (failure injection: the system must fail

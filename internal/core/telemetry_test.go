@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/core"
+	"overhaul/internal/devfs"
+	"overhaul/internal/telemetry"
+)
+
+// traceRun boots an instrumented system, replays the canonical
+// interaction — click → mic open → grant → alert — and returns the
+// recorder plus the rendered trace of that interaction.
+func traceRun(t *testing.T) (*telemetry.Recorder, string) {
+	t.Helper()
+	clk := clock.NewSimulated()
+	tel := telemetry.New(clk)
+	sys, err := core.Boot(core.Options{
+		Clock:       clk,
+		Enforce:     true,
+		AlertSecret: "tabby-cat",
+		Telemetry:   tel,
+	})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	app, err := sys.Launch("recorder")
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	sys.Settle(1500 * time.Millisecond)
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	h, err := app.OpenDevice(mic)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	_ = h.Close()
+	if n := len(sys.ActiveAlerts()); n == 0 {
+		t.Fatalf("granted open raised no alert")
+	}
+
+	spans := tel.Spans()
+	if len(spans) == 0 {
+		t.Fatalf("no spans recorded")
+	}
+	return tel, telemetry.FormatTrace(tel.TraceSpans(spans[0].Trace))
+}
+
+// TestInteractionTraceConnected is the tentpole acceptance criterion:
+// a single simulated interaction produces one connected trace with at
+// least five spans crossing at least three subsystems, stamped on the
+// virtual clock.
+func TestInteractionTraceConnected(t *testing.T) {
+	tel, _ := traceRun(t)
+
+	spans := tel.Spans()
+	root := spans[0].Trace
+	for _, s := range spans {
+		if s.Trace != root {
+			t.Errorf("span #%d (%s.%s) on trace %d, want every span on trace %d — the path is disconnected",
+				s.ID, s.Subsystem, s.Name, s.Trace, root)
+		}
+	}
+	trace := tel.TraceSpans(root)
+	if len(trace) < 5 {
+		t.Errorf("trace has %d spans, want >= 5", len(trace))
+	}
+	subs := telemetry.Subsystems(trace)
+	if len(subs) < 3 {
+		t.Errorf("trace crosses %d subsystems (%v), want >= 3", len(subs), subs)
+	}
+	// The path must reach from the hardware click all the way to the
+	// rendered alert, via the kernel-side decision.
+	names := map[string]bool{}
+	for _, s := range trace {
+		names[s.Subsystem+"."+s.Name] = true
+		if s.Start.Before(clock.Epoch) {
+			t.Errorf("span %s.%s starts %v, before the virtual epoch", s.Subsystem, s.Name, s.Start)
+		}
+		if !s.Ended {
+			t.Errorf("span %s.%s never ended", s.Subsystem, s.Name)
+		}
+	}
+	for _, want := range []string{
+		"xserver.hardware_click", "xserver.notify_interaction",
+		"monitor.notify", "kernel.open", "monitor.decide", "xserver.alert",
+	} {
+		if !names[want] {
+			t.Errorf("trace is missing span %s; got %v", want, names)
+		}
+	}
+}
+
+// TestInteractionTraceReproducible: the decision-path trace — IDs,
+// timestamps, annotations — is a pure function of the script. Two
+// identical runs must render byte-identical traces and snapshots.
+func TestInteractionTraceReproducible(t *testing.T) {
+	telA, traceA := traceRun(t)
+	telB, traceB := traceRun(t)
+	if traceA != traceB {
+		t.Fatalf("traces differ between identical runs:\n--- A ---\n%s--- B ---\n%s", traceA, traceB)
+	}
+	ja, err := json.Marshal(telA.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	jb, err := json.Marshal(telB.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshots differ between identical runs")
+	}
+	if !strings.Contains(traceA, "verdict=grant") {
+		t.Errorf("trace does not record the grant:\n%s", traceA)
+	}
+}
+
+// TestUninstrumentedBootStillWorks: a system booted without a recorder
+// (the default) must behave identically — nil-recorder telemetry is a
+// no-op, not a crash.
+func TestUninstrumentedBootStillWorks(t *testing.T) {
+	sys, mic, _, err := core.BootDefault()
+	if err != nil {
+		t.Fatalf("BootDefault: %v", err)
+	}
+	if sys.Telemetry() != nil {
+		t.Fatalf("default boot has a recorder; want nil")
+	}
+	app, err := sys.Launch("recorder")
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	sys.Settle(1500 * time.Millisecond)
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(50 * time.Millisecond)
+	h, err := app.OpenDevice(mic)
+	if err != nil {
+		t.Fatalf("OpenDevice without telemetry: %v", err)
+	}
+	_ = h.Close()
+}

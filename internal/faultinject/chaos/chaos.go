@@ -35,6 +35,7 @@ import (
 	"overhaul/internal/ipc"
 	"overhaul/internal/kernel"
 	"overhaul/internal/monitor"
+	"overhaul/internal/telemetry"
 	"overhaul/internal/xserver"
 )
 
@@ -82,6 +83,12 @@ type Result struct {
 	Kernel     kernel.Stats  `json:"kernel_stats"`
 	X          xserver.Stats `json:"x_stats"`
 	Degraded   bool          `json:"degraded"`
+	// Flight holds the JSONL lines of the campaign's last flight-
+	// recorder dump — the black-box snapshot taken at the final denial,
+	// degradation, or invariant violation. Empty when nothing tripped.
+	Flight []string `json:"flight,omitempty"`
+	// FlightDumps counts every dump taken across the campaign.
+	FlightDumps int `json:"flight_dumps"`
 }
 
 // Ok reports whether every invariant held.
@@ -110,6 +117,10 @@ func (r *Result) Transcript() string {
 	for _, v := range r.Violations {
 		b.WriteString(fmt.Sprintf("step %d [%s]: %s\n", v.Step, v.Invariant, v.Detail))
 	}
+	b.WriteString("== flight ==\n")
+	for _, l := range r.Flight {
+		b.WriteString(l + "\n")
+	}
 	return b.String()
 }
 
@@ -126,6 +137,7 @@ type runner struct {
 	shmA      *ipc.Mapping
 	shmB      *ipc.Mapping
 	scanners  []string
+	tel       *telemetry.Recorder
 	res       *Result
 }
 
@@ -150,11 +162,16 @@ func (r *runner) event(step int, format string, args ...any) {
 }
 
 func (r *runner) violate(step int, invariant, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
 	r.res.Violations = append(r.res.Violations, Violation{
 		Step:      step,
 		Invariant: invariant,
-		Detail:    fmt.Sprintf(format, args...),
+		Detail:    detail,
 	})
+	// An invariant breach is exactly what the flight recorder exists
+	// for: snapshot the recent-event ring at the moment of violation.
+	r.tel.TripFlight(telemetry.SpanContext{}, "chaos",
+		"invariant violation ["+invariant+"]: "+detail)
 }
 
 // Run executes the campaign and returns its deterministic result. The
@@ -180,6 +197,10 @@ func Run(c Campaign) (*Result, error) {
 		c:         c,
 		threshold: threshold,
 		inj:       inj,
+		// The recorder rides the campaign's virtual clock, so its
+		// output — like the rest of the transcript — is a pure function
+		// of the seed.
+		tel: telemetry.New(clk),
 		// A distinct stream from the injector's: faults and script are
 		// independent dimensions of the same seed.
 		rng: rand.New(rand.NewSource(c.Seed ^ 0x5eed0fca0515)),
@@ -192,6 +213,7 @@ func Run(c Campaign) (*Result, error) {
 		Threshold:   c.Threshold,
 		AlertSecret: "chaos-cat",
 		FaultHook:   r.hook(),
+		Telemetry:   r.tel,
 		// Large enough that the checker never loses records to ring
 		// eviction mid-campaign.
 		AuditCapacity: 1 << 16,
@@ -234,6 +256,12 @@ func Run(c Campaign) (*Result, error) {
 	r.res.Kernel = sys.Kernel.StatsSnapshot()
 	r.res.X = sys.X.StatsSnapshot()
 	_, r.res.Degraded = sys.Kernel.Monitor().DegradedReason()
+	r.res.FlightDumps = len(r.tel.FlightDumps())
+	if dump, ok := r.tel.LastFlightDump(); ok {
+		if raw, err := dump.JSONL(); err == nil {
+			r.res.Flight = strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+		}
+	}
 	return r.res, nil
 }
 

@@ -180,3 +180,45 @@ func TestViolationSurfaceable(t *testing.T) {
 		t.Errorf("Ok() true with violations present")
 	}
 }
+
+// TestCampaignFlightDump is the telemetry acceptance scenario: a
+// campaign with an injected channel fault must leave a flight-recorder
+// dump whose recent events name the fault point that fired and carry a
+// deny reason — the post-mortem a real deployment would read.
+func TestCampaignFlightDump(t *testing.T) {
+	res, err := Run(Campaign{
+		Seed:  11,
+		Steps: 120,
+		Rules: []faultinject.Rule{
+			{Point: faultinject.PointNetlinkUserToKernel, Kind: faultinject.KindError, Prob: 0.4},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FlightDumps == 0 || len(res.Flight) == 0 {
+		t.Fatalf("no flight dump despite injected channel faults (dumps=%d)", res.FlightDumps)
+	}
+	joined := strings.Join(res.Flight, "\n")
+	if !strings.Contains(joined, string(faultinject.PointNetlinkUserToKernel)) {
+		t.Errorf("flight dump names no fault point:\n%s", joined)
+	}
+	if !strings.Contains(joined, "deny") {
+		t.Errorf("flight dump carries no deny reason:\n%s", joined)
+	}
+	// The dump is part of the deterministic transcript: same seed,
+	// same bytes.
+	res2, err := Run(Campaign{
+		Seed:  11,
+		Steps: 120,
+		Rules: []faultinject.Rule{
+			{Point: faultinject.PointNetlinkUserToKernel, Kind: faultinject.KindError, Prob: 0.4},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run (repeat): %v", err)
+	}
+	if res.Transcript() != res2.Transcript() {
+		t.Errorf("flight-bearing transcript not reproducible across runs")
+	}
+}

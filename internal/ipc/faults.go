@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"overhaul/internal/faultinject"
+	"overhaul/internal/telemetry"
 )
 
 // faultyStamps decorates a Stamps store with injected write failures:
@@ -37,6 +38,28 @@ func (f *faultyStamps) Stamp(pid int) (time.Time, bool) { return f.st.Stamp(pid)
 func (f *faultyStamps) Adopt(pid int, t time.Time) {
 	if faultinject.Eval(f.hook, faultinject.PointStampWrite).Injected() {
 		return // update lost; receiver keeps its older (staler) stamp
+	}
+	f.st.Adopt(pid, t)
+}
+
+// StampSpan implements SpanStamps when the wrapped store tracks spans;
+// otherwise it reports no span (reads are never faulted).
+func (f *faultyStamps) StampSpan(pid int) (telemetry.SpanContext, bool) {
+	if ss, ok := f.st.(SpanStamps); ok {
+		return ss.StampSpan(pid)
+	}
+	return telemetry.SpanContext{}, false
+}
+
+// AdoptSpan implements SpanStamps; the same injected fault drops the
+// stamp and its span together (they travel as one unit).
+func (f *faultyStamps) AdoptSpan(pid int, t time.Time, ctx telemetry.SpanContext) {
+	if faultinject.Eval(f.hook, faultinject.PointStampWrite).Injected() {
+		return
+	}
+	if ss, ok := f.st.(SpanStamps); ok {
+		ss.AdoptSpan(pid, t, ctx)
+		return
 	}
 	f.st.Adopt(pid, t)
 }

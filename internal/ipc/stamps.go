@@ -17,6 +17,8 @@ package ipc
 import (
 	"sync"
 	"time"
+
+	"overhaul/internal/telemetry"
 )
 
 // Stamps is the kernel-side view of per-process interaction timestamps
@@ -31,11 +33,50 @@ type Stamps interface {
 	Adopt(pid int, t time.Time)
 }
 
+// SpanStamps is an optional extension of Stamps for stores that track
+// the trace span that minted each stamp. When the store supports it,
+// IPC propagation carries the span alongside the timestamp, so a
+// permission grant enabled by a stamp that travelled through a pipe or
+// a shared-memory segment still traces back to the original input
+// event. Plain Stamps stores propagate timestamps only.
+type SpanStamps interface {
+	Stamps
+	// StampSpan returns the span context stored with pid's stamp; ok
+	// is false for unknown processes.
+	StampSpan(pid int) (ctx telemetry.SpanContext, ok bool)
+	// AdoptSpan installs t and its minting span as pid's stamp if t is
+	// newer than the current one. Unknown processes are ignored.
+	AdoptSpan(pid int, t time.Time, ctx telemetry.SpanContext)
+}
+
+// stampSpanOf fetches pid's stamp span when the store tracks spans.
+func stampSpanOf(st Stamps, pid int) telemetry.SpanContext {
+	if ss, ok := st.(SpanStamps); ok {
+		if ctx, found := ss.StampSpan(pid); found {
+			return ctx
+		}
+	}
+	return telemetry.SpanContext{}
+}
+
+// adoptWithSpan installs a stamp, carrying its span when the store
+// tracks spans.
+func adoptWithSpan(st Stamps, pid int, t time.Time, ctx telemetry.SpanContext) {
+	if ss, ok := st.(SpanStamps); ok {
+		ss.AdoptSpan(pid, t, ctx)
+		return
+	}
+	st.Adopt(pid, t)
+}
+
 // carrier is the timestamp embedded in an IPC resource's kernel data
 // structure.
 type carrier struct {
 	mu    sync.Mutex
 	stamp time.Time // zero value == "expired", per the paper's step (1)
+	// span is the trace span that minted stamp; it travels with the
+	// stamp as one unit (zero when telemetry is off).
+	span telemetry.SpanContext
 }
 
 // onSend runs the sender half of the propagation protocol: embed the
@@ -48,10 +89,12 @@ func (c *carrier) onSend(st Stamps, pid int) {
 	if !ok {
 		return
 	}
+	span := stampSpanOf(st, pid)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if sender.After(c.stamp) {
 		c.stamp = sender
+		c.span = span
 	}
 }
 
@@ -62,12 +105,12 @@ func (c *carrier) onRecv(st Stamps, pid int) {
 		return
 	}
 	c.mu.Lock()
-	stamp := c.stamp
+	stamp, span := c.stamp, c.span
 	c.mu.Unlock()
 	if stamp.IsZero() {
 		return
 	}
-	st.Adopt(pid, stamp)
+	adoptWithSpan(st, pid, stamp, span)
 }
 
 // onAccess runs both halves. Shared-memory faults cannot distinguish a

@@ -7,6 +7,7 @@ import (
 
 	"overhaul/internal/fs"
 	"overhaul/internal/ipc"
+	"overhaul/internal/telemetry"
 )
 
 // ipcTables tracks named IPC resources: FIFOs by filesystem path, SysV
@@ -42,6 +43,20 @@ func (s *stampStore) Adopt(pid int, t time.Time) {
 	// Unknown processes are ignored: the sender may have exited
 	// between embedding and delivery.
 	_ = (*taskStore)(s).SetInteractionStamp(pid, t)
+}
+
+var _ ipc.SpanStamps = (*stampStore)(nil)
+
+// StampSpan implements ipc.SpanStamps over the task struct's stamp
+// span field.
+func (s *stampStore) StampSpan(pid int) (telemetry.SpanContext, bool) {
+	return (*taskStore)(s).InteractionSpan(pid)
+}
+
+// AdoptSpan implements ipc.SpanStamps: the stamp and the span that
+// minted it install together, newest-wins (P2 carries both).
+func (s *stampStore) AdoptSpan(pid int, t time.Time, ctx telemetry.SpanContext) {
+	_ = (*taskStore)(s).SetInteractionStampSpan(pid, t, ctx)
 }
 
 // stamps returns the kernel's ipc.Stamps view, or nil when P2

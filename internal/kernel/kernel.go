@@ -22,6 +22,7 @@ import (
 	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 	"overhaul/internal/monitor"
+	"overhaul/internal/telemetry"
 )
 
 // Sentinel errors.
@@ -97,7 +98,8 @@ type Kernel struct {
 	clk    clock.Clock
 	fsys   *fs.FS
 	mon    *monitor.Monitor
-	faults faultinject.Hook // immutable after New
+	faults faultinject.Hook    // immutable after New
+	tel    *telemetry.Recorder // immutable after New; nil-safe
 
 	mu          sync.Mutex
 	procs       map[int]*Process
@@ -125,6 +127,7 @@ func New(clk clock.Clock, fsys *fs.FS, cfg Config) (*Kernel, error) {
 		clk:         clk,
 		fsys:        fsys,
 		faults:      cfg.FaultHook,
+		tel:         cfg.Monitor.Telemetry,
 		procs:       make(map[int]*Process),
 		nextPID:     1,
 		devmap:      make(map[string]devfs.Class),
@@ -195,6 +198,7 @@ func (k *Kernel) SensitiveClassOf(path string) (devfs.Class, bool) {
 type taskStore Kernel
 
 var _ monitor.TaskStore = (*taskStore)(nil)
+var _ monitor.SpanTaskStore = (*taskStore)(nil)
 
 // InteractionStamp implements monitor.TaskStore.
 func (ts *taskStore) InteractionStamp(pid int) (time.Time, bool) {
@@ -224,8 +228,45 @@ func (ts *taskStore) SetInteractionStamp(pid int, t time.Time) error {
 	defer p.mu.Unlock()
 	if t.After(p.stamp) {
 		p.stamp = t
+		// The stamp changed hands without trace context: whatever span
+		// minted the previous stamp no longer describes it.
+		p.stampSpan = telemetry.SpanContext{}
 	}
 	return nil
+}
+
+// SetInteractionStampSpan implements monitor.SpanTaskStore: the stamp
+// and the span that minted it travel as one newest-wins unit, exactly
+// like the stamp alone does.
+func (ts *taskStore) SetInteractionStampSpan(pid int, t time.Time, ctx telemetry.SpanContext) error {
+	k := (*Kernel)(ts)
+	k.mu.Lock()
+	p, ok := k.procs[pid]
+	k.mu.Unlock()
+	if !ok {
+		return monitor.ErrNoSuchProcess
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t.After(p.stamp) {
+		p.stamp = t
+		p.stampSpan = ctx
+	}
+	return nil
+}
+
+// InteractionSpan implements monitor.SpanTaskStore.
+func (ts *taskStore) InteractionSpan(pid int) (telemetry.SpanContext, bool) {
+	k := (*Kernel)(ts)
+	k.mu.Lock()
+	p, ok := k.procs[pid]
+	k.mu.Unlock()
+	if !ok {
+		return telemetry.SpanContext{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stampSpan, true
 }
 
 // PermissionsDisabled implements monitor.TaskStore: a process being

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"overhaul/internal/fs"
+	"overhaul/internal/telemetry"
 	"sync"
 )
 
@@ -17,14 +18,21 @@ type Process struct {
 	pid  int
 	ppid int
 
-	mu       sync.Mutex
-	name     string
-	exe      string
-	cred     fs.Cred
-	stamp    time.Time // interaction timestamp (the Overhaul field)
-	state    State
-	tracedBy int // tracer PID, 0 when not traced
-	children []int
+	mu    sync.Mutex
+	name  string
+	exe   string
+	cred  fs.Cred
+	stamp time.Time // interaction timestamp (the Overhaul field)
+	// stampSpan is the trace span that minted stamp (zero when
+	// telemetry is off or the stamp arrived without context). It is
+	// updated and inherited in lockstep with stamp: fork copies it
+	// (P1) and IPC propagation carries it alongside the stamp (P2), so
+	// a permission query can always be traced back to the interaction
+	// that enables it.
+	stampSpan telemetry.SpanContext
+	state     State
+	tracedBy  int // tracer PID, 0 when not traced
+	children  []int
 }
 
 // PID returns the process identifier.
@@ -59,6 +67,14 @@ func (p *Process) InteractionStamp() time.Time {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stamp
+}
+
+// StampSpan returns the trace span that minted the current interaction
+// stamp (zero when unknown).
+func (p *Process) StampSpan() telemetry.SpanContext {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stampSpan
 }
 
 // State returns the lifecycle state.
@@ -126,24 +142,26 @@ func (p *Process) Fork() (*Process, error) {
 	k := p.k
 
 	p.mu.Lock()
-	name, exe, cred, stamp := p.name, p.exe, p.cred, p.stamp
+	name, exe, cred, stamp, stampSpan := p.name, p.exe, p.cred, p.stamp, p.stampSpan
 	p.mu.Unlock()
 
 	k.mu.Lock()
 	if k.disableP1 {
 		stamp = time.Time{} // ablation: no inheritance
+		stampSpan = telemetry.SpanContext{}
 	}
 	pid := k.nextPID
 	k.nextPID++
 	child := &Process{
-		k:     k,
-		pid:   pid,
-		ppid:  p.pid,
-		name:  name,
-		exe:   exe,
-		cred:  cred,
-		stamp: stamp, // P1: inherited
-		state: StateRunning,
+		k:         k,
+		pid:       pid,
+		ppid:      p.pid,
+		name:      name,
+		exe:       exe,
+		cred:      cred,
+		stamp:     stamp,     // P1: inherited
+		stampSpan: stampSpan, // the minting span inherits with it
+		state:     StateRunning,
 	}
 	k.procs[pid] = child
 	k.stats.Forks++

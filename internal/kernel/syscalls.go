@@ -2,11 +2,13 @@ package kernel
 
 import (
 	"fmt"
+	"strconv"
 
 	"overhaul/internal/devfs"
 	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 	"overhaul/internal/monitor"
+	"overhaul/internal/telemetry"
 )
 
 // opForClass maps a sensitive device class to the monitor's operation
@@ -48,6 +50,25 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 	devRounds := k.devRounds
 	k.mu.Unlock()
 
+	var span *telemetry.Span
+	if sensitive {
+		// The open span parents on the span that minted the caller's
+		// interaction stamp, which is what connects this syscall to the
+		// input event that enables it (or leaves it a fresh root when
+		// no traced interaction preceded it).
+		var ctx telemetry.SpanContext
+		if k.tel.Enabled() {
+			ctx = p.StampSpan()
+		}
+		span = k.tel.StartSpan(ctx, "kernel", "open")
+		defer span.End()
+		if k.tel.Enabled() {
+			span.Annotate("path", path)
+			span.Annotate("pid", strconv.Itoa(p.pid))
+			k.tel.Add("kernel", "device_opens", "class="+string(class), 1)
+		}
+	}
+
 	if devRounds > 0 && h.Kind() == fs.KindDevice {
 		// Simulated driver initialisation, paid by every device open
 		// on both the baseline and the Overhaul kernel.
@@ -65,8 +86,13 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 			k.stats.Denials++
 		}
 		k.mu.Unlock()
+		if k.tel.Enabled() {
+			k.tel.Add("kernel", "open_faults", "", 1)
+			k.tel.RecordEvent(span.Context(), "kernel", "fault",
+				"injected fault at "+string(faultinject.PointKernelOpen)+" during open "+path)
+		}
 		if sensitive {
-			k.mon.RecordDenial(p.pid, opForClass(class), k.clk.Now(),
+			k.mon.RecordDenialCtx(span.Context(), p.pid, opForClass(class), k.clk.Now(),
 				"transient open failure: fail closed")
 		}
 		_ = h.Close()
@@ -74,7 +100,7 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 	}
 
 	if sensitive {
-		verdict := k.mon.Decide(p.pid, opForClass(class), k.clk.Now())
+		verdict := k.mon.DecideCtx(span.Context(), p.pid, opForClass(class), k.clk.Now())
 		if verdict != monitor.VerdictGrant {
 			k.mu.Lock()
 			k.stats.Denials++

@@ -1,0 +1,72 @@
+package monitor
+
+// Telemetry-overhead benchmarks: the issue's acceptance criterion is
+// that a nil recorder adds ZERO allocations to the Decide hot path.
+// Run with `make bench`, which records ns/op and allocs/op for every
+// benchmark into BENCH_overhaul.json at the repo root.
+
+import (
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/telemetry"
+)
+
+// benchMonitor builds a standalone enforcing monitor with one stamped
+// process whose stamp stays inside δ, so every Decide grants.
+func benchMonitor(b *testing.B, tel *telemetry.Recorder) (*Monitor, time.Time) {
+	b.Helper()
+	clk := clock.NewSimulated()
+	tasks := newFakeTasks()
+	tasks.add(7)
+	tasks.stamps[7] = clk.Now()
+	m, err := New(clk, tasks, Config{Enforce: true, Telemetry: tel})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	return m, clk.Now().Add(time.Millisecond)
+}
+
+func BenchmarkDecideTelemetryDisabled(b *testing.B) {
+	m, opTime := benchMonitor(b, nil)
+	// Warm up: the first append allocates the audit ring lazily; the
+	// steady state must then be allocation-free.
+	m.Decide(7, OpMic, opTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decide(7, OpMic, opTime)
+	}
+}
+
+func BenchmarkDecideTelemetryEnabled(b *testing.B) {
+	m, opTime := benchMonitor(b, telemetry.New(clock.NewSimulated()))
+	m.Decide(7, OpMic, opTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decide(7, OpMic, opTime)
+	}
+}
+
+// TestDecideTelemetryDisabledZeroAlloc hard-asserts the benchmark's
+// claim so a regression fails `go test`, not just a human reading
+// BENCH_overhaul.json.
+func TestDecideTelemetryDisabledZeroAlloc(t *testing.T) {
+	clk := clock.NewSimulated()
+	tasks := newFakeTasks()
+	tasks.add(7)
+	tasks.stamps[7] = clk.Now()
+	m, err := New(clk, tasks, Config{Enforce: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	opTime := clk.Now().Add(time.Millisecond)
+	m.Decide(7, OpMic, opTime) // allocate the audit ring
+	if avg := testing.AllocsPerRun(200, func() {
+		m.Decide(7, OpMic, opTime)
+	}); avg != 0 {
+		t.Errorf("Decide with nil recorder allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -19,10 +19,12 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"overhaul/internal/clock"
+	"overhaul/internal/telemetry"
 )
 
 // DefaultThreshold is δ, the temporal proximity window. The paper found
@@ -80,6 +82,24 @@ type TaskStore interface {
 	PermissionsDisabled(pid int) bool
 }
 
+// SpanTaskStore is an optional extension of TaskStore for stores that
+// can remember which trace span minted each interaction stamp, so that
+// a later permission query can be linked to the interaction that
+// enables it. Stores that do not implement it still work; traces then
+// break at the stamp boundary instead of connecting through it.
+type SpanTaskStore interface {
+	TaskStore
+	// SetInteractionStampSpan records an interaction time for pid
+	// together with the span that delivered it, only if newer than the
+	// currently stored stamp (the span travels with the stamp,
+	// newest-wins as one unit).
+	SetInteractionStampSpan(pid int, t time.Time, ctx telemetry.SpanContext) error
+	// InteractionSpan returns the span context stored alongside pid's
+	// current interaction stamp. ok is false if the process does not
+	// exist.
+	InteractionSpan(pid int) (telemetry.SpanContext, bool)
+}
+
 // AlertRequest asks the display manager to show a trusted-output visual
 // alert: "process PID performed Op" (V_{A,op} in the paper), or — for
 // Blocked requests — that an undesired access attempt was stopped (the
@@ -93,6 +113,10 @@ type AlertRequest struct {
 	Time     time.Time
 	Blocked  bool
 	Degraded bool
+	// Ctx is the decision span that raised the alert; the display
+	// manager parents the render span on it so one trace covers input →
+	// decision → alert. Zero when telemetry is disabled.
+	Ctx telemetry.SpanContext
 }
 
 // AlertFunc delivers an AlertRequest to the display manager. It is
@@ -140,6 +164,10 @@ type Config struct {
 	// AuditCapacity bounds the in-memory audit log (oldest entries
 	// are dropped). Zero means 1024.
 	AuditCapacity int
+	// Telemetry, when non-nil, receives metrics, decision spans, and
+	// flight-recorder events. Nil disables instrumentation entirely
+	// (zero allocations on the Decide hot path).
+	Telemetry *telemetry.Recorder
 }
 
 // defaultAlertOps covers the kernel-mediated device operations. Screen
@@ -160,6 +188,7 @@ type Monitor struct {
 	enforce   bool
 	alertOps  map[Op]bool
 	auditCap  int
+	tel       *telemetry.Recorder // nil-safe; nil means disabled
 
 	mu        sync.Mutex
 	alertFn   AlertFunc
@@ -215,8 +244,12 @@ func New(clk clock.Clock, tasks TaskStore, cfg Config) (*Monitor, error) {
 		enforce:   cfg.Enforce,
 		alertOps:  alertOps,
 		auditCap:  auditCap,
+		tel:       cfg.Telemetry,
 	}, nil
 }
+
+// Telemetry returns the monitor's recorder (nil when disabled).
+func (m *Monitor) Telemetry() *telemetry.Recorder { return m.tel }
 
 // Threshold returns δ.
 func (m *Monitor) Threshold() time.Duration { return m.threshold }
@@ -233,12 +266,36 @@ func (m *Monitor) SetAlertFunc(fn AlertFunc) {
 // input was delivered to pid at time t. Only the display manager may
 // invoke this (enforced by channel authentication one layer up).
 func (m *Monitor) Notify(pid int, t time.Time) error {
-	if err := m.tasks.SetInteractionStamp(pid, t); err != nil {
+	return m.NotifyCtx(telemetry.SpanContext{}, pid, t)
+}
+
+// NotifyCtx is Notify carrying the trace context of the input event
+// that caused the notification. The notify span is stored in the task
+// struct alongside the stamp it mints (when the store supports it), so
+// a later permission query within δ links back to this interaction.
+func (m *Monitor) NotifyCtx(ctx telemetry.SpanContext, pid int, t time.Time) error {
+	span := m.tel.StartSpan(ctx, "monitor", "notify")
+	defer span.End()
+	var err error
+	if st, ok := m.tasks.(SpanTaskStore); ok {
+		err = st.SetInteractionStampSpan(pid, t, span.Context())
+	} else {
+		err = m.tasks.SetInteractionStamp(pid, t)
+	}
+	if err != nil {
+		if m.tel.Enabled() {
+			span.Annotate("error", err.Error())
+			m.tel.Add("monitor", "notify_errors", "", 1)
+		}
 		return fmt.Errorf("monitor notify pid %d: %w", pid, err)
 	}
 	m.mu.Lock()
 	m.stats.Notifications++
 	m.mu.Unlock()
+	if m.tel.Enabled() {
+		span.Annotate("pid", strconv.Itoa(pid))
+		m.tel.Add("monitor", "notifications", "", 1)
+	}
 	return nil
 }
 
@@ -253,16 +310,24 @@ func (m *Monitor) SetDegraded(reason string) {
 		reason = "trusted component failure"
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.degraded = reason
+	m.mu.Unlock()
+	if m.tel.Enabled() {
+		m.tel.Add("monitor", "degradations", "", 1)
+		// A degradation is a flight-recorder trip: snapshot the ring so
+		// the events leading up to the trusted-component failure are
+		// preserved even if the ring keeps rolling afterwards.
+		m.tel.TripFlight(telemetry.SpanContext{}, "monitor", "protection degraded: "+reason)
+	}
 }
 
 // ClearDegraded returns the monitor to normal operation (the channel
 // was re-established).
 func (m *Monitor) ClearDegraded() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.degraded = ""
+	m.mu.Unlock()
+	m.tel.RecordEvent(telemetry.SpanContext{}, "monitor", "recovery", "degraded mode cleared")
 }
 
 // DegradedReason returns the degradation reason and whether the
@@ -276,6 +341,9 @@ func (m *Monitor) DegradedReason() (string, bool) {
 // appendAuditLocked appends one decision to the audit ring. Requires
 // m.mu held.
 func (m *Monitor) appendAuditLocked(d Decision) {
+	// Every audit append is mirrored to a telemetry counter so the
+	// audit log and overhaul-top can never silently disagree.
+	m.tel.Add("monitor", "audit_appends", "", 1)
 	if m.audit == nil {
 		// Grown lazily but allocated once: the ring must not churn
 		// the allocator on the hot decision path.
@@ -298,6 +366,27 @@ func (m *Monitor) appendAuditLocked(d Decision) {
 // While the monitor is degraded, every query denies (fail closed) with
 // the distinct protection-degraded reason.
 func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
+	return m.DecideCtx(telemetry.SpanContext{}, pid, op, opTime)
+}
+
+// DecideCtx is Decide carrying the trace context of the event that
+// triggered the query (typically the kernel open span, itself parented
+// on the interaction that minted the process's stamp). With telemetry
+// disabled it is exactly the Decide hot path: zero extra allocations,
+// verified by BenchmarkDecideTelemetryDisabled.
+func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime time.Time) Verdict {
+	if m.tel.Enabled() && !ctx.Valid() {
+		// No explicit parent: join the trace of the interaction that
+		// minted the process's current stamp, if the store tracks it.
+		// This is what connects a bare Decide to its enabling input.
+		if st, ok := m.tasks.(SpanTaskStore); ok {
+			if sc, found := st.InteractionSpan(pid); found {
+				ctx = sc
+			}
+		}
+	}
+	span := m.tel.StartSpan(ctx, "monitor", "decide")
+	defer span.End()
 	stamp, exists := m.tasks.InteractionStamp(pid)
 
 	m.mu.Lock()
@@ -352,8 +441,30 @@ func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 	}
 	m.mu.Unlock()
 
+	if m.tel.Enabled() {
+		span.Annotate("pid", strconv.Itoa(pid))
+		span.Annotate("op", string(op))
+		span.Annotate("verdict", verdict.String())
+		span.Annotate("reason", reason)
+		m.tel.Add("monitor", "decisions", "op="+string(op)+" verdict="+verdict.String(), 1)
+		if !stamp.IsZero() {
+			// Distribution of stamp ages at decision time: the paper's δ
+			// sweep (§V-A) in histogram form.
+			m.tel.Observe("monitor", "stamp_age", "op="+string(op), opTime.Sub(stamp))
+		}
+		detail := "pid=" + strconv.Itoa(pid) + " op=" + string(op) + " " + verdict.String() + ": " + reason
+		m.tel.RecordEvent(span.Context(), "monitor", "decision", detail)
+		if verdict == VerdictDeny {
+			// Every denial trips the flight recorder: the dump's final
+			// events carry the deny reason plus whatever preceded it
+			// (injected faults, channel loss, stale stamps).
+			m.tel.TripFlight(span.Context(), "monitor",
+				"deny pid="+strconv.Itoa(pid)+" op="+string(op)+": "+reason)
+		}
+	}
+
 	if sendAlert {
-		alertFn(AlertRequest{PID: pid, Op: op, Time: opTime, Blocked: verdict == VerdictDeny, Degraded: isDegraded})
+		alertFn(AlertRequest{PID: pid, Op: op, Time: opTime, Blocked: verdict == VerdictDeny, Degraded: isDegraded, Ctx: span.Context()})
 	}
 	return verdict
 }
@@ -364,13 +475,25 @@ func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 // denials, and this method keeps them from being silent: every denial
 // along the decision path leaves an audit record.
 func (m *Monitor) RecordDenial(pid int, op Op, opTime time.Time, reason string) {
+	m.RecordDenialCtx(telemetry.SpanContext{}, pid, op, opTime, reason)
+}
+
+// RecordDenialCtx is RecordDenial carrying the trace context of the
+// failed operation.
+func (m *Monitor) RecordDenialCtx(ctx telemetry.SpanContext, pid int, op Op, opTime time.Time, reason string) {
 	stamp, _ := m.tasks.InteractionStamp(pid)
 	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: VerdictDeny, Reason: reason}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.stats.Queries++
 	m.stats.Denials++
 	m.appendAuditLocked(d)
+	m.mu.Unlock()
+	if m.tel.Enabled() {
+		m.tel.Add("monitor", "decisions", "op="+string(op)+" verdict=deny", 1)
+		m.tel.Add("monitor", "denials_recorded", "", 1)
+		m.tel.TripFlight(ctx, "monitor",
+			"deny pid="+strconv.Itoa(pid)+" op="+string(op)+": "+reason)
+	}
 }
 
 // Audit returns a copy of the audit log, oldest first.

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"overhaul/internal/faultinject"
+	"overhaul/internal/telemetry"
 )
 
 // Sentinel errors.
@@ -75,6 +76,7 @@ type Hub struct {
 	kernelHandler Handler
 	conns         map[int]*Conn
 	faults        faultinject.Hook
+	tel           *telemetry.Recorder
 	stats         Stats
 }
 
@@ -102,6 +104,15 @@ func (h *Hub) SetFaultHook(hook faultinject.Hook) {
 	h.faults = hook
 }
 
+// SetTelemetry installs the telemetry recorder consulted for channel
+// message counters and fault flight-recorder events. A nil recorder
+// (the default) disables instrumentation.
+func (h *Hub) SetTelemetry(tel *telemetry.Recorder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tel = tel
+}
+
 // applyFault evaluates the channel fault point for one message and
 // updates the fault counters. The returned fault tells the caller
 // whether to drop (KindError) or double-deliver (KindDuplicate) the
@@ -117,6 +128,7 @@ func (h *Hub) applyFault(p faultinject.Point) faultinject.Fault {
 		return f
 	}
 	h.mu.Lock()
+	tel := h.tel
 	switch f.Kind {
 	case faultinject.KindError:
 		h.stats.Dropped++
@@ -126,6 +138,17 @@ func (h *Hub) applyFault(p faultinject.Point) faultinject.Fault {
 		h.stats.Duplicated++
 	}
 	h.mu.Unlock()
+	if tel.Enabled() {
+		tel.Add("netlink", "faults", "point="+string(p)+" kind="+f.Kind.String(), 1)
+		if f.Kind == faultinject.KindError {
+			// A dropped channel message is exactly the failure the
+			// enforcement stack must survive closed; leave the fault
+			// point's name in the flight ring so a post-mortem dump
+			// shows what the channel lost.
+			tel.RecordEvent(telemetry.SpanContext{}, "netlink", "fault",
+				"injected fault at "+string(p)+": message dropped")
+		}
+	}
 	return f
 }
 
@@ -160,7 +183,9 @@ func (h *Hub) CallUser(pid int, msg any) (any, error) {
 		fn = c.userHandler
 	}
 	h.stats.KernelToUser++
+	tel := h.tel
 	h.mu.Unlock()
+	tel.Add("netlink", "messages", "dir=kernel_to_user", 1)
 
 	if !ok {
 		return nil, fmt.Errorf("%w: pid %d", ErrNotConnected, pid)
@@ -225,7 +250,9 @@ func (c *Conn) Call(msg any) (any, error) {
 	c.hub.mu.Lock()
 	fn := c.hub.kernelHandler
 	c.hub.stats.UserToKernel++
+	tel := c.hub.tel
 	c.hub.mu.Unlock()
+	tel.Add("netlink", "messages", "dir=user_to_kernel", 1)
 
 	if fn == nil {
 		return nil, ErrNoHandler

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+)
+
+// FlightEvent is one entry in the flight-recorder ring: a terse record
+// of something the enforcement stack did or observed. Kind is a short
+// taxonomy tag ("denial", "degradation", "fault", "decision",
+// "violation", ...); Detail is human-readable.
+type FlightEvent struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	Subsystem string    `json:"subsystem"`
+	Kind      string    `json:"kind"`
+	Detail    string    `json:"detail"`
+	Trace     TraceID   `json:"trace,omitempty"`
+	Span      SpanID    `json:"span,omitempty"`
+}
+
+// FlightDump is a snapshot of the ring taken the moment something went
+// wrong. Events are oldest-first; the last events are therefore the
+// ones that explain the trip.
+type FlightDump struct {
+	Seq    uint64        `json:"seq"`
+	Time   time.Time     `json:"time"`
+	Reason string        `json:"reason"`
+	Events []FlightEvent `json:"events"`
+}
+
+// RecordEvent appends an event to the flight ring. ctx may be zero.
+func (r *Recorder) RecordEvent(ctx SpanContext, subsystem, kind, detail string) {
+	if r == nil {
+		return
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recordEventLocked(FlightEvent{
+		Time:      now,
+		Subsystem: subsystem,
+		Kind:      kind,
+		Detail:    detail,
+		Trace:     ctx.Trace,
+		Span:      ctx.Span,
+	})
+}
+
+// recordEventLocked stamps the sequence number and pushes ev into the
+// ring, evicting the oldest entry when full. Requires r.mu held.
+func (r *Recorder) recordEventLocked(ev FlightEvent) {
+	r.flightSeq++
+	ev.Seq = r.flightSeq
+	if r.flight == nil {
+		r.flight = make([]FlightEvent, r.flightCap)
+	}
+	if r.flightLen < r.flightCap {
+		r.flight[(r.flightHead+r.flightLen)%r.flightCap] = ev
+		r.flightLen++
+		return
+	}
+	r.flight[r.flightHead] = ev
+	r.flightHead = (r.flightHead + 1) % r.flightCap
+}
+
+// TripFlight records a trip event and snapshots the ring into a dump.
+// Call it when a denial, a degradation, or an invariant violation
+// fires; the dump's final events then explain what led up to it.
+func (r *Recorder) TripFlight(ctx SpanContext, subsystem, reason string) {
+	if r == nil {
+		return
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recordEventLocked(FlightEvent{
+		Time:      now,
+		Subsystem: subsystem,
+		Kind:      "trip",
+		Detail:    reason,
+		Trace:     ctx.Trace,
+		Span:      ctx.Span,
+	})
+	events := make([]FlightEvent, 0, r.flightLen)
+	for i := 0; i < r.flightLen; i++ {
+		events = append(events, r.flight[(r.flightHead+i)%r.flightCap])
+	}
+	d := FlightDump{
+		Seq:    r.flightSeq,
+		Time:   now,
+		Reason: reason,
+		Events: events,
+	}
+	if len(r.dumps) >= r.dumpCap {
+		copy(r.dumps, r.dumps[1:])
+		r.dumps[len(r.dumps)-1] = d
+		r.dumpsDropped++
+	} else {
+		r.dumps = append(r.dumps, d)
+	}
+}
+
+// FlightEvents returns the current ring contents, oldest first.
+func (r *Recorder) FlightEvents() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEvent, 0, r.flightLen)
+	for i := 0; i < r.flightLen; i++ {
+		out = append(out, r.flight[(r.flightHead+i)%r.flightCap])
+	}
+	return out
+}
+
+// FlightDumps returns retained dumps, oldest first.
+func (r *Recorder) FlightDumps() []FlightDump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightDump, len(r.dumps))
+	copy(out, r.dumps)
+	return out
+}
+
+// LastFlightDump returns the most recent dump, if any.
+func (r *Recorder) LastFlightDump() (FlightDump, bool) {
+	if r == nil {
+		return FlightDump{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.dumps) == 0 {
+		return FlightDump{}, false
+	}
+	return r.dumps[len(r.dumps)-1], true
+}
+
+// JSONL renders the dump as one JSON object per line: a header line
+// (seq, time, reason) followed by one line per event, oldest first.
+func (d FlightDump) JSONL() ([]byte, error) {
+	var buf bytes.Buffer
+	hdr := struct {
+		Seq    uint64    `json:"seq"`
+		Time   time.Time `json:"time"`
+		Reason string    `json:"reason"`
+		Events int       `json:"events"`
+	}{d.Seq, d.Time, d.Reason, len(d.Events)}
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(hdr); err != nil {
+		return nil, err
+	}
+	for _, ev := range d.Events {
+		if err := enc.Encode(ev); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// metricKey addresses one metric. Labels is a single pre-formed string
+// (e.g. "op=mic verdict=grant") rather than a map so that lookups never
+// allocate and snapshots order deterministically.
+type metricKey struct {
+	Subsystem string
+	Name      string
+	Labels    string
+}
+
+// counter is a monotonically increasing count.
+type counter struct {
+	value   uint64
+	updated time.Time
+}
+
+// gauge is a set-to-latest value.
+type gauge struct {
+	value   int64
+	updated time.Time
+}
+
+// HistogramBuckets is the fixed latency ladder every histogram uses.
+// Fixed buckets keep snapshots comparable across runs and subsystems;
+// on the simulated clock most observations land in the first bucket
+// unless injected delays or retry backoff advanced virtual time.
+var HistogramBuckets = []time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram. counts has one entry
+// per HistogramBuckets bound plus a final overflow bucket.
+type histogram struct {
+	counts  []uint64
+	sum     time.Duration
+	total   uint64
+	updated time.Time
+}
+
+// Add increments the (subsystem, name, labels) counter by delta.
+func (r *Recorder) Add(subsystem, name, labels string, delta uint64) {
+	if r == nil {
+		return
+	}
+	now := r.now()
+	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[k]
+	if c == nil {
+		c = &counter{}
+		r.counters[k] = c
+	}
+	c.value += delta
+	c.updated = now
+}
+
+// Gauge sets the (subsystem, name, labels) gauge to v.
+func (r *Recorder) Gauge(subsystem, name, labels string, v int64) {
+	if r == nil {
+		return
+	}
+	now := r.now()
+	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[k]
+	if g == nil {
+		g = &gauge{}
+		r.gauges[k] = g
+	}
+	g.value = v
+	g.updated = now
+}
+
+// Observe records one latency observation into the (subsystem, name,
+// labels) histogram. Negative durations clamp to zero.
+func (r *Recorder) Observe(subsystem, name, labels string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	now := r.now()
+	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[k]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(HistogramBuckets)+1)}
+		r.hists[k] = h
+	}
+	idx := len(HistogramBuckets) // overflow
+	for i, bound := range HistogramBuckets {
+		if d <= bound {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += d
+	h.total++
+	h.updated = now
+}
+
+// CounterValue returns the current value of a counter (0 when absent).
+func (r *Recorder) CounterValue(subsystem, name, labels string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[metricKey{Subsystem: subsystem, Name: name, Labels: labels}]
+	if c == nil {
+		return 0
+	}
+	return c.value
+}
+
+// MetricPoint is one metric in a snapshot.
+type MetricPoint struct {
+	Subsystem string `json:"subsystem"`
+	Name      string `json:"name"`
+	Labels    string `json:"labels,omitempty"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string `json:"kind"`
+	// Value carries the counter value or the gauge value.
+	Value int64 `json:"value,omitempty"`
+	// Histogram fields (Kind "histogram" only). Buckets aligns with
+	// HistogramBuckets plus one trailing overflow bucket.
+	Buckets []uint64      `json:"buckets,omitempty"`
+	Sum     time.Duration `json:"sum_ns,omitempty"`
+	Count   uint64        `json:"count,omitempty"`
+	// Updated is the (virtual-clock) instant of the last update.
+	Updated time.Time `json:"updated"`
+}
+
+// MetricsSnapshot returns every metric, sorted by subsystem, name,
+// labels, kind — a deterministic order under the simulated clock.
+func (r *Recorder) MetricsSnapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		out = append(out, MetricPoint{
+			Subsystem: k.Subsystem, Name: k.Name, Labels: k.Labels,
+			Kind: "counter", Value: int64(c.value), Updated: c.updated,
+		})
+	}
+	for k, g := range r.gauges {
+		out = append(out, MetricPoint{
+			Subsystem: k.Subsystem, Name: k.Name, Labels: k.Labels,
+			Kind: "gauge", Value: g.value, Updated: g.updated,
+		})
+	}
+	for k, h := range r.hists {
+		buckets := make([]uint64, len(h.counts))
+		copy(buckets, h.counts)
+		out = append(out, MetricPoint{
+			Subsystem: k.Subsystem, Name: k.Name, Labels: k.Labels,
+			Kind: "histogram", Buckets: buckets, Sum: h.sum, Count: h.total,
+			Updated: h.updated,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Subsystem != b.Subsystem {
+			return a.Subsystem < b.Subsystem
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Labels != b.Labels {
+			return a.Labels < b.Labels
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}

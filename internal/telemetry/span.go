@@ -1,0 +1,230 @@
+package telemetry
+
+import "time"
+
+// TraceID identifies one causally connected decision path (e.g. one
+// user interaction and every enforcement step it enables). IDs are
+// sequential from 1, never random, so traces are stable across runs.
+type TraceID uint64
+
+// SpanID identifies one span. IDs are sequential from 1 in creation
+// order across all traces.
+type SpanID uint64
+
+// SpanContext is the propagation token: enough to link a child span to
+// its parent across a process, channel, or IPC boundary. The zero value
+// means "no context" and starts a fresh trace.
+//
+// Contexts ride the same paths interaction timestamps do: the netlink
+// message structs carry one alongside the stamp time, the kernel's
+// task struct stores the context that minted the current stamp
+// (inherited on fork, P1), and the IPC carriers embed it next to the
+// stamp they propagate (P2).
+type SpanContext struct {
+	Trace TraceID `json:"trace"`
+	Span  SpanID  `json:"span"`
+}
+
+// Valid reports whether the context names a real span.
+func (c SpanContext) Valid() bool { return c.Trace != 0 && c.Span != 0 }
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed step on a decision path. Spans are created by
+// Recorder.StartSpan and must be closed with End on every return path
+// (the spancheck analyzer enforces this mechanically). All methods are
+// no-ops on a nil receiver, so instrumented code needs no nil checks
+// when telemetry is disabled.
+type Span struct {
+	rec *Recorder
+	ctx SpanContext
+
+	// The fields below are guarded by rec.mu.
+	parent    SpanID
+	subsystem string
+	name      string
+	start     time.Time
+	end       time.Time
+	ended     bool
+	attrs     []Attr
+}
+
+// StartSpan opens a span under parent. A zero parent starts a new
+// trace. Returns nil (a usable no-op span) on a nil recorder.
+func (r *Recorder) StartSpan(parent SpanContext, subsystem, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spanSeq++
+	trace := parent.Trace
+	if trace == 0 {
+		r.traceSeq++
+		trace = TraceID(r.traceSeq)
+	}
+	s := &Span{
+		rec:       r,
+		ctx:       SpanContext{Trace: trace, Span: SpanID(r.spanSeq)},
+		parent:    parent.Span,
+		subsystem: subsystem,
+		name:      name,
+		start:     now,
+	}
+	if len(r.spans) >= r.spanCap {
+		// Drop-oldest keeps the recorder bounded; the drop is counted so
+		// a truncated trace is distinguishable from a complete one.
+		copy(r.spans, r.spans[1:])
+		r.spans[len(r.spans)-1] = s
+		r.spansDropped++
+	} else {
+		r.spans = append(r.spans, s)
+	}
+	return s
+}
+
+// Context returns the span's propagation token (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span at the recorder's current instant. Ending twice
+// keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.rec.now()
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.end = now
+}
+
+// SpanRecord is the immutable snapshot form of a span.
+type SpanRecord struct {
+	Trace     TraceID   `json:"trace"`
+	ID        SpanID    `json:"id"`
+	Parent    SpanID    `json:"parent,omitempty"`
+	Subsystem string    `json:"subsystem"`
+	Name      string    `json:"name"`
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end,omitempty"`
+	Ended     bool      `json:"ended"`
+	Attrs     []Attr    `json:"attrs,omitempty"`
+}
+
+// recordLocked snapshots one span. Requires r.mu held.
+func (s *Span) recordLocked() SpanRecord {
+	attrs := make([]Attr, len(s.attrs))
+	copy(attrs, s.attrs)
+	return SpanRecord{
+		Trace:     s.ctx.Trace,
+		ID:        s.ctx.Span,
+		Parent:    s.parent,
+		Subsystem: s.subsystem,
+		Name:      s.name,
+		Start:     s.start,
+		End:       s.end,
+		Ended:     s.ended,
+		Attrs:     attrs,
+	}
+}
+
+// Spans returns every retained span in creation order.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.spans))
+	for _, s := range r.spans {
+		out = append(out, s.recordLocked())
+	}
+	return out
+}
+
+// SpansDropped reports how many spans were evicted by the bound.
+func (r *Recorder) SpansDropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spansDropped
+}
+
+// TraceOf resolves the trace a span belongs to.
+func (r *Recorder) TraceOf(id SpanID) (TraceID, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.spans {
+		if s.ctx.Span == id {
+			return s.ctx.Trace, true
+		}
+	}
+	return 0, false
+}
+
+// TraceSpans returns the retained spans of one trace, in creation
+// order (which is also causal order: parents are created before their
+// children).
+func (r *Recorder) TraceSpans(t TraceID) []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SpanRecord
+	for _, s := range r.spans {
+		if s.ctx.Trace == t {
+			out = append(out, s.recordLocked())
+		}
+	}
+	return out
+}
+
+// Subsystems returns the distinct subsystems appearing in the given
+// records, sorted (diagnostics and acceptance checks).
+func Subsystems(spans []SpanRecord) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range spans {
+		if !seen[s.Subsystem] {
+			seen[s.Subsystem] = true
+			out = append(out, s.Subsystem)
+		}
+	}
+	// Insertion order is creation order; sort for set semantics.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+// Package telemetry is the observability subsystem for the Overhaul
+// enforcement stack: metrics, decision-path tracing, and a flight
+// recorder.
+//
+// The paper's evaluation (§V) rests on reading Overhaul's logs to see
+// which applications were granted access; a production deployment of
+// the same architecture additionally needs rates, latencies, and — for
+// any single decision — the causal chain that produced it (input →
+// notification → syscall → decision → alert). This package provides the
+// three instruments the enforcement seams thread through:
+//
+//   - a metrics registry: counters, gauges, and fixed-bucket latency
+//     histograms keyed by (subsystem, name, labels), timestamped on the
+//     injected clock so snapshots are deterministic under the
+//     simulated clock;
+//   - a decision-path tracer: spans with parent/child links whose IDs
+//     are sequential (never random), propagated across the kernel↔X
+//     netlink channel and the IPC stamp-carrying paths the same way
+//     interaction timestamps already propagate;
+//   - a flight recorder: a bounded ring of recent events that is
+//     snapshot-dumped whenever a denial, a degradation, or a
+//     chaos-invariant violation fires, so every fail-closed event is
+//     explainable after the fact.
+//
+// A nil *Recorder is the disabled state: every method is a no-op and
+// the instrumented hot paths (monitor.Decide in particular) add zero
+// allocations, verified by BenchmarkDecideTelemetryDisabled.
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"overhaul/internal/clock"
+)
+
+// Defaults for the bounded stores. They are deliberately generous for
+// interactive use and small enough that a runaway campaign cannot
+// exhaust memory.
+const (
+	DefaultSpanCapacity   = 8192
+	DefaultFlightCapacity = 256
+	DefaultDumpCapacity   = 8
+)
+
+// Options bounds the recorder's stores. Zero fields select the
+// defaults.
+type Options struct {
+	// SpanCapacity bounds retained spans (oldest evicted).
+	SpanCapacity int
+	// FlightCapacity bounds the flight-recorder ring.
+	FlightCapacity int
+	// DumpCapacity bounds retained flight dumps (oldest evicted).
+	DumpCapacity int
+}
+
+// Recorder is the telemetry sink shared by every instrumented
+// subsystem. It is safe for concurrent use; all methods are no-ops on a
+// nil receiver, which is how telemetry is disabled.
+type Recorder struct {
+	clk clock.Clock
+
+	spanCap   int
+	flightCap int
+	dumpCap   int
+
+	mu sync.Mutex
+	// metrics registry
+	counters map[metricKey]*counter
+	gauges   map[metricKey]*gauge
+	hists    map[metricKey]*histogram
+	// tracer
+	traceSeq     uint64
+	spanSeq      uint64
+	spans        []*Span // creation order, bounded by spanCap
+	spansDropped uint64
+	// flight recorder
+	flightSeq    uint64
+	flight       []FlightEvent // ring, bounded by flightCap
+	flightHead   int
+	flightLen    int
+	dumps        []FlightDump // bounded by dumpCap
+	dumpsDropped uint64
+}
+
+// New constructs an enabled recorder on the given clock with default
+// capacities.
+func New(clk clock.Clock) *Recorder {
+	return NewWithOptions(clk, Options{})
+}
+
+// NewWithOptions constructs an enabled recorder with explicit bounds.
+// A nil clock selects a fresh simulated clock (deterministic output).
+func NewWithOptions(clk clock.Clock, opts Options) *Recorder {
+	if clk == nil {
+		clk = clock.NewSimulated()
+	}
+	if opts.SpanCapacity <= 0 {
+		opts.SpanCapacity = DefaultSpanCapacity
+	}
+	if opts.FlightCapacity <= 0 {
+		opts.FlightCapacity = DefaultFlightCapacity
+	}
+	if opts.DumpCapacity <= 0 {
+		opts.DumpCapacity = DefaultDumpCapacity
+	}
+	return &Recorder{
+		clk:       clk,
+		spanCap:   opts.SpanCapacity,
+		flightCap: opts.FlightCapacity,
+		dumpCap:   opts.DumpCapacity,
+		counters:  make(map[metricKey]*counter),
+		gauges:    make(map[metricKey]*gauge),
+		hists:     make(map[metricKey]*histogram),
+	}
+}
+
+// Enabled reports whether the recorder records anything. Instrumented
+// code may use it to skip label construction on hot paths; every method
+// is nil-safe regardless.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// now returns the recorder's current instant. Callers must hold no
+// assumption about monotonicity beyond what the injected clock gives.
+func (r *Recorder) now() time.Time { return r.clk.Now() }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"overhaul/internal/clock"
+	"overhaul/internal/telemetry"
 	"overhaul/internal/xserver"
 )
 
@@ -103,8 +104,8 @@ type wireEnv struct {
 // wirePolicy grants everything (the protocol path is under test, not δ).
 type wirePolicy struct{}
 
-func (wirePolicy) NotifyInteraction(int, time.Time) error { return nil }
-func (wirePolicy) Query(int, xserver.Op, time.Time) (xserver.Verdict, error) {
+func (wirePolicy) NotifyInteraction(telemetry.SpanContext, int, time.Time) error { return nil }
+func (wirePolicy) Query(telemetry.SpanContext, int, xserver.Op, time.Time) (xserver.Verdict, error) {
 	return xserver.VerdictGrant, nil
 }
 

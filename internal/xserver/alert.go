@@ -7,6 +7,7 @@ import (
 
 	"overhaul/internal/faultinject"
 	"overhaul/internal/monitor"
+	"overhaul/internal/telemetry"
 )
 
 // Alert is one trusted-output overlay notification. Alerts render on a
@@ -78,9 +79,22 @@ func alertMessage(pid int, op Op, blocked, degraded bool) string {
 // alert request arrives over the authenticated netlink channel; nothing
 // reachable from a Client can call it.
 func (s *Server) ShowAlert(req monitor.AlertRequest) Alert {
+	// The alert render is the last span of the decision path: it nests
+	// under the decide span whose context rode the kernel→user channel
+	// inside the request.
+	span := s.tel.StartSpan(req.Ctx, "xserver", "alert")
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.showAlertLocked(req.PID, req.Op, req.Blocked, req.Degraded)
+	a := s.showAlertLocked(req.PID, req.Op, req.Blocked, req.Degraded)
+	if s.tel.Enabled() {
+		span.Annotate("message", a.Message)
+		if a.RenderFailed {
+			span.Annotate("render_failed", "true")
+		}
+		s.tel.Add("xserver", "alerts", "op="+string(req.Op), 1)
+	}
+	return a
 }
 
 // showAlertLocked renders an alert with s.mu already held — used both by
@@ -121,6 +135,11 @@ func (s *Server) renderAlertLocked(a Alert) Alert {
 	if f := faultinject.Eval(s.cfg.FaultHook, faultinject.PointAlertRender); f.Kind == faultinject.KindError {
 		a.RenderFailed = true
 		s.stats.AlertRenderFailures++
+		if s.tel.Enabled() {
+			s.tel.Add("xserver", "alert_render_failures", "", 1)
+			s.tel.RecordEvent(telemetry.SpanContext{}, "xserver", "fault",
+				"injected fault at "+string(faultinject.PointAlertRender)+": alert not drawn: "+a.Message)
+		}
 	} else {
 		s.stats.AlertsShown++
 	}

@@ -2,7 +2,10 @@ package xserver
 
 import (
 	"fmt"
+	"strconv"
 	"time"
+
+	"overhaul/internal/telemetry"
 )
 
 // notifyInteraction sends N_{A,t} for hardware input delivered to w, if
@@ -11,7 +14,10 @@ import (
 // itself happens with the lock held because the netlink round-trip is
 // synchronous in the paper's design, and the policy layer must not call
 // back into the server's input path.
-func (s *Server) notifyInteraction(w *window, now time.Time) {
+//
+// ctx is the span of the input event being dispatched; the notify span
+// nests under it, and its ID crosses the channel with the timestamp.
+func (s *Server) notifyInteraction(ctx telemetry.SpanContext, w *window, now time.Time) {
 	if s.policy == nil {
 		return
 	}
@@ -23,10 +29,19 @@ func (s *Server) notifyInteraction(w *window, now time.Time) {
 		// sighted interaction.
 		return
 	}
-	if err := s.policy.NotifyInteraction(w.owner.pid, now); err != nil {
+	span := s.tel.StartSpan(ctx, "xserver", "notify_interaction")
+	defer span.End()
+	if s.tel.Enabled() {
+		span.Annotate("pid", strconv.Itoa(w.owner.pid))
+		s.tel.Add("xserver", "notifications", "", 1)
+	}
+	if err := s.policy.NotifyInteraction(span.Context(), w.owner.pid, now); err != nil {
 		// The kernel channel failing closed means no permission is
 		// granted later; the input event itself still flows, and the
 		// degraded banner tells the user why grants will stop.
+		if s.tel.Enabled() {
+			span.Annotate("error", err.Error())
+		}
 		s.degradeLocked("kernel channel unreachable")
 		return
 	}
@@ -42,14 +57,23 @@ func (s *Server) notifyInteraction(w *window, now time.Time) {
 // landed on the root.
 func (s *Server) HardwareClick(x, y int) WindowID {
 	now := s.clk.Now()
+	// The input span is the root of the decision-path trace: everything
+	// this click enables (notification, stamp, device open, alert)
+	// links back to it.
+	span := s.tel.StartSpan(telemetry.SpanContext{}, "xserver", "hardware_click")
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.HardwareEvents++
+	s.tel.Add("xserver", "hardware_events", "kind=click", 1)
 	w := s.topWindowAt(x, y)
 	if w == nil {
 		return Root
 	}
-	s.notifyInteraction(w, now)
+	if s.tel.Enabled() {
+		span.Annotate("window", strconv.FormatUint(uint64(w.id), 10))
+	}
+	s.notifyInteraction(span.Context(), w, now)
 	w.owner.deliver(Event{
 		Type:       ButtonPress,
 		Window:     w.id,
@@ -65,9 +89,12 @@ func (s *Server) HardwareClick(x, y int) WindowID {
 // window. It returns the receiving window (0 if none is focused).
 func (s *Server) HardwareKey(key string) WindowID {
 	now := s.clk.Now()
+	span := s.tel.StartSpan(telemetry.SpanContext{}, "xserver", "hardware_key")
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.HardwareEvents++
+	s.tel.Add("xserver", "hardware_events", "kind=key", 1)
 	if s.focus == Root {
 		return Root
 	}
@@ -75,7 +102,10 @@ func (s *Server) HardwareKey(key string) WindowID {
 	if err != nil || !w.mapped {
 		return Root
 	}
-	s.notifyInteraction(w, now)
+	if s.tel.Enabled() {
+		span.Annotate("window", strconv.FormatUint(uint64(w.id), 10))
+	}
+	s.notifyInteraction(span.Context(), w, now)
 	w.owner.deliver(Event{
 		Type:       KeyPress,
 		Window:     w.id,

@@ -2,7 +2,10 @@ package xserver
 
 import (
 	"fmt"
+	"strconv"
 	"time"
+
+	"overhaul/internal/telemetry"
 )
 
 // query runs a permission query against the kernel monitor. Requires
@@ -12,12 +15,28 @@ func (s *Server) query(pid int, op Op, now time.Time) bool {
 		return true
 	}
 	s.stats.Queries++
-	verdict, err := s.policy.Query(pid, op, now)
+	// The query span roots its own trace: display-manager-mediated
+	// operations begin at the request, and the kernel-side decide span
+	// nests under this one via the context carried across the channel.
+	span := s.tel.StartSpan(telemetry.SpanContext{}, "xserver", "query")
+	defer span.End()
+	if s.tel.Enabled() {
+		span.Annotate("pid", strconv.Itoa(pid))
+		span.Annotate("op", string(op))
+		s.tel.Add("xserver", "queries", "op="+string(op), 1)
+	}
+	verdict, err := s.policy.Query(span.Context(), pid, op, now)
 	if err != nil {
 		// Fail closed, and flag the degraded episode: a channel that
 		// cannot answer queries means nothing sensitive proceeds.
+		if s.tel.Enabled() {
+			span.Annotate("error", err.Error())
+		}
 		s.degradeLocked("kernel channel unreachable")
 		return false
+	}
+	if s.tel.Enabled() {
+		span.Annotate("verdict", verdict.String())
 	}
 	if s.degraded != "" {
 		// The channel answered again: the episode is over.

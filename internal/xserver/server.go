@@ -9,6 +9,7 @@ import (
 
 	"overhaul/internal/clock"
 	"overhaul/internal/faultinject"
+	"overhaul/internal/telemetry"
 )
 
 // Sentinel errors (the X protocol's error vocabulary, abridged).
@@ -61,6 +62,9 @@ type Config struct {
 	// FaultHook, when non-nil, is consulted at PointAlertRender on
 	// every overlay render (chaos testing of the alert engine).
 	FaultHook faultinject.Hook
+	// Telemetry, when non-nil, receives input/notify/query/alert spans,
+	// counters, and flight events. Nil disables instrumentation.
+	Telemetry *telemetry.Recorder
 }
 
 // Stats counts server activity.
@@ -85,6 +89,7 @@ type Server struct {
 	clk    clock.Clock
 	policy Policy
 	cfg    Config
+	tel    *telemetry.Recorder // immutable after NewServer; nil-safe
 
 	mu         sync.Mutex
 	clients    map[int]*Client // by connection id
@@ -159,6 +164,7 @@ func NewServer(clk clock.Clock, policy Policy, cfg Config) (*Server, error) {
 		clk:        clk,
 		policy:     policy,
 		cfg:        cfg,
+		tel:        cfg.Telemetry,
 		clients:    make(map[int]*Client),
 		nextConn:   1,
 		windows:    make(map[WindowID]*window),
@@ -194,10 +200,13 @@ func (s *Server) ClearDegraded() {
 // ShowAlert).
 func (s *Server) degradeLocked(reason string) {
 	s.stats.PolicyErrors++
+	s.tel.Add("xserver", "policy_errors", "", 1)
 	if s.degraded != "" {
 		return // episode already announced
 	}
 	s.degraded = reason
+	s.tel.RecordEvent(telemetry.SpanContext{}, "xserver", "degradation",
+		"protection degraded: "+reason)
 	now := s.clk.Now()
 	s.renderAlertLocked(Alert{
 		Message:  "OVERHAUL protection degraded: " + reason + " — sensitive access is blocked",

@@ -8,6 +8,7 @@ import (
 
 	"overhaul/internal/clock"
 	"overhaul/internal/monitor"
+	"overhaul/internal/telemetry"
 )
 
 // fakePolicy is a miniature permission monitor: it records interaction
@@ -26,7 +27,7 @@ func newFakePolicy() *fakePolicy {
 	return &fakePolicy{stamps: make(map[int]time.Time), threshold: 2 * time.Second}
 }
 
-func (f *fakePolicy) NotifyInteraction(pid int, t time.Time) error {
+func (f *fakePolicy) NotifyInteraction(_ telemetry.SpanContext, pid int, t time.Time) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.failNotify {
@@ -39,7 +40,7 @@ func (f *fakePolicy) NotifyInteraction(pid int, t time.Time) error {
 	return nil
 }
 
-func (f *fakePolicy) Query(pid int, op monitor.Op, t time.Time) (monitor.Verdict, error) {
+func (f *fakePolicy) Query(_ telemetry.SpanContext, pid int, op monitor.Op, t time.Time) (monitor.Verdict, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.queries = append(f.queries, op)
