@@ -9,7 +9,16 @@
 // that starts like a benchmark but fails to parse, is an error — CI
 // runs this to fail on malformed bench output rather than silently
 // recording nothing. The -check mode validates an existing JSON file
-// instead of writing one.
+// instead of writing one; the -diff mode compares parsed input against
+// a committed baseline and fails on micro-benchmark regressions.
+//
+// Runs under `-cpu 1,2,4` print a trailing -N on the benchmark name.
+// When the same parse also saw the bare name (as -cpu 1 prints it),
+// the whole family is recognisably a CPU-scaling sweep and every
+// member is rekeyed to Name/cpus=N (the bare row becomes /cpus=1), so
+// the JSON records the scaling curve under stable, unambiguous keys. A
+// lone -N name without its bare sibling is left verbatim: it may be a
+// sub-benchmark like cap-256, which is syntactically identical.
 package main
 
 import (
@@ -20,6 +29,8 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,6 +57,7 @@ func run() int {
 	in := flag.String("in", "-", "bench output to parse ('-' = stdin)")
 	out := flag.String("out", "BENCH_overhaul.json", "JSON file to write")
 	check := flag.String("check", "", "validate this existing JSON file and exit")
+	diff := flag.String("diff", "", "baseline JSON to compare the parsed input against (regression gate)")
 	flag.Parse()
 
 	if *check != "" {
@@ -71,6 +83,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
 		return 1
 	}
+
+	if *diff != "" {
+		baseline, err := readEntries(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
+			return 1
+		}
+		if err := compare(baseline, entries, runtime.NumCPU(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
+			return 1
+		}
+		return 0
+	}
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "overhaul-benchjson:", err)
@@ -85,7 +110,12 @@ func run() int {
 }
 
 // parse extracts every benchmark line, keyed by the full benchmark
-// name exactly as go test printed it.
+// name exactly as go test printed it. A name appearing more than once
+// (go test -count=N) keeps the minimum ns/op and the maximum
+// allocs/op: the minimum is the standard low-noise wall-clock
+// statistic on a shared machine (noise only ever adds time), while
+// allocs must be pessimistic — a single run that allocated more is a
+// real behavior, not noise.
 func parse(r io.Reader) (map[string]Entry, error) {
 	entries := make(map[string]Entry)
 	sc := bufio.NewScanner(r)
@@ -115,13 +145,140 @@ func parse(r io.Reader) (map[string]Entry, error) {
 				return nil, fmt.Errorf("malformed allocs/op in %q: %v", line, err)
 			}
 		}
-		entries[m[1]] = Entry{NsPerOp: ns, AllocsPerOp: allocs}
+		e := Entry{NsPerOp: ns, AllocsPerOp: allocs}
+		if prev, ok := entries[m[1]]; ok {
+			if prev.NsPerOp < e.NsPerOp {
+				e.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp > e.AllocsPerOp {
+				e.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		entries[m[1]] = e
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found: was the input produced by go test -bench -benchmem?")
+	}
+	return normalizeCPUFamilies(entries), nil
+}
+
+// cpuSuffix matches a trailing -N as printed by go test under -cpu.
+var cpuSuffix = regexp.MustCompile(`^(Benchmark\S*?)-(\d+)$`)
+
+// normalizeCPUFamilies rekeys CPU-scaling sweeps to Name/cpus=N. A
+// suffixed name counts as part of a sweep only when its bare base name
+// was parsed too — that is exactly what a `-cpu 1,...` run produces and
+// what a same-named sub-benchmark cannot.
+func normalizeCPUFamilies(entries map[string]Entry) map[string]Entry {
+	out := make(map[string]Entry, len(entries))
+	rebased := make(map[string]bool) // bare names that anchor a sweep
+	for name := range entries {
+		if m := cpuSuffix.FindStringSubmatch(name); m != nil {
+			if _, ok := entries[m[1]]; ok {
+				rebased[m[1]] = true
+			}
+		}
+	}
+	for name, e := range entries {
+		if m := cpuSuffix.FindStringSubmatch(name); m != nil && rebased[m[1]] {
+			out[m[1]+"/cpus="+m[2]] = e
+			continue
+		}
+		if rebased[name] {
+			out[name+"/cpus=1"] = e
+			continue
+		}
+		out[name] = e
+	}
+	return out
+}
+
+// Regression-gate policy: the micro benchmarks below are the decision
+// path's committed performance contract; anything slower than 25 % over
+// baseline, or allocating more, fails the gate. The macro/ablation
+// benchmarks are excluded — they measure simulated workloads whose
+// ns/op are dominated by configured synthetic work.
+const maxNsRatio = 1.25
+
+var gatedPrefixes = []string{"BenchmarkMicro", "BenchmarkDecide", "BenchmarkParallel"}
+
+func gated(name string) bool {
+	for _, p := range gatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// cpusKey matches the /cpus=N suffix normalizeCPUFamilies produces.
+var cpusKey = regexp.MustCompile(`/cpus=(\d+)$`)
+
+// oversubscribed reports whether the entry was measured with more
+// GOMAXPROCS than the host has hardware threads. Such runs exist to
+// show the hot path holds no lock to convoy on, but their wall clock
+// is scheduler noise — N goroutines timeslicing one core — so the
+// regression gate checks only their allocs.
+func oversubscribed(name string, hostCPUs int) bool {
+	m := cpusKey.FindStringSubmatch(name)
+	if m == nil {
+		return false
+	}
+	n, err := strconv.Atoi(m[1])
+	return err == nil && n > hostCPUs
+}
+
+// compare prints a gated-benchmark comparison table and errors when any
+// current entry regresses beyond the policy above. Only names present
+// in both maps are compared: a freshly added benchmark has no baseline
+// yet, and a retired one no longer has a current measurement.
+func compare(baseline, current map[string]Entry, hostCPUs int, w io.Writer) error {
+	var names []string
+	for name := range current {
+		if _, ok := baseline[name]; ok && gated(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no gated benchmarks in common with the baseline")
+	}
+	var bad []string
+	for _, name := range names {
+		b, c := baseline[name], current[name]
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok"
+		switch {
+		case c.AllocsPerOp > b.AllocsPerOp:
+			status = fmt.Sprintf("REGRESSION: allocs/op %d > baseline %d", c.AllocsPerOp, b.AllocsPerOp)
+			bad = append(bad, name)
+		case ratio > maxNsRatio && oversubscribed(name, hostCPUs):
+			status = "ok (ns/op not gated: oversubscribed on this host)"
+		case ratio > maxNsRatio:
+			status = fmt.Sprintf("REGRESSION: ns/op %.2fx > %.2fx budget", ratio, maxNsRatio)
+			bad = append(bad, name)
+		}
+		fmt.Fprintf(w, "%-55s %9.1f -> %9.1f ns/op (%.2fx)  %d -> %d allocs/op  %s\n",
+			name, b.NsPerOp, c.NsPerOp, ratio, b.AllocsPerOp, c.AllocsPerOp, status)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed: %s", len(bad), strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// readEntries loads a benchmark JSON file as written by this command.
+func readEntries(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries map[string]Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
 	}
 	return entries, nil
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const cpuSweepOutput = `goos: linux
+BenchmarkParallelDecide         	 1000000	       120.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelDecide-2       	 2000000	        70.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelDecide-4       	 4000000	        40.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSpanRing/cap-256       	  500000	       300.0 ns/op	      16 B/op	       1 allocs/op
+BenchmarkMicroMonitorDecide     	  500000	       700.0 ns/op	       8 B/op	       1 allocs/op
+PASS
+`
+
+func TestParseRekeysCPUSweeps(t *testing.T) {
+	entries, err := parse(strings.NewReader(cpuSweepOutput))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for name, ns := range map[string]float64{
+		"BenchmarkParallelDecide/cpus=1": 120.0,
+		"BenchmarkParallelDecide/cpus=2": 70.0,
+		"BenchmarkParallelDecide/cpus=4": 40.0,
+	} {
+		e, ok := entries[name]
+		if !ok {
+			t.Fatalf("missing rekeyed entry %q in %v", name, entries)
+		}
+		if e.NsPerOp != ns {
+			t.Errorf("%s ns/op = %v, want %v", name, e.NsPerOp, ns)
+		}
+	}
+	if _, ok := entries["BenchmarkParallelDecide"]; ok {
+		t.Error("bare sweep name survived rekeying")
+	}
+	// A numeric sub-benchmark without a bare sibling stays verbatim.
+	if _, ok := entries["BenchmarkSpanRing/cap-256"]; !ok {
+		t.Errorf("sub-benchmark name was rewritten: %v", entries)
+	}
+	if _, ok := entries["BenchmarkMicroMonitorDecide"]; !ok {
+		t.Error("plain benchmark missing")
+	}
+}
+
+func TestParseMergesRepeatedRuns(t *testing.T) {
+	// go test -count=3 repeats every benchmark line; the converter must
+	// keep the minimum ns/op (noise only adds time) and the maximum
+	// allocs/op (an extra alloc in any run is real).
+	entries, err := parse(strings.NewReader(`
+BenchmarkMicroMonitorDecide  500000  700.0 ns/op  8 B/op  1 allocs/op
+BenchmarkMicroMonitorDecide  500000  430.0 ns/op  8 B/op  2 allocs/op
+BenchmarkMicroMonitorDecide  500000  950.0 ns/op  8 B/op  1 allocs/op
+PASS
+`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	e, ok := entries["BenchmarkMicroMonitorDecide"]
+	if !ok {
+		t.Fatalf("missing entry: %v", entries)
+	}
+	if e.NsPerOp != 430.0 {
+		t.Errorf("ns/op = %v, want min 430.0", e.NsPerOp)
+	}
+	if e.AllocsPerOp != 2 {
+		t.Errorf("allocs/op = %v, want max 2", e.AllocsPerOp)
+	}
+}
+
+func TestParseKeepsLoneSuffixVerbatim(t *testing.T) {
+	// Without the bare sibling, -8 is indistinguishable from a
+	// sub-benchmark name and must not be rewritten.
+	entries, err := parse(strings.NewReader(
+		"BenchmarkDecideTelemetryDisabled-8  9416926  120.7 ns/op  0 B/op  0 allocs/op\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, ok := entries["BenchmarkDecideTelemetryDisabled-8"]; !ok {
+		t.Fatalf("lone suffixed name rewritten: %v", entries)
+	}
+}
+
+func TestCompareAcceptsWithinBudget(t *testing.T) {
+	baseline := map[string]Entry{
+		"BenchmarkMicroMonitorDecide":    {NsPerOp: 700, AllocsPerOp: 1},
+		"BenchmarkParallelDecide/cpus=2": {NsPerOp: 70, AllocsPerOp: 0},
+		"BenchmarkAblation/forkskew":     {NsPerOp: 100, AllocsPerOp: 5},
+	}
+	current := map[string]Entry{
+		"BenchmarkMicroMonitorDecide":    {NsPerOp: 850, AllocsPerOp: 1}, // +21 %: inside budget
+		"BenchmarkParallelDecide/cpus=2": {NsPerOp: 60, AllocsPerOp: 0},
+		"BenchmarkAblation/forkskew":     {NsPerOp: 900, AllocsPerOp: 9}, // not gated
+	}
+	var out strings.Builder
+	if err := compare(baseline, current, 8, &out); err != nil {
+		t.Fatalf("compare: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "Ablation") {
+		t.Errorf("non-gated benchmark in comparison table:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	baseline := map[string]Entry{"BenchmarkDecideTelemetryEnabled": {NsPerOp: 200, AllocsPerOp: 1}}
+	current := map[string]Entry{"BenchmarkDecideTelemetryEnabled": {NsPerOp: 300, AllocsPerOp: 1}}
+	var out strings.Builder
+	err := compare(baseline, current, 8, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("compare = %v, want ns/op regression failure", err)
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	baseline := map[string]Entry{"BenchmarkMicroForkInheritance": {NsPerOp: 400, AllocsPerOp: 1}}
+	current := map[string]Entry{"BenchmarkMicroForkInheritance": {NsPerOp: 380, AllocsPerOp: 2}}
+	var out strings.Builder
+	err := compare(baseline, current, 8, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("compare = %v, want allocs/op regression failure", err)
+	}
+}
+
+func TestCompareOversubscribedGatesAllocsOnly(t *testing.T) {
+	// On a 1-CPU host a /cpus=4 run timeslices one core, so its wall
+	// clock is scheduler noise: ns/op regressions pass, allocs still
+	// gate. The in-budget /cpus=1 row keeps the gate satisfiable.
+	baseline := map[string]Entry{
+		"BenchmarkParallelDecide/cpus=1": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkParallelDecide/cpus=4": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	current := map[string]Entry{
+		"BenchmarkParallelDecide/cpus=1": {NsPerOp: 110, AllocsPerOp: 0},
+		"BenchmarkParallelDecide/cpus=4": {NsPerOp: 300, AllocsPerOp: 0},
+	}
+	var out strings.Builder
+	if err := compare(baseline, current, 1, &out); err != nil {
+		t.Fatalf("compare: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "oversubscribed") {
+		t.Errorf("oversubscribed row not marked:\n%s", out.String())
+	}
+	// The same 3x on a host that genuinely has 4 CPUs is a regression.
+	if err := compare(baseline, current, 4, &out); err == nil {
+		t.Error("3x ns/op on a 4-CPU host passed, want regression")
+	}
+	// An alloc regression gates regardless of oversubscription.
+	current["BenchmarkParallelDecide/cpus=4"] = Entry{NsPerOp: 300, AllocsPerOp: 1}
+	if err := compare(baseline, current, 1, &out); err == nil {
+		t.Error("alloc regression on oversubscribed row passed, want failure")
+	}
+}
+
+func TestCompareRequiresOverlap(t *testing.T) {
+	baseline := map[string]Entry{"BenchmarkMicroOld": {NsPerOp: 100}}
+	current := map[string]Entry{"BenchmarkMicroNew": {NsPerOp: 100}}
+	var out strings.Builder
+	if err := compare(baseline, current, 8, &out); err == nil {
+		t.Fatal("compare with disjoint benchmark sets succeeded, want error")
+	}
+}

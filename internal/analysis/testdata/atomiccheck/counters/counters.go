@@ -1,0 +1,57 @@
+// Package counters is an atomiccheck fixture: hits is updated through
+// sync/atomic in one method but read and reset plainly in others; the
+// plain sites are the findings. misses is consistently atomic and pos
+// is consistently plain — neither is flagged — and Gauge shows the
+// receiver keying: its same-named hits field is never atomic.
+package counters
+
+import "sync/atomic"
+
+// Stats mixes access styles on hits.
+type Stats struct {
+	hits   uint64
+	misses uint64
+	pos    int
+}
+
+// Add updates hits atomically.
+func (s *Stats) Add() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// Hits reads the same field plainly: this races with Add.
+func (s *Stats) Hits() uint64 {
+	return s.hits // want "mixed atomic/plain access"
+}
+
+// Reset writes it plainly: also a race.
+func (s *Stats) Reset() {
+	s.hits = 0 // want "mixed atomic/plain access"
+	s.pos = 0
+}
+
+// Miss and Misses are consistent — both sides atomic, no finding.
+func (s *Stats) Miss() {
+	atomic.AddUint64(&s.misses, 1)
+}
+
+// Misses loads atomically, no finding.
+func (s *Stats) Misses() uint64 {
+	return atomic.LoadUint64(&s.misses)
+}
+
+// Pos is consistently plain (the caller synchronizes), no finding.
+func (s *Stats) Pos() int {
+	return s.pos
+}
+
+// Gauge has a field named like Stats.hits but never touches atomics:
+// receiver keying must keep it clean.
+type Gauge struct {
+	hits uint64
+}
+
+// Inc is a plain increment on a plain-only type, no finding.
+func (g *Gauge) Inc() {
+	g.hits++
+}

@@ -13,6 +13,7 @@ package clock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,33 +41,36 @@ var Epoch = time.Date(2016, time.June, 28, 9, 0, 0, 0, time.UTC) // DSN 2016 wee
 //
 // The zero value starts at Epoch. Advance moves time forward; Set jumps
 // to an absolute instant (never backwards). All methods are safe for
-// concurrent use.
+// concurrent use; Now is a single atomic load, so the decision hot
+// paths that read virtual time never serialize behind the writers.
 type Simulated struct {
-	mu  sync.Mutex
-	now time.Time
+	// cur is the current instant; nil means the clock has never been
+	// advanced and sits at Epoch. Writers swap in a fresh pointer, so
+	// readers see a consistent time.Time without taking mu.
+	cur atomic.Pointer[time.Time]
+	mu  sync.Mutex // serializes Advance/Set
 }
 
 var _ Clock = (*Simulated)(nil)
 
 // NewSimulated returns a Simulated clock positioned at Epoch.
 func NewSimulated() *Simulated {
-	return &Simulated{now: Epoch}
+	return NewSimulatedAt(Epoch)
 }
 
 // NewSimulatedAt returns a Simulated clock positioned at start.
 func NewSimulatedAt(start time.Time) *Simulated {
-	return &Simulated{now: start}
+	c := &Simulated{}
+	c.cur.Store(&start)
+	return c
 }
 
 // Now implements Clock.
 func (c *Simulated) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
-	if c.now.IsZero() {
-		c.now = Epoch
+	if p := c.cur.Load(); p != nil {
+		return *p
 	}
-	return c.now
+	return Epoch
 }
 
 // Advance moves the clock forward by d and returns the new instant.
@@ -75,13 +79,12 @@ func (c *Simulated) Advance(d time.Duration) time.Time {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	if c.now.IsZero() {
-		c.now = Epoch
-	}
+	now := c.Now()
 	if d > 0 {
-		c.now = c.now.Add(d)
+		now = now.Add(d)
 	}
-	return c.now
+	c.cur.Store(&now)
+	return now
 }
 
 // Set jumps the clock to t if t is not before the current instant.
@@ -90,11 +93,10 @@ func (c *Simulated) Set(t time.Time) time.Time {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	if c.now.IsZero() {
-		c.now = Epoch
+	now := c.Now()
+	if t.After(now) {
+		now = t
 	}
-	if t.After(c.now) {
-		c.now = t
-	}
-	return c.now
+	c.cur.Store(&now)
+	return now
 }

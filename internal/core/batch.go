@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"overhaul/internal/telemetry"
+)
+
+// notifyBatcher coalesces interaction notifications into batched
+// netlink messages (Options.NotifyBatch). Bursty input — a drag, a
+// key-repeat run — produces many notifications for the same pid within
+// one δ window; only the newest matters, because the monitor's
+// newest-wins Notify makes earlier ones redundant. The batcher keeps
+// one pending item per pid (newest-wins, mirroring the kernel rule) and
+// ships them in a single interactionBatchMsg when the batch fills, when
+// a permission query is about to cross the channel, or on an explicit
+// flush. Coalescing therefore changes *when* a stamp lands, never
+// *what* value it converges to.
+type notifyBatcher struct {
+	ch    *channel
+	limit int
+	tel   *telemetry.Recorder // nil-safe
+
+	mu      sync.Mutex
+	pending []interactionItem
+	index   map[int]int // pid → position in pending
+}
+
+func newNotifyBatcher(ch *channel, limit int, tel *telemetry.Recorder) *notifyBatcher {
+	return &notifyBatcher{ch: ch, limit: limit, tel: tel, index: make(map[int]int)}
+}
+
+// buffer coalesces one notification, coalescing per pid (newest-wins). When
+// the buffer reaches the batch limit it flushes synchronously; the
+// returned error is that flush's outcome (nil when only buffered).
+func (b *notifyBatcher) buffer(ctx telemetry.SpanContext, pid int, t time.Time) error {
+	b.mu.Lock()
+	if i, ok := b.index[pid]; ok {
+		if t.After(b.pending[i].Time) {
+			b.pending[i].Time = t
+			b.pending[i].Ctx = ctx
+		}
+	} else {
+		b.index[pid] = len(b.pending)
+		b.pending = append(b.pending, interactionItem{PID: pid, Time: t, Ctx: ctx})
+	}
+	var batch []interactionItem
+	if len(b.pending) >= b.limit {
+		batch = b.takeLocked()
+	}
+	b.mu.Unlock()
+	return b.send(batch)
+}
+
+// takeLocked detaches the pending batch. Caller holds b.mu.
+func (b *notifyBatcher) takeLocked() []interactionItem {
+	batch := b.pending
+	b.pending = nil
+	b.index = make(map[int]int, b.limit)
+	return batch
+}
+
+// flush delivers everything buffered. A no-op when nothing is pending.
+func (b *notifyBatcher) flush() error {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	return b.send(batch)
+}
+
+// send ships one detached batch over the channel.
+func (b *notifyBatcher) send(batch []interactionItem) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	span := b.tel.StartSpan(telemetry.SpanContext{}, "netlink", "notify_batch_call")
+	defer span.End()
+	if b.tel.Enabled() {
+		span.AnnotateInt("items", int64(len(batch)))
+	}
+	_, err := b.ch.call(interactionBatchMsg{Items: batch})
+	if err != nil && b.tel.Enabled() {
+		span.Annotate("error", err.Error())
+	}
+	return err
+}

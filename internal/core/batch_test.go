@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"overhaul/internal/devfs"
+	"overhaul/internal/kernel"
+	"overhaul/internal/xserver"
+)
+
+// bootBatched boots an enforcing system in batched-notify mode with a
+// microphone attached.
+func bootBatched(t *testing.T, batch int) (*System, string) {
+	t.Helper()
+	sys, err := Boot(Options{Enforce: true, AlertSecret: "tabby-cat", NotifyBatch: batch})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	mic, err := sys.Helper.Attach(devfs.ClassMicrophone)
+	if err != nil {
+		t.Fatalf("attach mic: %v", err)
+	}
+	return sys, mic
+}
+
+func TestNotifyBatchBuffersUntilFlush(t *testing.T) {
+	sys, mic := bootBatched(t, 8)
+	app := launchSettled(t, sys, "skype")
+
+	if err := app.Click(); err != nil {
+		t.Fatalf("Click: %v", err)
+	}
+	sys.Settle(100 * time.Millisecond)
+
+	// The notification is still buffered, so kernel-side device
+	// mediation has no stamp yet and must deny.
+	if _, err := app.OpenDevice(mic); !errors.Is(err, kernel.ErrAccessDenied) {
+		t.Fatalf("OpenDevice before flush = %v, want ErrAccessDenied", err)
+	}
+
+	if err := sys.FlushNotifications(); err != nil {
+		t.Fatalf("FlushNotifications: %v", err)
+	}
+	if _, err := app.OpenDevice(mic); err != nil {
+		t.Fatalf("OpenDevice after flush: %v", err)
+	}
+}
+
+func TestNotifyBatchAutoFlushesWhenFull(t *testing.T) {
+	sys, mic := bootBatched(t, 2)
+	a := launchSettled(t, sys, "skype")
+	b := launchSettled(t, sys, "zoom")
+
+	// Two clicks on distinct pids fill the batch of two, which flushes
+	// it without any explicit FlushNotifications call.
+	if err := a.Click(); err != nil {
+		t.Fatalf("Click a: %v", err)
+	}
+	if err := b.Click(); err != nil {
+		t.Fatalf("Click b: %v", err)
+	}
+	sys.Settle(100 * time.Millisecond)
+	if _, err := a.OpenDevice(mic); err != nil {
+		t.Fatalf("OpenDevice a: %v", err)
+	}
+	if _, err := b.OpenDevice(mic); err != nil {
+		t.Fatalf("OpenDevice b: %v", err)
+	}
+}
+
+func TestNotifyBatchCoalescesPerPID(t *testing.T) {
+	sys, _ := bootBatched(t, 64)
+	app := launchSettled(t, sys, "editor")
+
+	before := sys.Hub().StatsSnapshot().UserToKernel
+	// A burst of interactions on one pid coalesces to a single pending
+	// item: nothing crosses the channel while buffering...
+	for i := 0; i < 10; i++ {
+		if err := app.Click(); err != nil {
+			t.Fatalf("Click %d: %v", i, err)
+		}
+		sys.Settle(10 * time.Millisecond)
+	}
+	if got := sys.Hub().StatsSnapshot().UserToKernel; got != before {
+		t.Fatalf("user→kernel messages while buffering = %d, want %d", got, before)
+	}
+	// ...and the flush ships exactly one message carrying the newest
+	// stamp.
+	if err := sys.FlushNotifications(); err != nil {
+		t.Fatalf("FlushNotifications: %v", err)
+	}
+	if got := sys.Hub().StatsSnapshot().UserToKernel; got != before+1 {
+		t.Fatalf("user→kernel messages after flush = %d, want %d", got, before+1)
+	}
+	if stamp := app.Proc.InteractionStamp(); stamp.IsZero() {
+		t.Fatal("stamp not installed after flush")
+	}
+}
+
+func TestNotifyBatchQueryFlushesFirst(t *testing.T) {
+	// A permission query must not outrun buffered notifications: the
+	// clipboard flow works in batched mode without any explicit flush,
+	// because Query drains the batch before deciding.
+	sys, _ := bootBatched(t, 64)
+	src := launchSettled(t, sys, "editor")
+	dst := launchSettled(t, sys, "terminal")
+
+	if err := src.Type("ctrl+c"); err != nil {
+		t.Fatalf("Type: %v", err)
+	}
+	if err := src.Client.SetSelection("CLIPBOARD", src.Win); err != nil {
+		t.Fatalf("SetSelection: %v", err)
+	}
+	if err := dst.Type("ctrl+v"); err != nil {
+		t.Fatalf("Type: %v", err)
+	}
+	if err := dst.Client.ConvertSelection("CLIPBOARD", "UTF8_STRING", "SEL", dst.Win); err != nil {
+		t.Fatalf("ConvertSelection: %v", err)
+	}
+	// A background sniffer still gets refused in batched mode.
+	sniffer := launchSettled(t, sys, "sniffer")
+	err := sniffer.Client.ConvertSelection("CLIPBOARD", "UTF8_STRING", "X", sniffer.Win)
+	if !errors.Is(err, xserver.ErrBadAccess) {
+		t.Fatalf("sniffer ConvertSelection = %v, want ErrBadAccess", err)
+	}
+}

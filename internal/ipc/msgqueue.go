@@ -45,8 +45,10 @@ type MsgQueue struct {
 	st     Stamps
 	flavor QueueFlavor
 
+	// ts synchronizes itself with atomics; it is not guarded by mu.
+	ts carrier
+
 	mu      sync.Mutex
-	ts      carrier
 	msgs    []queuedMsg
 	nextSeq uint64
 	cap     int

@@ -25,8 +25,10 @@ const DefaultPipeCapacity = 64 * 1024
 type Pipe struct {
 	st Stamps
 
+	// ts synchronizes itself with atomics; it is not guarded by mu.
+	ts carrier
+
 	mu     sync.Mutex
-	ts     carrier
 	buf    []byte
 	cap    int
 	closed bool

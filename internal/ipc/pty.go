@@ -19,8 +19,10 @@ import (
 type Pty struct {
 	st Stamps
 
+	// ts synchronizes itself with atomics; it is not guarded by mu.
+	ts carrier
+
 	mu         sync.Mutex
-	ts         carrier
 	toSlave    []byte // written at master, read at slave
 	toMaster   []byte // written at slave, read at master
 	masterOpen bool

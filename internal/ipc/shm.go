@@ -48,9 +48,11 @@ type SharedMem struct {
 	clk  clock.Clock
 	wait time.Duration
 
+	// ts synchronizes itself with atomics; it is not guarded by mu.
+	ts carrier
+
 	mu       sync.Mutex
 	interval int // guard-check amortization (accesses per clock read)
-	ts       carrier
 	data     []byte
 	removed  bool
 	stats    ShmStats

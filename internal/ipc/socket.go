@@ -27,8 +27,11 @@ type SocketEndpoint struct {
 	st   Stamps
 	name string
 
+	// ts is shared with the peer (the socket is one kernel object) and
+	// synchronizes itself with atomics; it is not guarded by mu.
+	ts *carrier
+
 	mu     sync.Mutex
-	ts     *carrier // shared with the peer: the socket is one kernel object
 	inbox  [][]byte
 	peer   *SocketEndpoint
 	closed bool

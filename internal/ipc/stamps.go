@@ -15,7 +15,7 @@
 package ipc
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"overhaul/internal/telemetry"
@@ -70,13 +70,35 @@ func adoptWithSpan(st Stamps, pid int, t time.Time, ctx telemetry.SpanContext) {
 }
 
 // carrier is the timestamp embedded in an IPC resource's kernel data
-// structure.
+// structure. The stamp is unix nanoseconds with 0 meaning "expired"
+// (the paper's step (1)); every clock in this tree reports instants at
+// or after clock.Epoch, so 0 is unambiguous. Writes go through a
+// CAS-max loop and reads are single atomic loads, so carriers add no
+// lock to the IPC data paths they ride.
 type carrier struct {
-	mu    sync.Mutex
-	stamp time.Time // zero value == "expired", per the paper's step (1)
-	// span is the trace span that minted stamp; it travels with the
-	// stamp as one unit (zero when telemetry is off).
-	span telemetry.SpanContext
+	stamp atomic.Int64
+	// span is the trace span that minted stamp (nil when telemetry is
+	// off or the stamp arrived without context); the CAS winner stores
+	// it, keeping stamp and span a unit on the uncontended path. Under
+	// a send race the span may briefly describe the other authentic
+	// write — trace-linkage skew only, never a verdict input.
+	span atomic.Pointer[telemetry.SpanContext]
+}
+
+// carrierNanos encodes a stamp time (zero time → 0 = expired).
+func carrierNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// carrierTime decodes a stored stamp (0 → zero time).
+func carrierTime(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
 }
 
 // onSend runs the sender half of the propagation protocol: embed the
@@ -89,12 +111,26 @@ func (c *carrier) onSend(st Stamps, pid int) {
 	if !ok {
 		return
 	}
+	n := carrierNanos(sender)
+	if n == 0 || n <= c.stamp.Load() {
+		// Fast path: nothing to embed, and no span lookup either.
+		return
+	}
 	span := stampSpanOf(st, pid)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if sender.After(c.stamp) {
-		c.stamp = sender
-		c.span = span
+	for {
+		cur := c.stamp.Load()
+		if n <= cur {
+			return
+		}
+		if c.stamp.CompareAndSwap(cur, n) {
+			if span == (telemetry.SpanContext{}) {
+				c.span.Store(nil)
+			} else {
+				s := span
+				c.span.Store(&s)
+			}
+			return
+		}
 	}
 }
 
@@ -104,13 +140,15 @@ func (c *carrier) onRecv(st Stamps, pid int) {
 	if st == nil {
 		return
 	}
-	c.mu.Lock()
-	stamp, span := c.stamp, c.span
-	c.mu.Unlock()
-	if stamp.IsZero() {
+	n := c.stamp.Load()
+	if n == 0 {
 		return
 	}
-	adoptWithSpan(st, pid, stamp, span)
+	span := telemetry.SpanContext{}
+	if p := c.span.Load(); p != nil {
+		span = *p
+	}
+	adoptWithSpan(st, pid, carrierTime(n), span)
 }
 
 // onAccess runs both halves. Shared-memory faults cannot distinguish a
@@ -123,7 +161,5 @@ func (c *carrier) onAccess(st Stamps, pid int) {
 
 // stampValue returns the embedded stamp (for tests and tracing).
 func (c *carrier) stampValue() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stamp
+	return carrierTime(c.stamp.Load())
 }

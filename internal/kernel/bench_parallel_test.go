@@ -1,0 +1,100 @@
+package kernel
+
+// Parallel decision-path benchmarks: the sharded process table and the
+// monitor's lock-free stamp reads exist so Decide throughput scales
+// with cores instead of serializing behind one kernel mutex. Run with
+// `-cpu 1,2,4` (make bench does) so BENCH_overhaul.json records the
+// scaling curve, not just the single-core cost.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/fs"
+	"overhaul/internal/monitor"
+)
+
+// benchProcs is sized well above GOMAXPROCS so concurrent goroutines
+// spread across the process-table shards instead of all hammering one.
+const benchProcs = 64
+
+// benchKernel boots a bare enforcing kernel with benchProcs stamped
+// processes, every one inside δ of the returned operation time.
+func benchKernel(b *testing.B) (*Kernel, []int, time.Time) {
+	b.Helper()
+	clk := clock.NewSimulated()
+	k, err := New(clk, fs.New(clk), Config{Monitor: monitor.Config{Enforce: true}})
+	if err != nil {
+		b.Fatalf("kernel.New: %v", err)
+	}
+	now := clk.Now()
+	pids := make([]int, benchProcs)
+	for i := range pids {
+		p, err := k.Spawn(SpawnSpec{Name: "bench", Exe: "/usr/bin/bench", Cred: fs.Cred{UID: 1000, GID: 1000}})
+		if err != nil {
+			b.Fatalf("Spawn: %v", err)
+		}
+		if err := k.Monitor().Notify(p.PID(), now); err != nil {
+			b.Fatalf("Notify: %v", err)
+		}
+		pids[i] = p.PID()
+	}
+	return k, pids, now.Add(time.Millisecond)
+}
+
+func BenchmarkParallelDecide(b *testing.B) {
+	k, pids, opTime := benchKernel(b)
+	mon := k.Monitor()
+	// Warm every audit shard so the lazily allocated rings don't count.
+	for _, pid := range pids {
+		mon.Decide(pid, monitor.OpMic, opTime)
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stagger each goroutine's starting pid so they walk different
+		// shards instead of marching in lockstep.
+		i := int(next.Add(1)) * 17
+		for pb.Next() {
+			pid := pids[i%benchProcs]
+			i++
+			if v := mon.Decide(pid, monitor.OpMic, opTime); v != monitor.VerdictGrant {
+				b.Errorf("Decide(%d) = %v, want grant", pid, v)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkParallelNotifyDecide(b *testing.B) {
+	k, pids, opTime := benchKernel(b)
+	mon := k.Monitor()
+	for _, pid := range pids {
+		mon.Decide(pid, monitor.OpMic, opTime)
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 17
+		for pb.Next() {
+			pid := pids[i%benchProcs]
+			// A strictly increasing notify time per iteration keeps the
+			// CAS-max install path live instead of devolving into the
+			// "stale stamp, no write" fast path.
+			t := opTime.Add(time.Duration(i) * time.Nanosecond)
+			i++
+			if err := mon.Notify(pid, t); err != nil {
+				b.Errorf("Notify(%d): %v", pid, err)
+				return
+			}
+			if v := mon.Decide(pid, monitor.OpMic, t); v != monitor.VerdictGrant {
+				b.Errorf("Decide(%d) = %v, want grant", pid, v)
+				return
+			}
+		}
+	})
+}

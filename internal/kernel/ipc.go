@@ -62,10 +62,7 @@ func (s *stampStore) AdoptSpan(pid int, t time.Time, ctx telemetry.SpanContext) 
 // stamps returns the kernel's ipc.Stamps view, or nil when P2
 // propagation is ablated (IPC objects treat nil as "no propagation").
 func (k *Kernel) stamps() ipc.Stamps {
-	k.mu.Lock()
-	disabled := k.disableP2
-	k.mu.Unlock()
-	if disabled {
+	if k.disableP2 { // immutable after New
 		return nil
 	}
 	// Fault-hooked writes (PointStampWrite) can only lose updates,

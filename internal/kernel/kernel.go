@@ -8,13 +8,19 @@
 // mediation, the udev mapping sink, process introspection used to
 // authenticate the netlink peer, and the ptrace guard that disables a
 // debugged process's permissions.
+//
+// The process table is lock-striped by pid (see procTable) and the
+// per-task interaction stamp is an atomically loadable value, so the
+// monitor's decision path — pid lookup, stamp read, ptrace-guard check
+// — takes no lock at all and scales across cores; stamp writes are a
+// lock-free newest-wins CAS (Process.adoptStamp).
 package kernel
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"overhaul/internal/clock"
@@ -93,7 +99,22 @@ type Stats struct {
 	OpenFaults uint64
 }
 
-// Kernel is the simulated OS kernel. It is safe for concurrent use.
+// kernelStats are the live counters backing Stats, atomics so syscall
+// paths never serialize to count.
+type kernelStats struct {
+	opens       atomic.Uint64
+	deviceOpens atomic.Uint64
+	denials     atomic.Uint64
+	forks       atomic.Uint64
+	execs       atomic.Uint64
+	exits       atomic.Uint64
+	openFaults  atomic.Uint64
+}
+
+// Kernel is the simulated OS kernel. It is safe for concurrent use;
+// everything the decision hot path touches (process table, stamps,
+// guard flag, counters) is sharded or atomic, and the single remaining
+// mutex guards only the udev device map.
 type Kernel struct {
 	clk    clock.Clock
 	fsys   *fs.FS
@@ -101,18 +122,18 @@ type Kernel struct {
 	faults faultinject.Hook    // immutable after New
 	tel    *telemetry.Recorder // immutable after New; nil-safe
 
-	mu          sync.Mutex
-	procs       map[int]*Process
-	nextPID     int
-	devmap      map[string]devfs.Class
-	ptraceGuard bool
-	devRounds   int
-	storRounds  int
-	disableP1   bool
-	disableP2   bool
-	stats       Stats
+	table       *procTable
+	nextPID     atomic.Int64
+	ptraceGuard atomic.Bool
+	stats       kernelStats
+	devRounds   int  // immutable after New
+	storRounds  int  // immutable after New
+	disableP1   bool // immutable after New
+	disableP2   bool // immutable after New
+	ipc         *ipcTables
 
-	ipc *ipcTables
+	mu     sync.Mutex
+	devmap map[string]devfs.Class
 }
 
 // New constructs a kernel over the given filesystem and clock.
@@ -124,20 +145,19 @@ func New(clk clock.Clock, fsys *fs.FS, cfg Config) (*Kernel, error) {
 		return nil, errors.New("kernel: nil filesystem")
 	}
 	k := &Kernel{
-		clk:         clk,
-		fsys:        fsys,
-		faults:      cfg.FaultHook,
-		tel:         cfg.Monitor.Telemetry,
-		procs:       make(map[int]*Process),
-		nextPID:     1,
-		devmap:      make(map[string]devfs.Class),
-		ptraceGuard: !cfg.DisablePtraceGuard,
-		devRounds:   cfg.DeviceInitRounds,
-		storRounds:  cfg.StorageRounds,
-		disableP1:   cfg.DisableP1,
-		disableP2:   cfg.DisableP2,
-		ipc:         newIPCTables(),
+		clk:        clk,
+		fsys:       fsys,
+		faults:     cfg.FaultHook,
+		tel:        cfg.Monitor.Telemetry,
+		table:      newProcTable(),
+		devmap:     make(map[string]devfs.Class),
+		devRounds:  cfg.DeviceInitRounds,
+		storRounds: cfg.StorageRounds,
+		disableP1:  cfg.DisableP1,
+		disableP2:  cfg.DisableP2,
+		ipc:        newIPCTables(),
 	}
+	k.ptraceGuard.Store(!cfg.DisablePtraceGuard)
 	mon, err := monitor.New(clk, (*taskStore)(k), cfg.Monitor)
 	if err != nil {
 		return nil, fmt.Errorf("kernel: %w", err)
@@ -157,9 +177,15 @@ func (k *Kernel) Monitor() *monitor.Monitor { return k.mon }
 
 // StatsSnapshot returns a copy of the kernel counters.
 func (k *Kernel) StatsSnapshot() Stats {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.stats
+	return Stats{
+		Opens:       k.stats.opens.Load(),
+		DeviceOpens: k.stats.deviceOpens.Load(),
+		Denials:     k.stats.denials.Load(),
+		Forks:       k.stats.forks.Load(),
+		Execs:       k.stats.execs.Load(),
+		Exits:       k.stats.exits.Load(),
+		OpenFaults:  k.stats.openFaults.Load(),
+	}
 }
 
 // --- devfs.MappingSink -------------------------------------------------
@@ -199,90 +225,72 @@ type taskStore Kernel
 
 var _ monitor.TaskStore = (*taskStore)(nil)
 var _ monitor.SpanTaskStore = (*taskStore)(nil)
+var _ monitor.FastTaskStore = (*taskStore)(nil)
 
 // InteractionStamp implements monitor.TaskStore.
 func (ts *taskStore) InteractionStamp(pid int) (time.Time, bool) {
 	k := (*Kernel)(ts)
-	k.mu.Lock()
-	p, ok := k.procs[pid]
-	k.mu.Unlock()
+	p, ok := k.table.get(pid)
 	if !ok {
 		return time.Time{}, false
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stamp, true
+	return stampTime(p.stamp.Load()), true
 }
 
 // SetInteractionStamp implements monitor.TaskStore with newest-wins
 // semantics.
 func (ts *taskStore) SetInteractionStamp(pid int, t time.Time) error {
-	k := (*Kernel)(ts)
-	k.mu.Lock()
-	p, ok := k.procs[pid]
-	k.mu.Unlock()
-	if !ok {
-		return monitor.ErrNoSuchProcess
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if t.After(p.stamp) {
-		p.stamp = t
-		// The stamp changed hands without trace context: whatever span
-		// minted the previous stamp no longer describes it.
-		p.stampSpan = telemetry.SpanContext{}
-	}
-	return nil
+	// The stamp changes hands without trace context: whatever span
+	// minted the previous stamp no longer describes it, so adoptStamp
+	// clears the span alongside the stamp.
+	return ts.SetInteractionStampSpan(pid, t, telemetry.SpanContext{})
 }
 
 // SetInteractionStampSpan implements monitor.SpanTaskStore: the stamp
 // and the span that minted it travel as one newest-wins unit, exactly
-// like the stamp alone does.
+// like the stamp alone does. The write is a lock-free CAS-max.
 func (ts *taskStore) SetInteractionStampSpan(pid int, t time.Time, ctx telemetry.SpanContext) error {
 	k := (*Kernel)(ts)
-	k.mu.Lock()
-	p, ok := k.procs[pid]
-	k.mu.Unlock()
+	p, ok := k.table.get(pid)
 	if !ok {
 		return monitor.ErrNoSuchProcess
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if t.After(p.stamp) {
-		p.stamp = t
-		p.stampSpan = ctx
-	}
+	p.adoptStamp(t, ctx)
 	return nil
 }
 
 // InteractionSpan implements monitor.SpanTaskStore.
 func (ts *taskStore) InteractionSpan(pid int) (telemetry.SpanContext, bool) {
 	k := (*Kernel)(ts)
-	k.mu.Lock()
-	p, ok := k.procs[pid]
-	k.mu.Unlock()
+	p, ok := k.table.get(pid)
 	if !ok {
 		return telemetry.SpanContext{}, false
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stampSpan, true
+	return p.StampSpan(), true
 }
 
 // PermissionsDisabled implements monitor.TaskStore: a process being
 // ptraced has all sensitive permissions disabled while the guard is on.
 func (ts *taskStore) PermissionsDisabled(pid int) bool {
 	k := (*Kernel)(ts)
-	k.mu.Lock()
-	guard := k.ptraceGuard
-	p, ok := k.procs[pid]
-	k.mu.Unlock()
-	if !ok || !guard {
+	if !k.ptraceGuard.Load() {
 		return false
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.tracedBy != 0
+	p, ok := k.table.get(pid)
+	return ok && p.tracedBy.Load() != 0
+}
+
+// InteractionView implements monitor.FastTaskStore: everything a
+// permission decision needs in one shard read-lock plus three atomic
+// loads.
+func (ts *taskStore) InteractionView(pid int) (time.Time, telemetry.SpanContext, bool, bool) {
+	k := (*Kernel)(ts)
+	p, ok := k.table.get(pid)
+	if !ok {
+		return time.Time{}, telemetry.SpanContext{}, false, false
+	}
+	disabled := k.ptraceGuard.Load() && p.tracedBy.Load() != 0
+	return stampTime(p.stamp.Load()), p.StampSpan(), disabled, true
 }
 
 // --- introspection (netlink authentication) -----------------------------
@@ -294,9 +302,7 @@ func (k *Kernel) ExecutablePath(pid int) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.exe, nil
+	return p.Executable(), nil
 }
 
 // CredOf returns pid's credentials.
@@ -305,9 +311,7 @@ func (k *Kernel) CredOf(pid int) (fs.Cred, error) {
 	if err != nil {
 		return fs.Cred{}, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.cred, nil
+	return p.Cred(), nil
 }
 
 // AuthenticateTrustedBinary reports nil iff pid's executable is exactly
@@ -341,26 +345,20 @@ func (k *Kernel) SetPtraceGuard(cred fs.Cred, enabled bool) error {
 	if cred.UID != 0 {
 		return fmt.Errorf("set ptrace guard: %w", ErrNotPermitted)
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.ptraceGuard = enabled
+	k.ptraceGuard.Store(enabled)
 	return nil
 }
 
 // PtraceGuardEnabled reports the guard state.
 func (k *Kernel) PtraceGuardEnabled() bool {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.ptraceGuard
+	return k.ptraceGuard.Load()
 }
 
 // --- process table access ------------------------------------------------
 
 // Process returns the live process with the given PID.
 func (k *Kernel) Process(pid int) (*Process, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	p, ok := k.procs[pid]
+	p, ok := k.table.get(pid)
 	if !ok {
 		return nil, fmt.Errorf("pid %d: %w", pid, ErrNoSuchProcess)
 	}
@@ -369,12 +367,5 @@ func (k *Kernel) Process(pid int) (*Process, error) {
 
 // PIDs returns the live PIDs, sorted.
 func (k *Kernel) PIDs() []int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	out := make([]int, 0, len(k.procs))
-	for pid := range k.procs {
-		out = append(out, pid)
-	}
-	sort.Ints(out)
-	return out
+	return k.table.pids()
 }

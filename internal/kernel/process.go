@@ -3,36 +3,49 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"overhaul/internal/fs"
 	"overhaul/internal/telemetry"
-	"sync"
 )
 
 // Process is the task_struct analogue: one schedulable task. Linux does
 // not strictly distinguish processes from threads — each gets its own
 // task_struct — and neither do we: Clone covers both.
+//
+// The fields the permission decision path reads — interaction stamp,
+// its minting span, and the tracer pid — are atomics, so a concurrent
+// Decide never blocks on a process mutating its own state.
 type Process struct {
 	k    *Kernel
 	pid  int
 	ppid int
 
-	mu    sync.Mutex
-	name  string
-	exe   string
-	cred  fs.Cred
-	stamp time.Time // interaction timestamp (the Overhaul field)
-	// stampSpan is the trace span that minted stamp (zero when
+	// stamp is the interaction timestamp (the Overhaul field) as unix
+	// nanos; see stampNanos. Written only through adoptStamp's CAS-max
+	// loop, so it is monotonically non-decreasing.
+	stamp atomic.Int64
+	// stampSpan is the trace span that minted stamp (nil when
 	// telemetry is off or the stamp arrived without context). It is
 	// updated and inherited in lockstep with stamp: fork copies it
 	// (P1) and IPC propagation carries it alongside the stamp (P2), so
 	// a permission query can always be traced back to the interaction
-	// that enables it.
-	stampSpan telemetry.SpanContext
-	state     State
-	tracedBy  int // tracer PID, 0 when not traced
-	children  []int
+	// that enables it. Under a CAS race the span may briefly describe
+	// a different write than the stamp; both are then authentic
+	// near-simultaneous interactions, and the skew only affects trace
+	// linkage, never the verdict.
+	stampSpan atomic.Pointer[telemetry.SpanContext]
+	// tracedBy is the tracer PID, 0 when not traced.
+	tracedBy atomic.Int32
+
+	mu       sync.Mutex
+	name     string
+	exe      string
+	cred     fs.Cred
+	state    State
+	children []int
 }
 
 // PID returns the process identifier.
@@ -64,17 +77,42 @@ func (p *Process) Cred() fs.Cred {
 
 // InteractionStamp returns the Overhaul interaction timestamp.
 func (p *Process) InteractionStamp() time.Time {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stamp
+	return stampTime(p.stamp.Load())
 }
 
 // StampSpan returns the trace span that minted the current interaction
 // stamp (zero when unknown).
 func (p *Process) StampSpan() telemetry.SpanContext {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stampSpan
+	if c := p.stampSpan.Load(); c != nil {
+		return *c
+	}
+	return telemetry.SpanContext{}
+}
+
+// adoptStamp installs t (and the span that delivered it) iff t is newer
+// than the current stamp — the newest-wins rule as a lock-free CAS-max.
+// The CAS winner stores the span, keeping stamp and span a unit on the
+// common uncontended path. A zero t never installs.
+func (p *Process) adoptStamp(t time.Time, ctx telemetry.SpanContext) {
+	n := stampNanos(t)
+	if n == 0 {
+		return
+	}
+	for {
+		cur := p.stamp.Load()
+		if n <= cur {
+			return
+		}
+		if p.stamp.CompareAndSwap(cur, n) {
+			if ctx == (telemetry.SpanContext{}) {
+				p.stampSpan.Store(nil)
+			} else {
+				c := ctx
+				p.stampSpan.Store(&c)
+			}
+			return
+		}
+	}
 }
 
 // State returns the lifecycle state.
@@ -114,20 +152,15 @@ func (k *Kernel) Spawn(spec SpawnSpec) (*Process, error) {
 	if spec.Name == "" {
 		return nil, errors.New("spawn: empty process name")
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
-
-	pid := k.nextPID
-	k.nextPID++
 	p := &Process{
 		k:     k,
-		pid:   pid,
+		pid:   int(k.nextPID.Add(1)),
 		name:  spec.Name,
 		exe:   spec.Exe,
 		cred:  spec.Cred,
 		state: StateRunning,
 	}
-	k.procs[pid] = p
+	k.table.put(p)
 	return p, nil
 }
 
@@ -142,33 +175,31 @@ func (p *Process) Fork() (*Process, error) {
 	k := p.k
 
 	p.mu.Lock()
-	name, exe, cred, stamp, stampSpan := p.name, p.exe, p.cred, p.stamp, p.stampSpan
+	name, exe, cred := p.name, p.exe, p.cred
 	p.mu.Unlock()
-
-	k.mu.Lock()
+	stamp := p.stamp.Load()
+	stampSpan := p.stampSpan.Load()
 	if k.disableP1 {
-		stamp = time.Time{} // ablation: no inheritance
-		stampSpan = telemetry.SpanContext{}
+		stamp = 0 // ablation: no inheritance
+		stampSpan = nil
 	}
-	pid := k.nextPID
-	k.nextPID++
+
 	child := &Process{
-		k:         k,
-		pid:       pid,
-		ppid:      p.pid,
-		name:      name,
-		exe:       exe,
-		cred:      cred,
-		stamp:     stamp,     // P1: inherited
-		stampSpan: stampSpan, // the minting span inherits with it
-		state:     StateRunning,
+		k:     k,
+		pid:   int(k.nextPID.Add(1)),
+		ppid:  p.pid,
+		name:  name,
+		exe:   exe,
+		cred:  cred,
+		state: StateRunning,
 	}
-	k.procs[pid] = child
-	k.stats.Forks++
-	k.mu.Unlock()
+	child.stamp.Store(stamp)         // P1: inherited
+	child.stampSpan.Store(stampSpan) // the minting span inherits with it
+	k.table.put(child)
+	k.stats.forks.Add(1)
 
 	p.mu.Lock()
-	p.children = append(p.children, pid)
+	p.children = append(p.children, child.pid)
 	p.mu.Unlock()
 	return child, nil
 }
@@ -193,9 +224,7 @@ func (p *Process) Exec(name, exe string) error {
 	p.exe = exe
 	p.mu.Unlock()
 
-	p.k.mu.Lock()
-	p.k.stats.Execs++
-	p.k.mu.Unlock()
+	p.k.stats.execs.Add(1)
 	return nil
 }
 
@@ -209,11 +238,8 @@ func (p *Process) Exit() error {
 	p.state = StateDead
 	p.mu.Unlock()
 
-	k := p.k
-	k.mu.Lock()
-	delete(k.procs, p.pid)
-	k.stats.Exits++
-	k.mu.Unlock()
+	p.k.table.remove(p.pid)
+	p.k.stats.exits.Add(1)
 	return nil
 }
 
@@ -236,13 +262,10 @@ func (p *Process) PtraceAttach(target *Process) error {
 		return fmt.Errorf("ptrace pid %d from pid %d: not a direct descendant: %w",
 			target.pid, p.pid, ErrNotPermitted)
 	}
-	target.mu.Lock()
-	defer target.mu.Unlock()
-	if target.tracedBy != 0 {
+	if !target.tracedBy.CompareAndSwap(0, int32(p.pid)) {
 		return fmt.Errorf("ptrace pid %d: already traced by %d: %w",
-			target.pid, target.tracedBy, ErrNotPermitted)
+			target.pid, target.tracedBy.Load(), ErrNotPermitted)
 	}
-	target.tracedBy = p.pid
 	return nil
 }
 
@@ -251,19 +274,14 @@ func (p *Process) PtraceDetach(target *Process) error {
 	if target == nil {
 		return errors.New("ptrace detach: nil target")
 	}
-	target.mu.Lock()
-	defer target.mu.Unlock()
-	if target.tracedBy != p.pid {
+	if !target.tracedBy.CompareAndSwap(int32(p.pid), 0) {
 		return fmt.Errorf("ptrace detach pid %d: not traced by %d: %w",
 			target.pid, p.pid, ErrNotPermitted)
 	}
-	target.tracedBy = 0
 	return nil
 }
 
 // Traced reports whether the process is currently being ptraced.
 func (p *Process) Traced() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.tracedBy != 0
+	return p.tracedBy.Load() != 0
 }

@@ -85,14 +85,7 @@ func (k *Kernel) procStatus(p *Process) string {
 		state = "X (dead)"
 	}
 	fmt.Fprintf(&b, "State:\t%s\n", state)
-	fmt.Fprintf(&b, "TracerPid:\t%d\n", func() int {
-		if p.Traced() {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			return p.tracedBy
-		}
-		return 0
-	}())
+	fmt.Fprintf(&b, "TracerPid:\t%d\n", p.tracedBy.Load())
 	stamp := p.InteractionStamp()
 	if stamp.IsZero() {
 		b.WriteString("OverhaulStamp:\t-\n")

@@ -41,14 +41,11 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 		return nil, err
 	}
 
-	k.mu.Lock()
-	k.stats.Opens++
-	class, sensitive := k.devmap[path]
+	k.stats.opens.Add(1)
+	class, sensitive := k.SensitiveClassOf(path)
 	if sensitive {
-		k.stats.DeviceOpens++
+		k.stats.deviceOpens.Add(1)
 	}
-	devRounds := k.devRounds
-	k.mu.Unlock()
 
 	var span *telemetry.Span
 	if sensitive {
@@ -69,7 +66,7 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 		}
 	}
 
-	if devRounds > 0 && h.Kind() == fs.KindDevice {
+	if devRounds := k.devRounds; devRounds > 0 && h.Kind() == fs.KindDevice {
 		// Simulated driver initialisation, paid by every device open
 		// on both the baseline and the Overhaul kernel.
 		deviceInitWork(devRounds)
@@ -80,12 +77,10 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 		// not complete, and for a sensitive device the failure is
 		// recorded as an audited denial rather than disappearing into
 		// an opaque errno.
-		k.mu.Lock()
-		k.stats.OpenFaults++
+		k.stats.openFaults.Add(1)
 		if sensitive {
-			k.stats.Denials++
+			k.stats.denials.Add(1)
 		}
-		k.mu.Unlock()
 		if k.tel.Enabled() {
 			k.tel.Add("kernel", "open_faults", "", 1)
 			k.tel.RecordEvent(span.Context(), "kernel", "fault",
@@ -102,9 +97,7 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 	if sensitive {
 		verdict := k.mon.DecideCtx(span.Context(), p.pid, opForClass(class), k.clk.Now())
 		if verdict != monitor.VerdictGrant {
-			k.mu.Lock()
-			k.stats.Denials++
-			k.mu.Unlock()
+			k.stats.denials.Add(1)
 			return nil, fmt.Errorf("open %s (%s) by pid %d: %w", path, class, p.pid, ErrAccessDenied)
 		}
 	}
@@ -122,15 +115,12 @@ func (k *Kernel) Create(p *Process, path string, mode fs.Mode) (*fs.Handle, erro
 	if err != nil {
 		return nil, err
 	}
-	k.mu.Lock()
-	storRounds := k.storRounds
-	k.stats.Opens++
+	k.stats.opens.Add(1)
 	// open(O_CREAT) runs through the same augmented open path as any
 	// other open: the sensitive-device lookup happens here too, which
 	// is the entire Overhaul cost Bonnie++'s file-creation phase sees.
-	class, sensitive := k.devmap[path]
-	k.mu.Unlock()
-	if storRounds > 0 {
+	class, sensitive := k.SensitiveClassOf(path)
+	if storRounds := k.storRounds; storRounds > 0 {
 		// Simulated storage cost (journal + allocation), paid by both
 		// the baseline and the Overhaul kernel.
 		deviceInitWork(storRounds)

@@ -1,0 +1,231 @@
+package kernel
+
+// S3 of the sharding issue: the lock-striped process table plus atomic
+// stamp storage must be observationally equivalent to the obvious
+// single-lock map it replaced. A seeded random op sequence drives both
+// side by side, and a separate stress test hammers the same pids from
+// many goroutines so `go test -race ./internal/kernel` patrols the
+// lock-free paths.
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"overhaul/internal/monitor"
+)
+
+// modelTable is the single-lock reference implementation: one map, one
+// mutex, newest-wins stamps.
+type modelTable struct {
+	mu     sync.Mutex
+	stamps map[int]time.Time // live pid → stamp (zero = none)
+	kids   map[int][]int
+}
+
+func newModelTable() *modelTable {
+	return &modelTable{stamps: make(map[int]time.Time), kids: make(map[int][]int)}
+}
+
+func (m *modelTable) spawn(pid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stamps[pid] = time.Time{}
+}
+
+func (m *modelTable) fork(parent, child int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stamps[child] = m.stamps[parent]
+	m.kids[parent] = append(m.kids[parent], child)
+}
+
+func (m *modelTable) exit(pid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.stamps, pid)
+}
+
+func (m *modelTable) notify(pid int, t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.stamps[pid]; ok && t.After(cur) {
+		m.stamps[pid] = t
+	}
+}
+
+func (m *modelTable) pids() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.stamps))
+	for pid := range m.stamps {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestShardedTableMatchesModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := newEnv(t, enforcing())
+		model := newModelTable()
+
+		base := e.clk.Now()
+		live := make(map[int]*Process)
+		var livePids []int // parallel slice for random choice
+		pick := func() (*Process, bool) {
+			if len(livePids) == 0 {
+				return nil, false
+			}
+			return live[livePids[rng.Intn(len(livePids))]], true
+		}
+		add := func(p *Process) {
+			live[p.PID()] = p
+			livePids = append(livePids, p.PID())
+		}
+		drop := func(pid int) {
+			delete(live, pid)
+			for i, v := range livePids {
+				if v == pid {
+					livePids = append(livePids[:i], livePids[i+1:]...)
+					break
+				}
+			}
+		}
+
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(10); {
+			case op < 2 || len(livePids) == 0: // spawn
+				p := e.spawnUser(t, "prop")
+				add(p)
+				model.spawn(p.PID())
+			case op < 4: // fork
+				p, _ := pick()
+				child, err := p.Fork()
+				if err != nil {
+					t.Errorf("seed %d step %d: Fork: %v", seed, step, err)
+					return false
+				}
+				add(child)
+				model.fork(p.PID(), child.PID())
+			case op < 5 && len(livePids) > 1: // exit
+				p, _ := pick()
+				if err := p.Exit(); err != nil {
+					t.Errorf("seed %d step %d: Exit: %v", seed, step, err)
+					return false
+				}
+				drop(p.PID())
+				model.exit(p.PID())
+			case op < 8: // notify, sometimes with a stale time
+				p, _ := pick()
+				ts := base.Add(time.Duration(rng.Intn(5000)) * time.Millisecond)
+				if err := e.k.Monitor().Notify(p.PID(), ts); err != nil {
+					t.Errorf("seed %d step %d: Notify: %v", seed, step, err)
+					return false
+				}
+				model.notify(p.PID(), ts)
+			default: // read-only probe happens below for every step
+			}
+
+			// Observational equivalence after every step.
+			if got, want := e.k.PIDs(), model.pids(); len(got) != len(want) {
+				t.Errorf("seed %d step %d: PIDs() = %v, model %v", seed, step, got, want)
+				return false
+			}
+			for pid, p := range live {
+				model.mu.Lock()
+				want := model.stamps[pid]
+				model.mu.Unlock()
+				if got := p.InteractionStamp(); !got.Equal(want) {
+					t.Errorf("seed %d step %d: stamp(%d) = %v, model %v", seed, step, pid, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentNotifyDecideFork hammers the lock-free decision path
+// while the process table churns underneath it. It asserts only
+// invariants that hold under any interleaving — the race detector
+// supplies the rest.
+func TestConcurrentNotifyDecideFork(t *testing.T) {
+	e := newEnv(t, enforcing())
+	mon := e.k.Monitor()
+	base := e.clk.Now()
+
+	const nProcs = 16
+	procs := make([]*Process, nProcs)
+	for i := range procs {
+		procs[i] = e.spawnUser(t, "stress")
+		e.interact(t, procs[i])
+	}
+
+	const workers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p := procs[(w+i)%nProcs]
+				switch i % 4 {
+				case 0:
+					// Newest-wins: errors only for unknown pids, which
+					// never exit here.
+					if err := mon.Notify(p.PID(), base.Add(time.Duration(w*iters+i)*time.Microsecond)); err != nil {
+						t.Errorf("Notify: %v", err)
+						return
+					}
+				case 1:
+					// Every proc was stamped at base and all op times
+					// stay inside δ, so a deny is a lost update.
+					if v := mon.Decide(p.PID(), monitor.OpMic, base.Add(time.Millisecond)); v != monitor.VerdictGrant {
+						t.Errorf("Decide(%d) = %v, want grant", p.PID(), v)
+						return
+					}
+				case 2:
+					child, err := p.Fork()
+					if err != nil {
+						t.Errorf("Fork: %v", err)
+						return
+					}
+					// P1: the child's stamp must never be zero — the
+					// parent was stamped before the workers started.
+					if child.InteractionStamp().IsZero() {
+						t.Errorf("forked child %d has no inherited stamp", child.PID())
+						return
+					}
+					if err := child.Exit(); err != nil {
+						t.Errorf("child Exit: %v", err)
+						return
+					}
+				case 3:
+					_ = e.k.PIDs()
+					_, _ = e.k.Process(p.PID())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The table converges to exactly the original processes (every
+	// forked child exited), each carrying some non-zero stamp.
+	if got := e.k.PIDs(); len(got) != nProcs {
+		t.Fatalf("PIDs() = %v, want %d live processes", got, nProcs)
+	}
+	for _, p := range procs {
+		if p.InteractionStamp().IsZero() {
+			t.Errorf("pid %d lost its stamp", p.PID())
+		}
+	}
+}

@@ -14,13 +14,22 @@
 // the process table itself (the task_struct analogue), so the monitor
 // operates on a TaskStore interface implemented by the kernel; the
 // monitor owns the decision logic, the audit log, and alert dispatch.
+//
+// The monitor is built to scale across cores: it holds no global lock.
+// Mode flags (degraded, alert sink) and activity counters are atomics,
+// the audit log is lock-striped by pid (see auditShards), and all
+// telemetry on the decision path flows through pre-resolved handles, so
+// concurrent Decide calls on different processes share no contended
+// cache line beyond the telemetry rings.
 package monitor
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"overhaul/internal/clock"
@@ -45,6 +54,11 @@ const (
 	OpCam    Op = "cam"
 	OpOther  Op = "dev" // any other sensitive device class
 )
+
+// knownOps enumerates the operation classes above; the monitor
+// pre-resolves telemetry handles for each so the decision path never
+// builds a label string.
+var knownOps = []Op{OpCopy, OpPaste, OpScreen, OpMic, OpCam, OpOther}
 
 // Verdict is the outcome of a permission query.
 type Verdict int
@@ -98,6 +112,19 @@ type SpanTaskStore interface {
 	// current interaction stamp. ok is false if the process does not
 	// exist.
 	InteractionSpan(pid int) (telemetry.SpanContext, bool)
+}
+
+// FastTaskStore is an optional extension of TaskStore for stores that
+// can answer everything a decision needs in one call — stamp, stamp
+// span, and the ptrace-guard flag. The sharded kernel table backs this
+// with three atomic loads, so Decide against it takes no lock at all;
+// plain TaskStores fall back to the interface calls.
+type FastTaskStore interface {
+	TaskStore
+	// InteractionView returns pid's interaction stamp, the span that
+	// minted it, and whether permissions are force-disabled. ok is
+	// false if the process does not exist.
+	InteractionView(pid int) (stamp time.Time, ctx telemetry.SpanContext, disabled bool, ok bool)
 }
 
 // AlertRequest asks the display manager to show a trusted-output visual
@@ -161,8 +188,11 @@ type Config struct {
 	// the alert itself (screen capture) or stays silent by design
 	// (clipboard — usability, §V-C). Nil selects that default.
 	AlertOps []Op
-	// AuditCapacity bounds the in-memory audit log (oldest entries
-	// are dropped). Zero means 1024.
+	// AuditCapacity bounds each audit shard's ring (oldest entries are
+	// dropped). Decisions are striped across auditShards rings by pid,
+	// so records for one process always compete with each other — and
+	// with any pid sharing its shard — for the same AuditCapacity
+	// slots. Zero means 1024 per shard.
 	AuditCapacity int
 	// Telemetry, when non-nil, receives metrics, decision spans, and
 	// flight-recorder events. Nil disables instrumentation entirely
@@ -178,26 +208,98 @@ func defaultAlertOps() map[Op]bool {
 	return map[Op]bool{OpMic: true, OpCam: true, OpOther: true}
 }
 
+// auditShards stripes the audit log. Power of two so the shard index is
+// a mask; 8 shards keep contention negligible at the core counts the
+// ROADMAP targets while costing 8 small rings.
+const auditShards = 8
+
+// auditEntry tags a decision with its global sequence number so a
+// merged view can restore total order across shards.
+type auditEntry struct {
+	seq uint64
+	d   Decision
+}
+
+// auditShard is one stripe of the audit log: an independent ring with
+// its own lock and drop counter.
+type auditShard struct {
+	mu      sync.Mutex
+	ring    []auditEntry // capacity auditCap, allocated lazily
+	head    int          // index of the oldest record
+	n       int
+	dropped uint64
+}
+
+// monitorStats are the activity counters, all atomics so the decision
+// path never locks to count. Queries are not counted separately:
+// every query resolves to exactly one of grant or deny, so the total
+// is derived at snapshot time and the hot path pays one atomic
+// increment instead of two.
+type monitorStats struct {
+	notifications   atomic.Uint64
+	grants          atomic.Uint64
+	denials         atomic.Uint64
+	alertsSent      atomic.Uint64
+	degradedDenials atomic.Uint64
+}
+
+// opIndex maps a known op to its dense index in knownOps order, -1
+// for unknown ops. The decision path indexes its pre-resolved handle
+// arrays with it: a string switch compiles to a length bucket plus a
+// constant compare, which profiles measurably cheaper than hashing the
+// op into a map on every decision.
+func opIndex(op Op) int {
+	switch op {
+	case OpCopy:
+		return 0
+	case OpPaste:
+		return 1
+	case OpScreen:
+		return 2
+	case OpMic:
+		return 3
+	case OpCam:
+		return 4
+	case OpOther:
+		return 5
+	}
+	return -1
+}
+
 // Monitor is the kernel permission monitor. It is safe for concurrent
-// use.
+// use and holds no global lock: see the package comment.
 type Monitor struct {
 	clk       clock.Clock
 	tasks     TaskStore
+	spanTasks SpanTaskStore // tasks, if it implements SpanTaskStore
+	fastTasks FastTaskStore // tasks, if it implements FastTaskStore
 	threshold time.Duration
 	force     bool
 	enforce   bool
-	alertOps  map[Op]bool
+	alertOps  map[Op]bool // read-only after New (AlertOperations view)
+	// alertFast mirrors alertOps indexed by opIndex: the decision path
+	// tests membership without hashing the op string.
+	alertFast [6]bool
 	auditCap  int
 	tel       *telemetry.Recorder // nil-safe; nil means disabled
 
-	mu        sync.Mutex
-	alertFn   AlertFunc
-	audit     []Decision // ring buffer, capacity auditCap
-	auditHead int        // index of the oldest record
-	auditLen  int
-	dropped   uint64
-	degraded  string // non-empty: fail-closed degraded mode, with reason
-	stats     Stats
+	alertFn  atomic.Value           // AlertFunc (typed nil disables)
+	degraded atomic.Pointer[string] // nil: healthy; else fail-closed reason
+	seq      atomic.Uint64          // global audit sequence
+	stats    monitorStats
+	audit    [auditShards]auditShard
+
+	// Pre-resolved telemetry handles (nil handles no-op when telemetry
+	// is disabled; decisionCounters/stampAge are read-only after New).
+	mNotifications   *telemetry.Counter
+	mNotifyErrors    *telemetry.Counter
+	mAuditAppends    *telemetry.Counter
+	mDegradations    *telemetry.Counter
+	mDenialsRecorded *telemetry.Counter
+	// Indexed [opIndex(op)][verdict]; verdicts start at 1, so row
+	// length is 3 with slot 0 unused.
+	decisionCounters [][3]*telemetry.Counter
+	stampAge         []*telemetry.Histogram // indexed by opIndex(op)
 }
 
 // Stats aggregates monitor activity.
@@ -236,7 +338,7 @@ func New(clk clock.Clock, tasks TaskStore, cfg Config) (*Monitor, error) {
 	if auditCap == 0 {
 		auditCap = 1024
 	}
-	return &Monitor{
+	m := &Monitor{
 		clk:       clk,
 		tasks:     tasks,
 		threshold: threshold,
@@ -245,7 +347,35 @@ func New(clk clock.Clock, tasks TaskStore, cfg Config) (*Monitor, error) {
 		alertOps:  alertOps,
 		auditCap:  auditCap,
 		tel:       cfg.Telemetry,
-	}, nil
+	}
+	for op := range alertOps {
+		if i := opIndex(op); i >= 0 {
+			m.alertFast[i] = true
+		}
+	}
+	m.spanTasks, _ = tasks.(SpanTaskStore)
+	m.fastTasks, _ = tasks.(FastTaskStore)
+	if tel := cfg.Telemetry; tel.Enabled() {
+		// Resolve every handle the decision path can hit once, here.
+		// Never-updated handles stay invisible in snapshots, so this
+		// does not surface zero-valued series.
+		m.mNotifications = tel.Counter("monitor", "notifications", "")
+		m.mNotifyErrors = tel.Counter("monitor", "notify_errors", "")
+		m.mAuditAppends = tel.Counter("monitor", "audit_appends", "")
+		m.mDegradations = tel.Counter("monitor", "degradations", "")
+		m.mDenialsRecorded = tel.Counter("monitor", "denials_recorded", "")
+		m.decisionCounters = make([][3]*telemetry.Counter, len(knownOps))
+		m.stampAge = make([]*telemetry.Histogram, len(knownOps))
+		for _, op := range knownOps {
+			i := opIndex(op)
+			for _, v := range []Verdict{VerdictGrant, VerdictDeny} {
+				m.decisionCounters[i][v] =
+					tel.Counter("monitor", "decisions", "op="+string(op)+" verdict="+v.String())
+			}
+			m.stampAge[i] = tel.Histogram("monitor", "stamp_age", "op="+string(op))
+		}
+	}
+	return m, nil
 }
 
 // Telemetry returns the monitor's recorder (nil when disabled).
@@ -257,9 +387,37 @@ func (m *Monitor) Threshold() time.Duration { return m.threshold }
 // SetAlertFunc installs the trusted-output alert sink. Passing nil
 // disables alert dispatch.
 func (m *Monitor) SetAlertFunc(fn AlertFunc) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.alertFn = fn
+	m.alertFn.Store(fn)
+}
+
+// alertSink returns the installed alert sink, or nil.
+func (m *Monitor) alertSink() AlertFunc {
+	fn, _ := m.alertFn.Load().(AlertFunc)
+	return fn
+}
+
+// countDecision bumps the per-(op, verdict) decision counter; unknown
+// op classes fall back to the string-keyed registry.
+func (m *Monitor) countDecision(op Op, v Verdict) {
+	if i := opIndex(op); i >= 0 && v > 0 && int(v) < 3 && m.decisionCounters != nil {
+		if c := m.decisionCounters[i][v]; c != nil {
+			c.Add(1)
+			return
+		}
+	}
+	m.tel.Add("monitor", "decisions", "op="+string(op)+" verdict="+v.String(), 1)
+}
+
+// observeStampAge records the stamp-age observation for op, like
+// countDecision.
+func (m *Monitor) observeStampAge(op Op, age time.Duration) {
+	if i := opIndex(op); i >= 0 && m.stampAge != nil {
+		if h := m.stampAge[i]; h != nil {
+			h.Observe(age)
+			return
+		}
+	}
+	m.tel.Observe("monitor", "stamp_age", "op="+string(op), age)
 }
 
 // Notify records an interaction notification N_{A,t}: authentic user
@@ -273,28 +431,29 @@ func (m *Monitor) Notify(pid int, t time.Time) error {
 // that caused the notification. The notify span is stored in the task
 // struct alongside the stamp it mints (when the store supports it), so
 // a later permission query within δ links back to this interaction.
+//
+// Against a sharded store the stamp write is a lock-free CAS-max; this
+// method itself takes no lock either.
 func (m *Monitor) NotifyCtx(ctx telemetry.SpanContext, pid int, t time.Time) error {
 	span := m.tel.StartSpan(ctx, "monitor", "notify")
 	defer span.End()
 	var err error
-	if st, ok := m.tasks.(SpanTaskStore); ok {
-		err = st.SetInteractionStampSpan(pid, t, span.Context())
+	if m.spanTasks != nil {
+		err = m.spanTasks.SetInteractionStampSpan(pid, t, span.Context())
 	} else {
 		err = m.tasks.SetInteractionStamp(pid, t)
 	}
 	if err != nil {
 		if m.tel.Enabled() {
 			span.Annotate("error", err.Error())
-			m.tel.Add("monitor", "notify_errors", "", 1)
+			m.mNotifyErrors.Add(1)
 		}
 		return fmt.Errorf("monitor notify pid %d: %w", pid, err)
 	}
-	m.mu.Lock()
-	m.stats.Notifications++
-	m.mu.Unlock()
+	m.stats.notifications.Add(1)
 	if m.tel.Enabled() {
-		span.Annotate("pid", strconv.Itoa(pid))
-		m.tel.Add("monitor", "notifications", "", 1)
+		span.AnnotateInt("pid", int64(pid))
+		m.mNotifications.Add(1)
 	}
 	return nil
 }
@@ -309,11 +468,9 @@ func (m *Monitor) SetDegraded(reason string) {
 	if reason == "" {
 		reason = "trusted component failure"
 	}
-	m.mu.Lock()
-	m.degraded = reason
-	m.mu.Unlock()
+	m.degraded.Store(&reason)
 	if m.tel.Enabled() {
-		m.tel.Add("monitor", "degradations", "", 1)
+		m.mDegradations.Add(1)
 		// A degradation is a flight-recorder trip: snapshot the ring so
 		// the events leading up to the trusted-component failure are
 		// preserved even if the ring keeps rolling afterwards.
@@ -324,39 +481,46 @@ func (m *Monitor) SetDegraded(reason string) {
 // ClearDegraded returns the monitor to normal operation (the channel
 // was re-established).
 func (m *Monitor) ClearDegraded() {
-	m.mu.Lock()
-	m.degraded = ""
-	m.mu.Unlock()
+	m.degraded.Store(nil)
 	m.tel.RecordEvent(telemetry.SpanContext{}, "monitor", "recovery", "degraded mode cleared")
 }
 
 // DegradedReason returns the degradation reason and whether the
 // monitor is currently degraded.
 func (m *Monitor) DegradedReason() (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.degraded, m.degraded != ""
+	if p := m.degraded.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
 }
 
-// appendAuditLocked appends one decision to the audit ring. Requires
-// m.mu held.
-func (m *Monitor) appendAuditLocked(d Decision) {
+// appendAudit appends one decision to its pid's audit shard.
+func (m *Monitor) appendAudit(d *Decision) {
 	// Every audit append is mirrored to a telemetry counter so the
 	// audit log and overhaul-top can never silently disagree.
-	m.tel.Add("monitor", "audit_appends", "", 1)
-	if m.audit == nil {
-		// Grown lazily but allocated once: the ring must not churn
-		// the allocator on the hot decision path.
-		m.audit = make([]Decision, m.auditCap)
+	m.mAuditAppends.Add(1)
+	seq := m.seq.Add(1)
+	sh := &m.audit[uint(d.PID)&(auditShards-1)]
+	sh.mu.Lock()
+	if sh.ring == nil {
+		// Grown lazily but allocated once per shard: the ring must not
+		// churn the allocator on the hot decision path.
+		sh.ring = make([]auditEntry, m.auditCap)
 	}
-	if m.auditLen == m.auditCap {
-		m.audit[m.auditHead] = d
-		m.auditHead = (m.auditHead + 1) % m.auditCap
-		m.dropped++
+	var e *auditEntry
+	if sh.n == m.auditCap {
+		e = &sh.ring[sh.head]
+		sh.head = (sh.head + 1) % m.auditCap
+		sh.dropped++
 	} else {
-		m.audit[(m.auditHead+m.auditLen)%m.auditCap] = d
-		m.auditLen++
+		e = &sh.ring[(sh.head+sh.n)%m.auditCap]
+		sh.n++
 	}
+	// Filled in place under the shard lock: the Decision is wide
+	// enough that an extra construct-then-copy shows up in profiles.
+	e.seq = seq
+	e.d = *d
+	sh.mu.Unlock()
 }
 
 // Decide answers a permission query Q_{A,t}: may pid perform op at
@@ -373,25 +537,43 @@ func (m *Monitor) Decide(pid int, op Op, opTime time.Time) Verdict {
 // triggered the query (typically the kernel open span, itself parented
 // on the interaction that minted the process's stamp). With telemetry
 // disabled it is exactly the Decide hot path: zero extra allocations,
-// verified by BenchmarkDecideTelemetryDisabled.
+// verified by BenchmarkDecideTelemetryDisabled; with telemetry enabled
+// the only allocation is the retained decision span.
 func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime time.Time) Verdict {
-	if m.tel.Enabled() && !ctx.Valid() {
-		// No explicit parent: join the trace of the interaction that
-		// minted the process's current stamp, if the store tracks it.
-		// This is what connects a bare Decide to its enabling input.
-		if st, ok := m.tasks.(SpanTaskStore); ok {
-			if sc, found := st.InteractionSpan(pid); found {
+	// One read of the task store up front. Fast stores answer with a
+	// handful of atomic loads; plain stores cost the same interface
+	// calls the single-lock implementation made.
+	var (
+		stamp    time.Time
+		exists   bool
+		disabled bool
+		haveView bool
+	)
+	if m.fastTasks != nil {
+		var sc telemetry.SpanContext
+		stamp, sc, disabled, exists = m.fastTasks.InteractionView(pid)
+		haveView = true
+		if m.tel.Enabled() && !ctx.Valid() {
+			// No explicit parent: join the trace of the interaction
+			// that minted the process's current stamp. This is what
+			// connects a bare Decide to its enabling input.
+			ctx = sc
+		}
+	} else {
+		if m.tel.Enabled() && !ctx.Valid() && m.spanTasks != nil {
+			if sc, found := m.spanTasks.InteractionSpan(pid); found {
 				ctx = sc
 			}
 		}
+		stamp, exists = m.tasks.InteractionStamp(pid)
 	}
 	span := m.tel.StartSpan(ctx, "monitor", "decide")
 	defer span.End()
-	stamp, exists := m.tasks.InteractionStamp(pid)
 
-	m.mu.Lock()
-	degraded := m.degraded
-	m.mu.Unlock()
+	degraded := ""
+	if p := m.degraded.Load(); p != nil {
+		degraded = *p
+	}
 
 	verdict := VerdictDeny
 	reason := ""
@@ -406,7 +588,7 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 		reason = "protection degraded: " + degraded
 	case !exists:
 		reason = "no such process"
-	case m.tasks.PermissionsDisabled(pid):
+	case haveView && disabled, !haveView && m.tasks.PermissionsDisabled(pid):
 		reason = "permissions disabled (ptrace guard)"
 	case stamp.IsZero():
 		reason = "no recorded user interaction"
@@ -423,37 +605,31 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 	isDegraded := degraded != "" && !m.force && m.enforce
 	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: verdict, Reason: reason, Degraded: isDegraded}
 
-	m.mu.Lock()
-	m.stats.Queries++
 	if verdict == VerdictGrant {
-		m.stats.Grants++
+		m.stats.grants.Add(1)
 	} else {
-		m.stats.Denials++
+		m.stats.denials.Add(1)
 		if isDegraded {
-			m.stats.DegradedDenials++
+			m.stats.degradedDenials.Add(1)
 		}
 	}
-	m.appendAuditLocked(d)
-	alertFn := m.alertFn
-	sendAlert := m.alertOps[op] && alertFn != nil
+	m.appendAudit(&d)
+	alertFn := m.alertSink()
+	oi := opIndex(op)
+	sendAlert := alertFn != nil && (oi >= 0 && m.alertFast[oi] || oi < 0 && m.alertOps[op])
 	if sendAlert {
-		m.stats.AlertsSent++
+		m.stats.alertsSent.Add(1)
 	}
-	m.mu.Unlock()
 
 	if m.tel.Enabled() {
-		span.Annotate("pid", strconv.Itoa(pid))
-		span.Annotate("op", string(op))
-		span.Annotate("verdict", verdict.String())
-		span.Annotate("reason", reason)
-		m.tel.Add("monitor", "decisions", "op="+string(op)+" verdict="+verdict.String(), 1)
+		span.AnnotateDecision(int64(pid), string(op), verdict.String(), reason)
+		m.countDecision(op, verdict)
 		if !stamp.IsZero() {
 			// Distribution of stamp ages at decision time: the paper's δ
 			// sweep (§V-A) in histogram form.
-			m.tel.Observe("monitor", "stamp_age", "op="+string(op), opTime.Sub(stamp))
+			m.observeStampAge(op, opTime.Sub(stamp))
 		}
-		detail := "pid=" + strconv.Itoa(pid) + " op=" + string(op) + " " + verdict.String() + ": " + reason
-		m.tel.RecordEvent(span.Context(), "monitor", "decision", detail)
+		m.tel.RecordDecision(span.Context(), "monitor", pid, string(op), verdict.String(), reason)
 		if verdict == VerdictDeny {
 			// Every denial trips the flight recorder: the dump's final
 			// events carry the deny reason plus whatever preceded it
@@ -483,63 +659,100 @@ func (m *Monitor) RecordDenial(pid int, op Op, opTime time.Time, reason string) 
 func (m *Monitor) RecordDenialCtx(ctx telemetry.SpanContext, pid int, op Op, opTime time.Time, reason string) {
 	stamp, _ := m.tasks.InteractionStamp(pid)
 	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: VerdictDeny, Reason: reason}
-	m.mu.Lock()
-	m.stats.Queries++
-	m.stats.Denials++
-	m.appendAuditLocked(d)
-	m.mu.Unlock()
+	m.stats.denials.Add(1)
+	m.appendAudit(&d)
 	if m.tel.Enabled() {
-		m.tel.Add("monitor", "decisions", "op="+string(op)+" verdict=deny", 1)
-		m.tel.Add("monitor", "denials_recorded", "", 1)
+		m.countDecision(op, VerdictDeny)
+		m.mDenialsRecorded.Add(1)
 		m.tel.TripFlight(ctx, "monitor",
 			"deny pid="+strconv.Itoa(pid)+" op="+string(op)+": "+reason)
 	}
 }
 
-// Audit returns a copy of the audit log, oldest first.
+// collectAudit gathers entries from the selected shards (all when
+// pid < 0, else just pid's shard) and restores total order by sequence
+// number.
+func (m *Monitor) collectAudit(pid int) []auditEntry {
+	var out []auditEntry
+	for i := range m.audit {
+		if pid >= 0 && i != int(uint(pid)&(auditShards-1)) {
+			continue
+		}
+		sh := &m.audit[i]
+		sh.mu.Lock()
+		for j := 0; j < sh.n; j++ {
+			e := sh.ring[(sh.head+j)%m.auditCap]
+			if pid < 0 || e.d.PID == pid {
+				out = append(out, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Audit returns a merged copy of the audit log, oldest first.
 func (m *Monitor) Audit() []Decision {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Decision, m.auditLen)
-	for i := 0; i < m.auditLen; i++ {
-		out[i] = m.audit[(m.auditHead+i)%m.auditCap]
+	entries := m.collectAudit(-1)
+	out := make([]Decision, len(entries))
+	for i, e := range entries {
+		out[i] = e.d
 	}
 	return out
 }
 
 // AuditFor returns the audit records for one PID, oldest first.
 func (m *Monitor) AuditFor(pid int) []Decision {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []Decision
-	for i := 0; i < m.auditLen; i++ {
-		d := m.audit[(m.auditHead+i)%m.auditCap]
-		if d.PID == pid {
-			out = append(out, d)
-		}
+	if pid < 0 {
+		return nil
+	}
+	entries := m.collectAudit(pid)
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]Decision, len(entries))
+	for i, e := range entries {
+		out[i] = e.d
 	}
 	return out
 }
 
-// DroppedAudit reports how many audit records were evicted by the ring.
+// DroppedAudit reports how many audit records were evicted, summed
+// across shards.
 func (m *Monitor) DroppedAudit() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dropped
+	var total uint64
+	for i := range m.audit {
+		sh := &m.audit[i]
+		sh.mu.Lock()
+		total += sh.dropped
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // StatsSnapshot returns a copy of the activity counters.
 func (m *Monitor) StatsSnapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	grants := m.stats.grants.Load()
+	denials := m.stats.denials.Load()
+	return Stats{
+		Notifications:   m.stats.notifications.Load(),
+		Queries:         grants + denials,
+		Grants:          grants,
+		Denials:         denials,
+		AlertsSent:      m.stats.alertsSent.Load(),
+		DegradedDenials: m.stats.degradedDenials.Load(),
+	}
 }
 
 // ResetAudit clears the audit log (used between experiment phases).
 func (m *Monitor) ResetAudit() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.auditHead = 0
-	m.auditLen = 0
-	m.dropped = 0
+	for i := range m.audit {
+		sh := &m.audit[i]
+		sh.mu.Lock()
+		sh.head = 0
+		sh.n = 0
+		sh.dropped = 0
+		sh.mu.Unlock()
+	}
 }

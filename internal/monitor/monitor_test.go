@@ -338,28 +338,60 @@ func TestResetAudit(t *testing.T) {
 
 func TestAuditForAndDropped(t *testing.T) {
 	m, tasks, clk := newTestMonitor(t, Config{Enforce: true, AuditCapacity: 5})
-	tasks.add(1)
-	tasks.add(2)
+	// Capacity is per shard; pids p1 and p2 collide on the same shard,
+	// so their records compete for the same 5 ring slots.
+	p1, p2 := 1, 1+auditShards
+	tasks.add(p1)
+	tasks.add(p2)
 	for i := 0; i < 4; i++ {
-		m.Decide(1, OpCopy, clk.Now())
+		m.Decide(p1, OpCopy, clk.Now())
 	}
-	m.Decide(2, OpPaste, clk.Now())
-	if got := len(m.AuditFor(1)); got != 4 {
-		t.Fatalf("AuditFor(1) = %d, want 4", got)
+	m.Decide(p2, OpPaste, clk.Now())
+	if got := len(m.AuditFor(p1)); got != 4 {
+		t.Fatalf("AuditFor(p1) = %d, want 4", got)
 	}
-	if got := len(m.AuditFor(2)); got != 1 {
-		t.Fatalf("AuditFor(2) = %d, want 1", got)
+	if got := len(m.AuditFor(p2)); got != 1 {
+		t.Fatalf("AuditFor(p2) = %d, want 1", got)
 	}
 	if m.DroppedAudit() != 0 {
 		t.Fatalf("dropped = %d, want 0", m.DroppedAudit())
 	}
-	// Overflow the ring: two oldest records evicted.
-	m.Decide(2, OpPaste, clk.Now())
-	m.Decide(2, OpPaste, clk.Now())
+	// Overflow the shared shard ring: two oldest records evicted.
+	m.Decide(p2, OpPaste, clk.Now())
+	m.Decide(p2, OpPaste, clk.Now())
 	if m.DroppedAudit() != 2 {
 		t.Fatalf("dropped = %d, want 2", m.DroppedAudit())
 	}
-	if got := len(m.AuditFor(1)); got != 2 {
-		t.Fatalf("AuditFor(1) after eviction = %d, want 2", got)
+	if got := len(m.AuditFor(p1)); got != 2 {
+		t.Fatalf("AuditFor(p1) after eviction = %d, want 2", got)
+	}
+}
+
+func TestAuditShardIsolation(t *testing.T) {
+	m, tasks, clk := newTestMonitor(t, Config{Enforce: true, AuditCapacity: 3})
+	// pids 1 and 2 land on different shards: overflowing one must not
+	// evict the other's records.
+	tasks.add(1)
+	tasks.add(2)
+	m.Decide(1, OpCopy, clk.Now())
+	for i := 0; i < 10; i++ {
+		m.Decide(2, OpPaste, clk.Now())
+	}
+	if got := len(m.AuditFor(1)); got != 1 {
+		t.Fatalf("AuditFor(1) = %d, want 1 (cross-shard eviction)", got)
+	}
+	if got := len(m.AuditFor(2)); got != 3 {
+		t.Fatalf("AuditFor(2) = %d, want 3", got)
+	}
+	if m.DroppedAudit() != 7 {
+		t.Fatalf("dropped = %d, want 7", m.DroppedAudit())
+	}
+	// The merged log preserves global decision order.
+	all := m.Audit()
+	if len(all) != 4 {
+		t.Fatalf("Audit() = %d records, want 4", len(all))
+	}
+	if all[0].PID != 1 {
+		t.Fatalf("oldest merged record PID = %d, want 1", all[0].PID)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"overhaul/internal/faultinject"
 	"overhaul/internal/telemetry"
@@ -67,17 +68,36 @@ type Stats struct {
 	Duplicated uint64
 }
 
+// hubStats is the hub's live counter block. Every field is an atomic
+// so the per-message paths never take the hub lock just to count.
+type hubStats struct {
+	connects     atomic.Uint64
+	authFailures atomic.Uint64
+	userToKernel atomic.Uint64
+	kernelToUser atomic.Uint64
+	dropped      atomic.Uint64
+	delayed      atomic.Uint64
+	duplicated   atomic.Uint64
+}
+
 // Hub is the kernel endpoint of a netlink family. It is safe for
 // concurrent use.
 type Hub struct {
 	auth Authenticator
 
-	mu            sync.Mutex
+	// stats synchronizes itself with atomics; it is not guarded by mu.
+	stats hubStats
+
+	mu            sync.RWMutex
 	kernelHandler Handler
 	conns         map[int]*Conn
 	faults        faultinject.Hook
 	tel           *telemetry.Recorder
-	stats         Stats
+	// mUserToKernel and mKernelToUser are pre-resolved message counters,
+	// interned once in SetTelemetry so the per-message paths skip the
+	// metric-key lookup (nil and nil-safe when telemetry is off).
+	mUserToKernel *telemetry.Counter
+	mKernelToUser *telemetry.Counter
 }
 
 // NewHub creates a hub whose connections are vetted by auth.
@@ -111,6 +131,12 @@ func (h *Hub) SetTelemetry(tel *telemetry.Recorder) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.tel = tel
+	if tel.Enabled() {
+		h.mUserToKernel = tel.Counter("netlink", "messages", "dir=user_to_kernel")
+		h.mKernelToUser = tel.Counter("netlink", "messages", "dir=kernel_to_user")
+	} else {
+		h.mUserToKernel, h.mKernelToUser = nil, nil
+	}
 }
 
 // applyFault evaluates the channel fault point for one message and
@@ -119,25 +145,23 @@ func (h *Hub) SetTelemetry(tel *telemetry.Recorder) {
 // message; delays have already been realised on the virtual clock by
 // the injector.
 func (h *Hub) applyFault(p faultinject.Point) faultinject.Fault {
-	h.mu.Lock()
+	h.mu.RLock()
 	hook := h.faults
-	h.mu.Unlock()
+	tel := h.tel
+	h.mu.RUnlock()
 
 	f := faultinject.Eval(hook, p)
 	if !f.Injected() {
 		return f
 	}
-	h.mu.Lock()
-	tel := h.tel
 	switch f.Kind {
 	case faultinject.KindError:
-		h.stats.Dropped++
+		h.stats.dropped.Add(1)
 	case faultinject.KindDelay:
-		h.stats.Delayed++
+		h.stats.delayed.Add(1)
 	case faultinject.KindDuplicate:
-		h.stats.Duplicated++
+		h.stats.duplicated.Add(1)
 	}
-	h.mu.Unlock()
 	if tel.Enabled() {
 		tel.Add("netlink", "faults", "point="+string(p)+" kind="+f.Kind.String(), 1)
 		if f.Kind == faultinject.KindError {
@@ -156,9 +180,7 @@ func (h *Hub) applyFault(p faultinject.Point) faultinject.Fault {
 // PID may hold at most one connection at a time.
 func (h *Hub) Connect(pid int, userHandler Handler) (*Conn, error) {
 	if err := h.auth.AuthenticatePeer(pid); err != nil {
-		h.mu.Lock()
-		h.stats.AuthFailures++
-		h.mu.Unlock()
+		h.stats.authFailures.Add(1)
 		return nil, fmt.Errorf("%w: pid %d: %v", ErrAuthFailed, pid, err)
 	}
 
@@ -169,23 +191,23 @@ func (h *Hub) Connect(pid int, userHandler Handler) (*Conn, error) {
 	}
 	c := &Conn{hub: h, pid: pid, userHandler: userHandler}
 	h.conns[pid] = c
-	h.stats.Connects++
+	h.stats.connects.Add(1)
 	return c, nil
 }
 
 // CallUser sends a kernel→userspace message to the connection held by
 // pid and returns its reply.
 func (h *Hub) CallUser(pid int, msg any) (any, error) {
-	h.mu.Lock()
+	h.mu.RLock()
 	c, ok := h.conns[pid]
 	var fn Handler
 	if ok {
 		fn = c.userHandler
 	}
-	h.stats.KernelToUser++
-	tel := h.tel
-	h.mu.Unlock()
-	tel.Add("netlink", "messages", "dir=kernel_to_user", 1)
+	m := h.mKernelToUser
+	h.mu.RUnlock()
+	h.stats.kernelToUser.Add(1)
+	m.Add(1)
 
 	if !ok {
 		return nil, fmt.Errorf("%w: pid %d", ErrNotConnected, pid)
@@ -206,17 +228,23 @@ func (h *Hub) CallUser(pid int, msg any) (any, error) {
 
 // Connected reports whether pid holds a live connection.
 func (h *Hub) Connected(pid int) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	_, ok := h.conns[pid]
 	return ok
 }
 
 // StatsSnapshot returns a copy of the hub's counters.
 func (h *Hub) StatsSnapshot() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
+	return Stats{
+		Connects:     h.stats.connects.Load(),
+		AuthFailures: h.stats.authFailures.Load(),
+		UserToKernel: h.stats.userToKernel.Load(),
+		KernelToUser: h.stats.kernelToUser.Load(),
+		Dropped:      h.stats.dropped.Load(),
+		Delayed:      h.stats.delayed.Load(),
+		Duplicated:   h.stats.duplicated.Load(),
+	}
 }
 
 func (h *Hub) drop(pid int) {
@@ -247,12 +275,12 @@ func (c *Conn) Call(msg any) (any, error) {
 		return nil, ErrClosed
 	}
 
-	c.hub.mu.Lock()
+	c.hub.mu.RLock()
 	fn := c.hub.kernelHandler
-	c.hub.stats.UserToKernel++
-	tel := c.hub.tel
-	c.hub.mu.Unlock()
-	tel.Add("netlink", "messages", "dir=user_to_kernel", 1)
+	m := c.hub.mUserToKernel
+	c.hub.mu.RUnlock()
+	c.hub.stats.userToKernel.Add(1)
+	m.Add(1)
 
 	if fn == nil {
 		return nil, ErrNoHandler

@@ -3,6 +3,8 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"strconv"
+	"sync"
 	"time"
 )
 
@@ -18,6 +20,23 @@ type FlightEvent struct {
 	Detail    string    `json:"detail"`
 	Trace     TraceID   `json:"trace,omitempty"`
 	Span      SpanID    `json:"span,omitempty"`
+
+	// Structured decision payload (RecordDecision). Detail is rendered
+	// from it lazily when the ring is snapshot, so recording a decision
+	// allocates nothing.
+	decPID     int
+	decOp      string
+	decVerdict string
+	decReason  string
+}
+
+// render materialises Detail from the structured decision fields. Only
+// snapshot paths call it; the ring keeps the raw fields.
+func (ev *FlightEvent) render() {
+	if ev.Detail == "" && ev.decOp != "" {
+		ev.Detail = "pid=" + strconv.Itoa(ev.decPID) + " op=" + ev.decOp +
+			" " + ev.decVerdict + ": " + ev.decReason
+	}
 }
 
 // FlightDump is a snapshot of the ring taken the moment something went
@@ -30,16 +49,26 @@ type FlightDump struct {
 	Events []FlightEvent `json:"events"`
 }
 
+// flightStore is the flight-recorder ring plus its retained dumps,
+// behind their own lock so recording an event never contends with the
+// tracer or the metrics registry.
+type flightStore struct {
+	mu           sync.Mutex
+	seq          uint64
+	ring         []FlightEvent // bounded by flightCap
+	head         int
+	n            int
+	dumps        []FlightDump // bounded by dumpCap
+	dumpsDropped uint64
+}
+
 // RecordEvent appends an event to the flight ring. ctx may be zero.
 func (r *Recorder) RecordEvent(ctx SpanContext, subsystem, kind, detail string) {
 	if r == nil {
 		return
 	}
-	now := r.now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.recordEventLocked(FlightEvent{
-		Time:      now,
+	r.recordEvent(FlightEvent{
+		Time:      r.now(),
 		Subsystem: subsystem,
 		Kind:      kind,
 		Detail:    detail,
@@ -48,21 +77,71 @@ func (r *Recorder) RecordEvent(ctx SpanContext, subsystem, kind, detail string) 
 	})
 }
 
-// recordEventLocked stamps the sequence number and pushes ev into the
-// ring, evicting the oldest entry when full. Requires r.mu held.
-func (r *Recorder) recordEventLocked(ev FlightEvent) {
-	r.flightSeq++
-	ev.Seq = r.flightSeq
-	if r.flight == nil {
-		r.flight = make([]FlightEvent, r.flightCap)
-	}
-	if r.flightLen < r.flightCap {
-		r.flight[(r.flightHead+r.flightLen)%r.flightCap] = ev
-		r.flightLen++
+// RecordDecision appends a Kind "decision" event carrying the verdict
+// fields in structured form. Unlike RecordEvent with a concatenated
+// detail string, this is allocation-free: the hot decision path hands
+// over the pieces and snapshot accessors render "pid=N op=X verdict:
+// reason" on demand.
+func (r *Recorder) RecordDecision(ctx SpanContext, subsystem string, pid int, op, verdict, reason string) {
+	if r == nil {
 		return
 	}
-	r.flight[r.flightHead] = ev
-	r.flightHead = (r.flightHead + 1) % r.flightCap
+	now := r.now()
+	f := &r.flight
+	f.mu.Lock()
+	// Filled in place: decisions are the hot path, and FlightEvent is
+	// large enough that the construct-then-copy shape recordEvent uses
+	// shows up in profiles.
+	s := r.slotLocked()
+	s.Time = now
+	s.Subsystem = subsystem
+	s.Kind = "decision"
+	s.Trace = ctx.Trace
+	s.Span = ctx.Span
+	s.decPID = pid
+	s.decOp = op
+	s.decVerdict = verdict
+	s.decReason = reason
+	f.mu.Unlock()
+}
+
+// recordEvent stamps the sequence number and pushes ev into the ring,
+// evicting the oldest entry when full.
+func (r *Recorder) recordEvent(ev FlightEvent) {
+	f := &r.flight
+	f.mu.Lock()
+	r.recordEventLocked(ev)
+	f.mu.Unlock()
+}
+
+// recordEventLocked is recordEvent with f.mu already held (TripFlight
+// records and snapshots under one critical section).
+func (r *Recorder) recordEventLocked(ev FlightEvent) {
+	s := r.slotLocked()
+	seq := s.Seq
+	*s = ev
+	s.Seq = seq
+}
+
+// slotLocked claims the next ring slot — sequence-stamped and
+// otherwise zeroed — evicting the oldest entry when full. Requires
+// f.mu held; the caller fills the slot before unlocking.
+func (r *Recorder) slotLocked() *FlightEvent {
+	f := &r.flight
+	f.seq++
+	if f.ring == nil {
+		f.ring = make([]FlightEvent, r.flightCap)
+	}
+	var s *FlightEvent
+	if f.n < r.flightCap {
+		s = &f.ring[(f.head+f.n)%r.flightCap]
+		f.n++
+	} else {
+		s = &f.ring[f.head]
+		f.head = (f.head + 1) % r.flightCap
+	}
+	*s = FlightEvent{Seq: f.seq}
+	return s
 }
 
 // TripFlight records a trip event and snapshots the ring into a dump.
@@ -73,8 +152,9 @@ func (r *Recorder) TripFlight(ctx SpanContext, subsystem, reason string) {
 		return
 	}
 	now := r.now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	f := &r.flight
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	r.recordEventLocked(FlightEvent{
 		Time:      now,
 		Subsystem: subsystem,
@@ -83,22 +163,24 @@ func (r *Recorder) TripFlight(ctx SpanContext, subsystem, reason string) {
 		Trace:     ctx.Trace,
 		Span:      ctx.Span,
 	})
-	events := make([]FlightEvent, 0, r.flightLen)
-	for i := 0; i < r.flightLen; i++ {
-		events = append(events, r.flight[(r.flightHead+i)%r.flightCap])
+	events := make([]FlightEvent, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		ev := f.ring[(f.head+i)%r.flightCap]
+		ev.render()
+		events = append(events, ev)
 	}
 	d := FlightDump{
-		Seq:    r.flightSeq,
+		Seq:    f.seq,
 		Time:   now,
 		Reason: reason,
 		Events: events,
 	}
-	if len(r.dumps) >= r.dumpCap {
-		copy(r.dumps, r.dumps[1:])
-		r.dumps[len(r.dumps)-1] = d
-		r.dumpsDropped++
+	if len(f.dumps) >= r.dumpCap {
+		copy(f.dumps, f.dumps[1:])
+		f.dumps[len(f.dumps)-1] = d
+		f.dumpsDropped++
 	} else {
-		r.dumps = append(r.dumps, d)
+		f.dumps = append(f.dumps, d)
 	}
 }
 
@@ -107,11 +189,14 @@ func (r *Recorder) FlightEvents() []FlightEvent {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]FlightEvent, 0, r.flightLen)
-	for i := 0; i < r.flightLen; i++ {
-		out = append(out, r.flight[(r.flightHead+i)%r.flightCap])
+	f := &r.flight
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		ev := f.ring[(f.head+i)%r.flightCap]
+		ev.render()
+		out = append(out, ev)
 	}
 	return out
 }
@@ -121,10 +206,11 @@ func (r *Recorder) FlightDumps() []FlightDump {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]FlightDump, len(r.dumps))
-	copy(out, r.dumps)
+	f := &r.flight
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightDump, len(f.dumps))
+	copy(out, f.dumps)
 	return out
 }
 
@@ -133,12 +219,13 @@ func (r *Recorder) LastFlightDump() (FlightDump, bool) {
 	if r == nil {
 		return FlightDump{}, false
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.dumps) == 0 {
+	f := &r.flight
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.dumps) == 0 {
 		return FlightDump{}, false
 	}
-	return r.dumps[len(r.dumps)-1], true
+	return f.dumps[len(f.dumps)-1], true
 }
 
 // JSONL renders the dump as one JSON object per line: a header line

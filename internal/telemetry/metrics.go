@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,16 +16,58 @@ type metricKey struct {
 	Labels    string
 }
 
-// counter is a monotonically increasing count.
-type counter struct {
-	value   uint64
-	updated time.Time
+// metricsStore is the registry. The mutex guards only the maps (handle
+// resolution); the values inside every handle are atomics, so updates
+// through an already-resolved handle never touch the lock.
+type metricsStore struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*gauge
+	hists    map[metricKey]*Histogram
+}
+
+func (m *metricsStore) init() {
+	m.counters = make(map[metricKey]*Counter)
+	m.gauges = make(map[metricKey]*gauge)
+	m.hists = make(map[metricKey]*Histogram)
+}
+
+// Counter is a pre-resolved handle to one monotonically increasing
+// count: the (subsystem, name, labels) map lookup is paid once at
+// resolution and every Add after that is two atomic stores. A nil
+// handle is a no-op, mirroring the nil-Recorder convention.
+type Counter struct {
+	rec     *Recorder
+	value   atomic.Uint64
+	updated atomic.Int64 // unix nanos of last Add; 0 = never
+}
+
+// Add increments the counter by delta. Lock-free.
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.value.Add(delta)
+	// Store-if-changed: under a steady clock the freshness stamp is
+	// already right, and skipping the store keeps the cache line clean
+	// for concurrent updaters of the same counter.
+	if n := c.rec.coarseNanos(); c.updated.Load() != n {
+		c.updated.Store(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.value.Load()
 }
 
 // gauge is a set-to-latest value.
 type gauge struct {
-	value   int64
-	updated time.Time
+	value   atomic.Int64
+	updated atomic.Int64
 }
 
 // HistogramBuckets is the fixed latency ladder every histogram uses.
@@ -39,68 +83,37 @@ var HistogramBuckets = []time.Duration{
 	time.Second,
 }
 
-// histogram is a fixed-bucket latency histogram. counts has one entry
-// per HistogramBuckets bound plus a final overflow bucket.
-type histogram struct {
-	counts  []uint64
-	sum     time.Duration
-	total   uint64
-	updated time.Time
+// histBuckets fixes the ladder length at compile time so handles can
+// embed their counts without a per-histogram slice allocation.
+const histBuckets = 6
+
+func init() {
+	if len(HistogramBuckets) != histBuckets {
+		panic("telemetry: histBuckets out of sync with HistogramBuckets")
+	}
 }
 
-// Add increments the (subsystem, name, labels) counter by delta.
-func (r *Recorder) Add(subsystem, name, labels string, delta uint64) {
-	if r == nil {
-		return
-	}
-	now := r.now()
-	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[k]
-	if c == nil {
-		c = &counter{}
-		r.counters[k] = c
-	}
-	c.value += delta
-	c.updated = now
+// Histogram is a pre-resolved handle to one fixed-bucket latency
+// histogram; Observe is lock-free. counts has one slot per
+// HistogramBuckets bound plus a final overflow bucket.
+// The observation total is not stored: every Observe lands in exactly
+// one bucket, so snapshots derive it by summing the buckets and the
+// hot path saves an atomic increment.
+type Histogram struct {
+	rec     *Recorder
+	counts  [histBuckets + 1]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	updated atomic.Int64
 }
 
-// Gauge sets the (subsystem, name, labels) gauge to v.
-func (r *Recorder) Gauge(subsystem, name, labels string, v int64) {
-	if r == nil {
-		return
-	}
-	now := r.now()
-	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[k]
-	if g == nil {
-		g = &gauge{}
-		r.gauges[k] = g
-	}
-	g.value = v
-	g.updated = now
-}
-
-// Observe records one latency observation into the (subsystem, name,
-// labels) histogram. Negative durations clamp to zero.
-func (r *Recorder) Observe(subsystem, name, labels string, d time.Duration) {
-	if r == nil {
+// Observe records one latency observation. Negative durations clamp to
+// zero. Lock-free.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
 		return
 	}
 	if d < 0 {
 		d = 0
-	}
-	now := r.now()
-	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[k]
-	if h == nil {
-		h = &histogram{counts: make([]uint64, len(HistogramBuckets)+1)}
-		r.hists[k] = h
 	}
 	idx := len(HistogramBuckets) // overflow
 	for i, bound := range HistogramBuckets {
@@ -109,10 +122,78 @@ func (r *Recorder) Observe(subsystem, name, labels string, d time.Duration) {
 			break
 		}
 	}
-	h.counts[idx]++
-	h.sum += d
-	h.total++
-	h.updated = now
+	h.counts[idx].Add(1)
+	h.sum.Add(int64(d))
+	if n := h.rec.coarseNanos(); h.updated.Load() != n {
+		h.updated.Store(n)
+	}
+}
+
+// Counter resolves (and on first use creates) the handle for one
+// counter. Hot paths should resolve once and hold the handle; the
+// resolution itself takes the registry lock.
+func (r *Recorder) Counter(subsystem, name, labels string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
+	m := &r.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[k]
+	if c == nil {
+		c = &Counter{rec: r}
+		m.counters[k] = c
+	}
+	return c
+}
+
+// Histogram resolves (and on first use creates) the handle for one
+// histogram, like Counter.
+func (r *Recorder) Histogram(subsystem, name, labels string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
+	m := &r.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[k]
+	if h == nil {
+		h = &Histogram{rec: r}
+		m.hists[k] = h
+	}
+	return h
+}
+
+// Add increments the (subsystem, name, labels) counter by delta. The
+// string-keyed form for cold paths; hot paths hold a Counter handle.
+func (r *Recorder) Add(subsystem, name, labels string, delta uint64) {
+	r.Counter(subsystem, name, labels).Add(delta)
+}
+
+// Gauge sets the (subsystem, name, labels) gauge to v.
+func (r *Recorder) Gauge(subsystem, name, labels string, v int64) {
+	if r == nil {
+		return
+	}
+	k := metricKey{Subsystem: subsystem, Name: name, Labels: labels}
+	m := &r.metrics
+	m.mu.Lock()
+	g := m.gauges[k]
+	if g == nil {
+		g = &gauge{}
+		m.gauges[k] = g
+	}
+	m.mu.Unlock()
+	g.value.Store(v)
+	g.updated.Store(r.nowNanos())
+}
+
+// Observe records one latency observation into the (subsystem, name,
+// labels) histogram. Negative durations clamp to zero.
+func (r *Recorder) Observe(subsystem, name, labels string, d time.Duration) {
+	r.Histogram(subsystem, name, labels).Observe(d)
 }
 
 // CounterValue returns the current value of a counter (0 when absent).
@@ -120,13 +201,11 @@ func (r *Recorder) CounterValue(subsystem, name, labels string) uint64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[metricKey{Subsystem: subsystem, Name: name, Labels: labels}]
-	if c == nil {
-		return 0
-	}
-	return c.value
+	m := &r.metrics
+	m.mu.Lock()
+	c := m.counters[metricKey{Subsystem: subsystem, Name: name, Labels: labels}]
+	m.mu.Unlock()
+	return c.Value()
 }
 
 // MetricPoint is one metric in a snapshot.
@@ -147,36 +226,62 @@ type MetricPoint struct {
 	Updated time.Time `json:"updated"`
 }
 
+// updatedTime converts a stored unix-nano timestamp back to an instant.
+func updatedTime(n int64) time.Time {
+	return time.Unix(0, n).UTC()
+}
+
 // MetricsSnapshot returns every metric, sorted by subsystem, name,
 // labels, kind — a deterministic order under the simulated clock.
+// Handles that were resolved but never updated are omitted: resolving a
+// handle up front (as the monitor does for every op×verdict pair) must
+// not surface zero-valued series.
 func (r *Recorder) MetricsSnapshot() []MetricPoint {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	out := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for k, c := range r.counters {
+	m := &r.metrics
+	m.mu.Lock()
+	out := make([]MetricPoint, 0, len(m.counters)+len(m.gauges)+len(m.hists))
+	for k, c := range m.counters {
+		up := c.updated.Load()
+		if up == 0 {
+			continue
+		}
 		out = append(out, MetricPoint{
 			Subsystem: k.Subsystem, Name: k.Name, Labels: k.Labels,
-			Kind: "counter", Value: int64(c.value), Updated: c.updated,
+			Kind: "counter", Value: int64(c.value.Load()), Updated: updatedTime(up),
 		})
 	}
-	for k, g := range r.gauges {
+	for k, g := range m.gauges {
+		up := g.updated.Load()
+		if up == 0 {
+			continue
+		}
 		out = append(out, MetricPoint{
 			Subsystem: k.Subsystem, Name: k.Name, Labels: k.Labels,
-			Kind: "gauge", Value: g.value, Updated: g.updated,
+			Kind: "gauge", Value: g.value.Load(), Updated: updatedTime(up),
 		})
 	}
-	for k, h := range r.hists {
+	for k, h := range m.hists {
+		up := h.updated.Load()
+		if up == 0 {
+			continue
+		}
 		buckets := make([]uint64, len(h.counts))
-		copy(buckets, h.counts)
+		var total uint64
+		for i := range h.counts {
+			buckets[i] = h.counts[i].Load()
+			total += buckets[i]
+		}
 		out = append(out, MetricPoint{
 			Subsystem: k.Subsystem, Name: k.Name, Labels: k.Labels,
-			Kind: "histogram", Buckets: buckets, Sum: h.sum, Count: h.total,
-			Updated: h.updated,
+			Kind: "histogram", Buckets: buckets,
+			Sum: time.Duration(h.sum.Load()), Count: total,
+			Updated: updatedTime(up),
 		})
 	}
-	r.mu.Unlock()
+	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Subsystem != b.Subsystem {

@@ -25,10 +25,15 @@
 // A nil *Recorder is the disabled state: every method is a no-op and
 // the instrumented hot paths (monitor.Decide in particular) add zero
 // allocations, verified by BenchmarkDecideTelemetryDisabled.
+//
+// The recorder is built for multicore hot paths: the registry, the
+// tracer, and the flight recorder each sit behind their own lock, and
+// metric updates through pre-resolved handles (Counter/Histogram) are
+// plain atomic operations that take no lock at all.
 package telemetry
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"overhaul/internal/clock"
@@ -36,9 +41,13 @@ import (
 
 // Defaults for the bounded stores. They are deliberately generous for
 // interactive use and small enough that a runaway campaign cannot
-// exhaust memory.
+// exhaust memory. The span ring is additionally sized so that the
+// recycled-span working set (capacity × span size, ~0.25 MB) stays
+// cache-resident: the ring is a diagnostic window onto recent
+// decisions, not an archive, and measurements show a ring that
+// outgrows the cache taxes every StartSpan with memory stalls.
 const (
-	DefaultSpanCapacity   = 8192
+	DefaultSpanCapacity   = 512
 	DefaultFlightCapacity = 256
 	DefaultDumpCapacity   = 8
 )
@@ -57,6 +66,9 @@ type Options struct {
 // Recorder is the telemetry sink shared by every instrumented
 // subsystem. It is safe for concurrent use; all methods are no-ops on a
 // nil receiver, which is how telemetry is disabled.
+//
+// Each instrument guards its own state, so a decision span never
+// contends with an unrelated metric update.
 type Recorder struct {
 	clk clock.Clock
 
@@ -64,23 +76,16 @@ type Recorder struct {
 	flightCap int
 	dumpCap   int
 
-	mu sync.Mutex
-	// metrics registry
-	counters map[metricKey]*counter
-	gauges   map[metricKey]*gauge
-	hists    map[metricKey]*histogram
-	// tracer
-	traceSeq     uint64
-	spanSeq      uint64
-	spans        []*Span // creation order, bounded by spanCap
-	spansDropped uint64
-	// flight recorder
-	flightSeq    uint64
-	flight       []FlightEvent // ring, bounded by flightCap
-	flightHead   int
-	flightLen    int
-	dumps        []FlightDump // bounded by dumpCap
-	dumpsDropped uint64
+	metrics metricsStore
+	tracer  tracerStore
+	flight  flightStore
+
+	// tick caches the most recent clock reading (unix nanos), refreshed
+	// at span boundaries. Metric freshness stamps read it instead of
+	// the clock: a counter bumped inside an operation is "updated" at
+	// that operation's instant, and skipping the per-Add clock
+	// conversion keeps handle updates to two atomic stores.
+	tick atomic.Int64
 }
 
 // New constructs an enabled recorder on the given clock with default
@@ -104,15 +109,14 @@ func NewWithOptions(clk clock.Clock, opts Options) *Recorder {
 	if opts.DumpCapacity <= 0 {
 		opts.DumpCapacity = DefaultDumpCapacity
 	}
-	return &Recorder{
+	r := &Recorder{
 		clk:       clk,
 		spanCap:   opts.SpanCapacity,
 		flightCap: opts.FlightCapacity,
 		dumpCap:   opts.DumpCapacity,
-		counters:  make(map[metricKey]*counter),
-		gauges:    make(map[metricKey]*gauge),
-		hists:     make(map[metricKey]*histogram),
 	}
+	r.metrics.init()
+	return r
 }
 
 // Enabled reports whether the recorder records anything. Instrumented
@@ -123,3 +127,24 @@ func (r *Recorder) Enabled() bool { return r != nil }
 // now returns the recorder's current instant. Callers must hold no
 // assumption about monotonicity beyond what the injected clock gives.
 func (r *Recorder) now() time.Time { return r.clk.Now() }
+
+// nowNanos is the instant as unix nanos, the representation the atomic
+// handle paths store. The clocks in this tree never report the zero
+// instant (the simulated epoch is 2016), so 0 doubles as "never".
+func (r *Recorder) nowNanos() int64 {
+	n := r.clk.Now().UnixNano()
+	r.tick.Store(n)
+	return n
+}
+
+// coarseNanos returns a recently observed clock reading for freshness
+// stamps: exact when no span is in flight (first use reads the clock),
+// otherwise as fresh as the latest span boundary. Precise instants
+// belong to spans and flight events; metric Updated stamps only feed
+// staleness displays.
+func (r *Recorder) coarseNanos() int64 {
+	if n := r.tick.Load(); n != 0 {
+		return n
+	}
+	return r.nowNanos()
+}
