@@ -43,6 +43,11 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// NeedsTypes marks analyzers that consume type information and
+	// interprocedural facts. The driver type-checks the module once
+	// when at least one such analyzer is selected; purely syntactic
+	// analyzers keep their zero-setup fast path.
+	NeedsTypes bool
 }
 
 // Diagnostic is one finding, addressed by file position.
@@ -52,6 +57,27 @@ type Diagnostic struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Fixes holds machine-applicable rewrites that resolve the
+	// finding, if the analyzer can propose any. The driver's -fix
+	// mode applies the first fix of each diagnostic.
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
+}
+
+// SuggestedFix is one self-contained rewrite. All edits must apply
+// atomically: a fix is either taken whole or not at all.
+type SuggestedFix struct {
+	// Message describes the rewrite ("discard the error explicitly").
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the byte range [Start, End) of File (a slash path
+// relative to the scan root) with NewText. Start == End inserts.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
 }
 
 // String renders the conventional compiler-style form.
@@ -78,6 +104,15 @@ func (p *Pass) Position(pos token.Pos) token.Position {
 // Reportf files a diagnostic at pos unless a suppression annotation
 // covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFix files a diagnostic carrying suggested fixes.
+func (p *Pass) ReportFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
+	p.report(pos, fixes, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	position := p.Position(pos)
 	file := p.Pkg.fileByAbs(position.Filename)
 	if file != nil && file.suppressed(p.Analyzer.Name, position.Line) {
@@ -93,7 +128,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Col:      position.Column,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
 	})
+}
+
+// TypeInfo returns the type-checked view of the pass's package, nil
+// when unavailable. Only meaningful for analyzers with NeedsTypes.
+func (p *Pass) TypeInfo() *TypeInfo {
+	return p.Module.TypeInfoFor(p.Pkg)
+}
+
+// Facts returns the module's interprocedural fact tables, nil when no
+// package type-checked.
+func (p *Pass) Facts() *ModuleFacts {
+	return p.Module.Facts()
+}
+
+// Edit builds a TextEdit replacing the source range [start, end) with
+// newText, resolving positions to file-relative byte offsets.
+func (p *Pass) Edit(start, end token.Pos, newText string) TextEdit {
+	sp := p.Position(start)
+	ep := p.Position(end)
+	name := sp.Filename
+	if file := p.Pkg.fileByAbs(sp.Filename); file != nil {
+		name = file.Name
+	}
+	return TextEdit{File: name, Start: sp.Offset, End: ep.Offset, NewText: newText}
 }
 
 // Run applies each analyzer to every package of the module and returns

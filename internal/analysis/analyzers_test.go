@@ -31,7 +31,7 @@ func TestAnalyzersGolden(t *testing.T) {
 
 // TestRegistry pins the suite composition the CI gate depends on.
 func TestRegistry(t *testing.T) {
-	want := []string{"atomiccheck", "clockcheck", "errdrop", "lockcheck", "printcheck", "spancheck", "stampcheck"}
+	want := []string{"atomiccheck", "clockcheck", "errdrop", "failclosedcheck", "flowcheck", "lockcheck", "lockordercheck", "printcheck", "spancheck", "stampcheck"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

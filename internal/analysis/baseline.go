@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A baseline is the committed ledger of known findings: the lint gate
+// fails on *regressions* relative to it, not on the absolute count.
+// Entries are keyed by (file, analyzer, message) with an occurrence
+// count and deliberately ignore line numbers, so unrelated edits that
+// shift a known finding up or down a file do not break CI; moving a
+// finding to a different file, or introducing a second instance of a
+// baselined one, does.
+
+// BaselineEntry is one known finding class.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the serialized form of the committed baseline file.
+type Baseline struct {
+	// Comment documents the file's purpose for people who open it.
+	Comment string          `json:"comment,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: the
+// caller decides whether absence means "empty baseline" (no -baseline
+// flag) or a misconfiguration (flag pointing at nothing).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline: parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from a finding set.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, d := range diags {
+		k := baselineKey(d.File, d.Analyzer, d.Message)
+		if e := counts[k]; e != nil {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{File: d.File, Analyzer: d.Analyzer, Message: d.Message, Count: 1}
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	b := &Baseline{
+		Comment: "known findings tolerated by CI; regenerate with overhaul-lint -write-baseline (or make lint-baseline)",
+		Entries: []BaselineEntry{},
+	}
+	for _, k := range order {
+		b.Entries = append(b.Entries, *counts[k])
+	}
+	return b
+}
+
+// WriteBaseline serializes b to path.
+func (b *Baseline) WriteBaseline(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return nil
+}
+
+// Filter splits diags into fresh findings (not covered by the
+// baseline) and the number suppressed as known. Each baseline entry
+// absorbs at most Count findings of its key.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, known int) {
+	budget := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey(e.File, e.Analyzer, e.Message)] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey(d.File, d.Analyzer, d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			known++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, known
+}

@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"overhaul/internal/analysis"
+)
+
+func diag(file, analyzer, msg string, line int) analysis.Diagnostic {
+	return analysis.Diagnostic{File: file, Line: line, Col: 1, Analyzer: analyzer, Message: msg}
+}
+
+// TestBaselineFilter pins the ratchet semantics: keys are
+// line-insensitive, and each entry absorbs at most Count findings.
+func TestBaselineFilter(t *testing.T) {
+	known := []analysis.Diagnostic{
+		diag("a.go", "errdrop", "result of f is dropped", 10),
+	}
+	b := analysis.NewBaseline(known)
+
+	// Same finding on a different line: still known.
+	fresh, covered := b.Filter([]analysis.Diagnostic{diag("a.go", "errdrop", "result of f is dropped", 99)})
+	if len(fresh) != 0 || covered != 1 {
+		t.Errorf("line move should stay baselined: fresh=%d known=%d", len(fresh), covered)
+	}
+
+	// A second instance of a baselined finding is a regression.
+	fresh, covered = b.Filter([]analysis.Diagnostic{
+		diag("a.go", "errdrop", "result of f is dropped", 10),
+		diag("a.go", "errdrop", "result of f is dropped", 20),
+	})
+	if len(fresh) != 1 || covered != 1 {
+		t.Errorf("count growth should be fresh: fresh=%d known=%d", len(fresh), covered)
+	}
+
+	// Different file, analyzer, or message: fresh.
+	for _, d := range []analysis.Diagnostic{
+		diag("b.go", "errdrop", "result of f is dropped", 10),
+		diag("a.go", "printcheck", "result of f is dropped", 10),
+		diag("a.go", "errdrop", "result of g is dropped", 10),
+	} {
+		if fresh, _ := b.Filter([]analysis.Diagnostic{d}); len(fresh) != 1 {
+			t.Errorf("diagnostic %v should not be covered by the baseline", d)
+		}
+	}
+}
+
+// TestBaselineRoundTrip writes and reloads a baseline and checks the
+// reloaded ratchet covers exactly the findings it was built from.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		diag("a.go", "errdrop", "m1", 1),
+		diag("a.go", "errdrop", "m1", 2),
+		diag("z.go", "lockcheck", "m2", 3),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := analysis.NewBaseline(diags).WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, known := b.Filter(diags)
+	if len(fresh) != 0 || known != len(diags) {
+		t.Errorf("round-tripped baseline should cover its own findings: fresh=%d known=%d", len(fresh), known)
+	}
+	if len(b.Entries) != 2 {
+		t.Errorf("entries = %d, want 2 (duplicate finding collapses to count=2)", len(b.Entries))
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := analysis.LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline file must be an error (the driver maps it to exit 2)")
+	}
+	bad := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.LoadBaseline(bad); err == nil {
+		t.Error("corrupt baseline file must be an error")
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The run cache persists a whole lint run keyed on the exact module
+// contents: engine version, selected analyzers, and the sha256 of
+// every Go file (name + content). On a full hit the driver emits the
+// recorded diagnostics without parsing types at all — which is the
+// entire cost of the interprocedural analyzers, dominated by
+// type-checking the stdlib closure from source. Any change to any
+// file misses and recomputes everything: facts flow across packages
+// in dependency order, so partial reuse without re-checking types
+// would reuse stale cross-package conclusions. The per-package fact
+// tables ride along in the record (EncodeFacts) so a cached run keeps
+// an inspectable audit trail of what the analyzers believed.
+
+// engineVersion invalidates cached runs when analyzer or fact
+// semantics change. Bump on any behavioral change to the analyzers,
+// the taint engine, or the fact encoding.
+const engineVersion = "overhaul-analysis-v2"
+
+// cacheRecord is the on-disk form of one cached run.
+type cacheRecord struct {
+	Version     string                     `json:"version"`
+	Key         string                     `json:"key"`
+	Diagnostics []Diagnostic               `json:"diagnostics"`
+	Facts       map[string]json.RawMessage `json:"facts,omitempty"` // Package.Dir -> FactSet
+}
+
+// CacheKey derives the content hash for a module + analyzer
+// selection. It reads every file from disk, so the key reflects what
+// the analyzers will actually see.
+func CacheKey(m *Module, analyzers []*Analyzer) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "engine=%s\n", engineVersion)
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(h, "analyzers=%v\n", names)
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			data, err := os.ReadFile(f.Abs)
+			if err != nil {
+				return "", fmt.Errorf("cache key: %w", err)
+			}
+			sum := sha256.Sum256(data)
+			fmt.Fprintf(h, "%s %x\n", f.Name, sum)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// LoadCachedRun returns the cached diagnostics for key, with ok false
+// on any miss (absent, unreadable, version skew, corrupt). Cache
+// problems are never fatal — the caller just recomputes.
+func LoadCachedRun(cacheDir, key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(cacheDir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var rec cacheRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	if rec.Version != engineVersion || rec.Key != key {
+		return nil, false
+	}
+	return rec.Diagnostics, true
+}
+
+// StoreCachedRun persists a run. The module's fact tables are
+// included when they were computed (a typed analyzer ran).
+func StoreCachedRun(cacheDir, key string, m *Module, diags []Diagnostic) error {
+	rec := cacheRecord{Version: engineVersion, Key: key, Diagnostics: diags}
+	if m.facts != nil {
+		rec.Facts = make(map[string]json.RawMessage, len(m.facts.byDir))
+		for dir, set := range m.facts.byDir {
+			data, err := EncodeFacts(set)
+			if err != nil {
+				return fmt.Errorf("cache store: %w", err)
+			}
+			rec.Facts[dir] = data
+		}
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return fmt.Errorf("cache store: %w", err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cache store: %w", err)
+	}
+	path := filepath.Join(cacheDir, key+".json")
+	tmp, err := os.CreateTemp(cacheDir, ".cache-*")
+	if err != nil {
+		return fmt.Errorf("cache store: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName) //overhaul:allow errdrop best-effort cleanup of a temp file after a failed write
+		if werr != nil {
+			return fmt.Errorf("cache store: %w", werr)
+		}
+		return fmt.Errorf("cache store: %w", cerr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName) //overhaul:allow errdrop best-effort cleanup of a temp file after a failed rename
+		return fmt.Errorf("cache store: %w", err)
+	}
+	return nil
+}

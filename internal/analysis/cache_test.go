@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"overhaul/internal/analysis"
+)
+
+// TestRunCacheRoundTrip checks the driver cache contract on the
+// printcheck fixture: a stored run loads back verbatim under the same
+// key, the key is stable across recomputation, and it shifts when the
+// analyzer selection changes.
+func TestRunCacheRoundTrip(t *testing.T) {
+	m, err := analysis.Load("testdata/printcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := []*analysis.Analyzer{analysis.Printcheck}
+	key, err := analysis.CacheKey(m, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := analysis.CacheKey(m, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != key2 {
+		t.Fatalf("cache key not stable: %s vs %s", key, key2)
+	}
+	otherKey, err := analysis.CacheKey(m, []*analysis.Analyzer{analysis.Printcheck, analysis.Errdrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherKey == key {
+		t.Error("cache key must depend on the analyzer selection")
+	}
+
+	dir := t.TempDir()
+	if _, ok := analysis.LoadCachedRun(dir, key); ok {
+		t.Fatal("empty cache directory reported a hit")
+	}
+	diags := analysis.Run(m, suite)
+	if len(diags) == 0 {
+		t.Fatal("printcheck fixture produced no findings; cache test needs a non-empty run")
+	}
+	if err := analysis.StoreCachedRun(dir, key, m, diags); err != nil {
+		t.Fatal(err)
+	}
+	back, ok := analysis.LoadCachedRun(dir, key)
+	if !ok {
+		t.Fatal("stored run did not load back")
+	}
+	if !reflect.DeepEqual(diags, back) {
+		t.Errorf("cached diagnostics differ:\n got %+v\nwant %+v", back, diags)
+	}
+	if _, ok := analysis.LoadCachedRun(dir, otherKey); ok {
+		t.Error("different key must miss")
+	}
+	if _, ok := analysis.LoadCachedRun(filepath.Join(dir, "nope"), key); ok {
+		t.Error("missing cache directory must miss, not error")
+	}
+}

@@ -52,13 +52,41 @@ func runErrdrop(pass *Pass) {
 				return true
 			}
 			if conventionalErr[name] || pass.Module.ReturnsError(name) {
-				pass.Reportf(call.Pos(),
+				pass.ReportFix(call.Pos(), discardFix(pass, name, call),
 					"result of %s is dropped but a declaration of %s returns an error: handle it or discard with _ =",
 					name, name)
 			}
 			return true
 		})
 	}
+}
+
+// discardFix proposes rewriting `f()` into `_ = f()` (one blank per
+// result). No fix is offered when module declarations of the name
+// disagree on arity — a wrong blank count would not compile.
+func discardFix(pass *Pass, name string, call *ast.CallExpr) []SuggestedFix {
+	count, ok := pass.Module.ResultCount(name)
+	if !ok {
+		// Ambiguous module declarations: a wrong blank count would
+		// not compile, so offer nothing. The stdlib convention (one
+		// error result) applies only to names the module never
+		// declares itself.
+		if pass.Module.DeclaresFunc(name) || !conventionalErr[name] {
+			return nil
+		}
+		count = 1
+	}
+	if count < 1 {
+		return nil
+	}
+	blanks := "_"
+	for i := 1; i < count; i++ {
+		blanks += ", _"
+	}
+	return []SuggestedFix{{
+		Message: "discard the result explicitly",
+		Edits:   []TextEdit{pass.Edit(call.Pos(), call.Pos(), blanks+" = ")},
+	}}
 }
 
 // calleeName extracts the bare name of the called function or method.

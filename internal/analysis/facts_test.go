@@ -1,0 +1,122 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"overhaul/internal/analysis"
+)
+
+// TestTaintLattice pins the lattice ordering the taint engine joins
+// over: None < Clock < Stamp.
+func TestTaintLattice(t *testing.T) {
+	if !(analysis.TaintNone < analysis.TaintClock && analysis.TaintClock < analysis.TaintStamp) {
+		t.Fatal("taint lattice ordering broken")
+	}
+	for _, tc := range []struct {
+		taint analysis.Taint
+		want  string
+	}{
+		{analysis.TaintNone, "none"}, {analysis.TaintClock, "clock"}, {analysis.TaintStamp, "stamp"},
+	} {
+		if got := tc.taint.String(); got != tc.want {
+			t.Errorf("Taint(%d).String() = %q, want %q", tc.taint, got, tc.want)
+		}
+	}
+}
+
+// TestFactRoundTrip checks that every fact table computed for the
+// flowcheck fixture survives EncodeFacts/DecodeFacts unchanged — the
+// property the driver's run cache depends on.
+func TestFactRoundTrip(t *testing.T) {
+	m, err := analysis.Load("testdata/flowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.TypeCheck() {
+		t.Fatalf("fixture must type-check cleanly: %v", m.TypeErrors())
+	}
+	facts := m.Facts()
+	sets := 0
+	for _, pkg := range m.Packages {
+		fs := facts.ForPackage(pkg)
+		if fs == nil {
+			continue
+		}
+		sets++
+		data, err := analysis.EncodeFacts(fs)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", pkg.Dir, err)
+		}
+		back, err := analysis.DecodeFacts(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", pkg.Dir, err)
+		}
+		if !reflect.DeepEqual(fs, back) {
+			t.Errorf("%s: facts did not round-trip:\n got %+v\nwant %+v", pkg.Dir, back, fs)
+		}
+	}
+	if sets == 0 {
+		t.Fatal("no fact sets computed for the flowcheck fixture")
+	}
+}
+
+// TestCrossPackageTaintFacts pins the interprocedural conclusions the
+// flowcheck fixture is built around: a helper in one package that
+// derives time from the clock must carry a clock-tainted result
+// summary into its callers' packages, and the forged variant must not.
+func TestCrossPackageTaintFacts(t *testing.T) {
+	m, err := analysis.Load("testdata/flowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := m.Facts()
+
+	fromClock := facts.FuncFactByKey("flowfix/timeutil.FromClock")
+	if fromClock == nil || len(fromClock.Results) == 0 || fromClock.Results[0] < analysis.TaintClock {
+		t.Errorf("timeutil.FromClock should summarize a clock-tainted result, got %+v", fromClock)
+	}
+	forged := facts.FuncFactByKey("flowfix/timeutil.Forged")
+	if forged != nil && len(forged.Results) > 0 && forged.Results[0] != analysis.TaintNone {
+		t.Errorf("timeutil.Forged should stay untainted, got %+v", forged)
+	}
+
+	// The stamp getter's fiat taint flows into comparisons via the
+	// caller, and setter call sites feed name-keyed parameter facts.
+	if got := facts.ParamTaint("SetInteractionStamp", 1); got < analysis.TaintClock {
+		t.Errorf("ParamTaint(SetInteractionStamp, 1) = %v, want at least clock", got)
+	}
+}
+
+// TestLockFactsOnFixture checks the lock-order side of the fact
+// engine against the lockordercheck fixture: sharded classes are
+// detected and held→acquired edges come back with report sites.
+func TestLockFactsOnFixture(t *testing.T) {
+	m, err := analysis.Load("testdata/lockordercheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := m.Facts()
+	classes := facts.LockClasses()
+	if len(classes) == 0 {
+		t.Fatal("no lock classes detected in lockordercheck fixture")
+	}
+	foundSharded := false
+	for _, sharded := range classes {
+		if sharded {
+			foundSharded = true
+		}
+	}
+	if !foundSharded {
+		t.Error("fixture declares sharded locks but none were classified as sharded")
+	}
+	edges := facts.AllLockEdges()
+	if len(edges) == 0 {
+		t.Fatal("no lock edges recorded in lockordercheck fixture")
+	}
+	for _, e := range edges {
+		if pkg, pos, ok := facts.EdgeSite(e); !ok || pkg == nil || !pos.IsValid() {
+			t.Errorf("edge %v has no report site", e)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("alpha beta gamma")
+	out, err := applyEdits(src, []TextEdit{
+		{Start: 6, End: 10, NewText: "BETA"},
+		{Start: 0, End: 0, NewText: ">> "},
+		{Start: 11, End: 16, NewText: ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out); got != ">> alpha BETA " {
+		t.Errorf("applyEdits = %q", got)
+	}
+}
+
+func TestApplyEditsRejectsBadRanges(t *testing.T) {
+	src := []byte("0123456789")
+	cases := [][]TextEdit{
+		{{Start: -1, End: 2}},
+		{{Start: 4, End: 2}},
+		{{Start: 8, End: 11}},
+		{{Start: 0, End: 5}, {Start: 3, End: 7}}, // overlap
+	}
+	for i, edits := range cases {
+		if _, err := applyEdits(src, edits); err == nil {
+			t.Errorf("case %d: applyEdits accepted invalid edits %v", i, edits)
+		}
+	}
+}
+
+func TestOverlapsInsertions(t *testing.T) {
+	a := TextEdit{File: "f", Start: 5, End: 5, NewText: "x"}
+	b := TextEdit{File: "f", Start: 5, End: 5, NewText: "y"}
+	if !overlaps(a, b) {
+		t.Error("two insertions at the same offset must collide (ambiguous order)")
+	}
+	c := TextEdit{File: "g", Start: 5, End: 5}
+	if overlaps(a, c) {
+		t.Error("edits in different files never overlap")
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	if d := unifiedDiff("x.go", "same\n", "same\n"); d != "" {
+		t.Errorf("identical content should produce no diff, got %q", d)
+	}
+	d := unifiedDiff("x.go", "a\nb\nc\n", "a\nB\nc\n")
+	for _, want := range []string{"--- a/x.go", "+++ b/x.go", "-b", "+B"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+}
+
+// FuzzApplyEdits drives the fix applier with arbitrary source and two
+// arbitrary edits. Invariants: no panic; on success the output length
+// matches the edit arithmetic and replacement text appears verbatim;
+// invalid ranges are rejected, never clamped.
+func FuzzApplyEdits(f *testing.F) {
+	f.Add("package p\n\nfunc f() { g() }\n", 11, 11, "_ = ", 0, 7, "package")
+	f.Add("x", 0, 1, "", 1, 1, "tail")
+	f.Add("", 0, 0, "seed", 0, 0, "seed2")
+	f.Fuzz(func(t *testing.T, src string, s1, e1 int, t1 string, s2, e2 int, t2 string) {
+		edits := []TextEdit{
+			{File: "f.go", Start: s1, End: e1, NewText: t1},
+			{File: "f.go", Start: s2, End: e2, NewText: t2},
+		}
+		out, err := applyEdits([]byte(src), edits)
+		if err != nil {
+			return
+		}
+		wantLen := len(src) + len(t1) - (e1 - s1) + len(t2) - (e2 - s2)
+		if len(out) != wantLen {
+			t.Fatalf("output length %d, want %d (src %d)", len(out), wantLen, len(src))
+		}
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+				t.Fatalf("invalid range [%d,%d) accepted for %d-byte input", e.Start, e.End, len(src))
+			}
+		}
+		if !strings.Contains(string(out), t1) || !strings.Contains(string(out), t2) {
+			t.Fatalf("replacement text missing from output %q", out)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Module is the parsed view of a scan root: every Go package found by
@@ -25,7 +26,19 @@ type Module struct {
 	// by file name and directory, not by package identity.
 	Packages []*Package
 
-	errFuncs map[string]bool // lazily built by ReturnsError
+	errFuncs   map[string]bool // lazily built by ReturnsError
+	arityFuncs map[string]int  // name -> result count, -1 when ambiguous
+
+	// Lazily built type-checked view (typecheck.go) and the
+	// interprocedural fact tables derived from it (facts.go).
+	typeOnce   sync.Once
+	typeInfo   map[string]*TypeInfo // by Package.Dir
+	typeOrder  []string             // package dirs in dependency order
+	modulePath string               // from go.mod, "" when absent
+	typeClean  bool                 // no type errors anywhere
+
+	factsOnce sync.Once
+	facts     *moduleFacts
 }
 
 // Package is the set of Go files in one directory.
@@ -144,24 +157,58 @@ func Load(root string) (*Module, error) {
 // information, a dropped call is suspicious exactly when some
 // declaration of that name can return an error.
 func (m *Module) ReturnsError(name string) bool {
-	if m.errFuncs == nil {
-		m.errFuncs = make(map[string]bool)
-		for _, pkg := range m.Packages {
-			for _, f := range pkg.Files {
-				for _, decl := range f.AST.Decls {
-					fn, ok := decl.(*ast.FuncDecl)
-					if !ok || fn.Type.Results == nil {
-						continue
+	m.buildNameIndex()
+	return m.errFuncs[name]
+}
+
+// ResultCount reports how many results every module declaration named
+// name returns; ok is false when declarations disagree or none exist.
+// It backs errdrop's suggested fix, which must know how many blanks to
+// assign.
+func (m *Module) ResultCount(name string) (int, bool) {
+	m.buildNameIndex()
+	n, found := m.arityFuncs[name]
+	return n, found && n >= 0
+}
+
+// DeclaresFunc reports whether any module declaration carries the
+// name (with results).
+func (m *Module) DeclaresFunc(name string) bool {
+	m.buildNameIndex()
+	_, found := m.arityFuncs[name]
+	return found
+}
+
+func (m *Module) buildNameIndex() {
+	if m.errFuncs != nil {
+		return
+	}
+	m.errFuncs = make(map[string]bool)
+	m.arityFuncs = make(map[string]int)
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Type.Results == nil {
+					continue
+				}
+				count := 0
+				for _, res := range fn.Type.Results.List {
+					if len(res.Names) == 0 {
+						count++
+					} else {
+						count += len(res.Names)
 					}
-					for _, res := range fn.Type.Results.List {
-						if id, ok := res.Type.(*ast.Ident); ok && id.Name == "error" {
-							m.errFuncs[fn.Name.Name] = true
-							break
-						}
+					if id, ok := res.Type.(*ast.Ident); ok && id.Name == "error" {
+						m.errFuncs[fn.Name.Name] = true
 					}
+				}
+				if have, seen := m.arityFuncs[fn.Name.Name]; seen && have != count {
+					m.arityFuncs[fn.Name.Name] = -1
+				} else if !seen {
+					m.arityFuncs[fn.Name.Name] = count
 				}
 			}
 		}
 	}
-	return m.errFuncs[name]
 }

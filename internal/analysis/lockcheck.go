@@ -29,6 +29,10 @@ var Lockcheck = &Analyzer{
 	Doc: "locks must be released in the same function, and exported methods " +
 		"of lock-bearing types must lock before touching guarded fields",
 	Run: runLockcheck,
+	// Typed since the interprocedural engine landed: guarded-field
+	// resolution uses real type info, falling back to the syntactic
+	// convention scan when the tree does not type-check.
+	NeedsTypes: true,
 }
 
 // lockInfo describes one lock-bearing struct type.
@@ -37,6 +41,11 @@ type lockInfo struct {
 	embedded   bool
 	guarded    []string          // fields declared after the mutex, in order
 	fieldType  map[string]string // guarded field name -> local named type ("" if other)
+	// selfGuarded marks guarded fields whose own type carries a mutex
+	// (resolved through real type information, so cross-package
+	// lock-bearing types count too). Only populated on the typed path;
+	// the syntactic path approximates through fieldType + locked.
+	selfGuarded map[string]bool
 }
 
 func (li *lockInfo) isGuarded(name string) bool {
@@ -49,7 +58,15 @@ func (li *lockInfo) isGuarded(name string) bool {
 }
 
 func runLockcheck(pass *Pass) {
-	locked := collectLockInfo(pass.Pkg)
+	// Guarded-field resolution prefers real type information: mutex
+	// fields are matched by type identity (alias-proof), and the
+	// field-guards-itself exemption sees through pointers and package
+	// boundaries. Trees that do not type-check (broken fixtures) fall
+	// back to the original syntactic convention scan.
+	locked := collectLockInfoTyped(pass)
+	if locked == nil {
+		locked = collectLockInfo(pass.Pkg)
+	}
 
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.AST.Decls {
@@ -63,6 +80,53 @@ func runLockcheck(pass *Pass) {
 			}
 		}
 	}
+}
+
+// collectLockInfoTyped builds the lock-bearing type table from the
+// package's type information: the first field of type sync.Mutex or
+// sync.RWMutex (by type identity, not spelling) starts the guarded
+// region, and a guarded field is exempt when its own type — resolved
+// through pointers and across packages — carries a mutex of its own.
+// Returns nil when the package has no usable type information.
+func collectLockInfoTyped(pass *Pass) map[string]*lockInfo {
+	ti := pass.TypeInfo()
+	if ti == nil || ti.Pkg == nil || len(ti.Errors) > 0 {
+		return nil
+	}
+	out := make(map[string]*lockInfo)
+	scope := ti.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		_, st := namedStructOf(tn.Type())
+		if st == nil {
+			continue
+		}
+		info := &lockInfo{fieldType: make(map[string]string), selfGuarded: make(map[string]bool)}
+		seenMutex := false
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !seenMutex {
+				if isMutexType(field.Type()) {
+					info.mutexField = field.Name()
+					info.embedded = field.Embedded()
+					seenMutex = true
+				}
+				continue
+			}
+			info.guarded = append(info.guarded, field.Name())
+			if fn, fst := namedStructOf(field.Type()); fst != nil {
+				info.fieldType[field.Name()] = fn.Obj().Name()
+				info.selfGuarded[field.Name()] = structHasMutex(fst)
+			}
+		}
+		if seenMutex {
+			out[tn.Name()] = info
+		}
+	}
+	return out
 }
 
 // collectLockInfo scans the package's struct declarations for
@@ -175,10 +239,25 @@ func checkLockPairing(pass *Pass, fn *ast.FuncDecl) {
 	})
 	for _, a := range acquired {
 		if !released[a.recv+"\x00"+lockVerbs[a.verb]] {
-			pass.Reportf(a.node.Pos(), "%s.%s() is never released in this function: pair it with defer %s.%s()",
+			pass.ReportFix(a.node.Pos(), pairingFix(pass, a.recv, lockVerbs[a.verb], a.node),
+				"%s.%s() is never released in this function: pair it with defer %s.%s()",
 				a.recv, a.verb, a.recv, lockVerbs[a.verb])
 		}
 	}
+}
+
+// pairingFix proposes inserting `defer recv.Unlock()` directly after
+// the unpaired acquisition, indented to the acquisition's column.
+func pairingFix(pass *Pass, recv, release string, call *ast.CallExpr) []SuggestedFix {
+	col := pass.Position(call.Pos()).Column
+	indent := "\n"
+	for i := 1; i < col; i++ {
+		indent += "\t"
+	}
+	return []SuggestedFix{{
+		Message: "release on exit with defer " + recv + "." + release + "()",
+		Edits:   []TextEdit{pass.Edit(call.End(), call.End(), indent+"defer "+recv+"."+release+"()")},
+	}}
 }
 
 // checkGuardedFields flags exported methods of lock-bearing types that
@@ -236,8 +315,15 @@ func checkGuardedFields(pass *Pass, fn *ast.FuncDecl, locked map[string]*lockInf
 			return true
 		}
 		// A field whose own type is lock-bearing guards itself; the
-		// pointer/value read here is construction-time immutable.
-		if ftype := info.fieldType[sel.Sel.Name]; ftype != "" && locked[ftype] != nil {
+		// pointer/value read here is construction-time immutable. On
+		// the typed path the exemption is resolved by type identity
+		// (selfGuarded); syntactically it falls back to same-package
+		// name lookup.
+		if info.selfGuarded != nil {
+			if info.selfGuarded[sel.Sel.Name] {
+				return true
+			}
+		} else if ftype := info.fieldType[sel.Sel.Name]; ftype != "" && locked[ftype] != nil {
 			return true
 		}
 		mutex := "the " + info.mutexField + " lock"

@@ -2,7 +2,7 @@ package analysis
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Atomiccheck, Clockcheck, Errdrop, Lockcheck, Printcheck, Spancheck, Stampcheck}
+	return []*Analyzer{Atomiccheck, Clockcheck, Errdrop, Failclosedcheck, Flowcheck, Lockcheck, Lockordercheck, Printcheck, Spancheck, Stampcheck}
 }
 
 // ByName resolves an analyzer by its Name, or nil.

@@ -1,0 +1,3 @@
+module failfix
+
+go 1.22

@@ -1,0 +1,92 @@
+// Package kernel is the failclosedcheck fixture's mediation layer:
+// decision functions whose error paths must fail closed.
+package kernel
+
+import (
+	"errors"
+
+	"failfix/monitor"
+)
+
+// Kernel mediates operations through the monitor.
+type Kernel struct {
+	mon *monitor.Monitor
+}
+
+// errTransient models an I/O fault surfacing mid-decision.
+var errTransient = errors.New("transient fault")
+
+// OpenGood covers every error path: the pre-mediation failure is
+// exempt, the two aborts record denials before surfacing.
+func (k *Kernel) OpenGood(pid int, faulty bool) error {
+	if pid == 0 {
+		return errors.New("no such process") // pre-mediation: exempt
+	}
+	ok, err := k.mon.Decide(pid)
+	if err != nil {
+		k.mon.RecordDenial(pid)
+		return err
+	}
+	if faulty {
+		k.mon.SetDegraded("fault during open")
+		return errTransient
+	}
+	if !ok {
+		k.mon.RecordDenial(pid)
+		return monitor.ErrDenied
+	}
+	return nil
+}
+
+// OpenBad drops the decision error on the floor: the abort path
+// surfaces without any denial record or degradation.
+func (k *Kernel) OpenBad(pid int) error {
+	ok, err := k.mon.Decide(pid)
+	if err != nil {
+		return err // want "without fail-closed handling"
+	}
+	if !ok {
+		return monitor.ErrDenied // want "without fail-closed handling"
+	}
+	return nil
+}
+
+// OpenViaHelper fails closed through kernel.abort → monitor.AuditAbort
+// → monitor.RecordDenial: two interprocedural hops, covered by the
+// FailsClosed fact.
+func (k *Kernel) OpenViaHelper(pid int) error {
+	ok, err := k.mon.Decide(pid)
+	if err != nil {
+		k.abort(pid)
+		return err
+	}
+	if !ok {
+		k.abort(pid)
+		return monitor.ErrDenied
+	}
+	return nil
+}
+
+// abort inherits FailsClosed from monitor.AuditAbort.
+func (k *Kernel) abort(pid int) {
+	k.mon.AuditAbort(pid)
+}
+
+// OpenSuppressed is the dropped-error path with a reasoned allow.
+func (k *Kernel) OpenSuppressed(pid int) error {
+	_, err := k.mon.Decide(pid)
+	if err != nil {
+		//overhaul:allow failclosedcheck decision error here means the store is empty, which later decisions deny by staleness
+		return err
+	}
+	return nil
+}
+
+// Stat never consults the monitor: not a decision function, its error
+// returns are out of scope.
+func (k *Kernel) Stat(pid int) (int, error) {
+	if pid < 0 {
+		return 0, errors.New("bad pid")
+	}
+	return pid, nil
+}

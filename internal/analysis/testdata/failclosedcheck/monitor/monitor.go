@@ -1,0 +1,39 @@
+// Package monitor is the failclosedcheck fixture's decision service:
+// the base handlers plus a helper whose FailsClosed fact must cross
+// the package boundary into kernel.
+package monitor
+
+import "errors"
+
+// ErrDenied is the canonical denial.
+var ErrDenied = errors.New("denied")
+
+// Monitor decides and audits.
+type Monitor struct {
+	denials int
+	degrade string
+}
+
+// Decide evaluates pid and can fail.
+func (m *Monitor) Decide(pid int) (bool, error) {
+	if pid < 0 {
+		return false, errors.New("bad pid")
+	}
+	return pid%2 == 0, nil
+}
+
+// RecordDenial is a base fail-closed handler.
+func (m *Monitor) RecordDenial(pid int) {
+	m.denials++
+}
+
+// SetDegraded is a base fail-closed handler.
+func (m *Monitor) SetDegraded(why string) {
+	m.degrade = why
+}
+
+// AuditAbort records the denial on behalf of callers; the FailsClosed
+// fact it earns here is what kernel's helper path relies on.
+func (m *Monitor) AuditAbort(pid int) {
+	m.RecordDenial(pid)
+}

@@ -1,0 +1,18 @@
+// Package clock is the fixture's single injectable time source,
+// mirroring overhaul/internal/clock.
+package clock
+
+import "time"
+
+// Clock is the only sanctioned way to read time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Simulated is a trivial deterministic clock.
+type Simulated struct {
+	T time.Time
+}
+
+// Now returns the simulated instant.
+func (s *Simulated) Now() time.Time { return s.T }

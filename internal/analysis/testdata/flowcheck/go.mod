@@ -1,0 +1,3 @@
+module flowfix
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package monitor is the flowcheck fixture's decision core: grant
+// gating (rule A) and stamp minting (rule B), with positive, negative,
+// and suppressed variants of each.
+package monitor
+
+import (
+	"time"
+
+	"flowfix/clock"
+	"flowfix/timeutil"
+)
+
+// Verdict is an access decision.
+type Verdict int
+
+// The verdict domain.
+const (
+	VerdictDeny Verdict = iota
+	VerdictGrant
+)
+
+// Monitor owns the stamp store and the decision path.
+type Monitor struct {
+	clk       clock.Clock
+	threshold time.Duration
+	boot      time.Time
+	force     bool
+	stamps    map[int]time.Time
+	queue     pendingStamp
+}
+
+// pendingStamp buffers a stamp between mint and apply; its Time field
+// carries taint through the struct.
+type pendingStamp struct {
+	PID  int
+	Time time.Time
+}
+
+// InteractionStamp is the stamp store's read API: its result is stamp
+// evidence by definition.
+func (m *Monitor) InteractionStamp(pid int) (time.Time, bool) {
+	t, ok := m.stamps[pid]
+	return t, ok
+}
+
+// SetInteractionStamp is the stamp store's write API: rule B checks
+// its call sites.
+func (m *Monitor) SetInteractionStamp(pid int, t time.Time) {
+	m.stamps[pid] = t
+}
+
+// DecideGood gates the grant on a stamp-derived freshness comparison:
+// the canonical shape, no findings.
+func (m *Monitor) DecideGood(pid int, opTime time.Time) Verdict {
+	stamp, ok := m.InteractionStamp(pid)
+	if !ok {
+		return VerdictDeny
+	}
+	if opTime.Sub(stamp) < m.threshold {
+		return VerdictGrant
+	}
+	return VerdictDeny
+}
+
+// DecideUntaintedGuard compares against the boot time instead of the
+// stamp store: the freshness check exists but proves nothing about
+// user input.
+func (m *Monitor) DecideUntaintedGuard(pid int, opTime time.Time) Verdict {
+	if opTime.Sub(m.boot) < m.threshold {
+		return VerdictGrant // want "not derived from the interaction-stamp store"
+	}
+	return VerdictDeny
+}
+
+// DecideUngated issues a grant on a branch with no freshness guard at
+// all, in a function that does check freshness elsewhere.
+func (m *Monitor) DecideUngated(pid int, opTime time.Time) Verdict {
+	if m.force {
+		return VerdictGrant // want "without a governing freshness comparison"
+	}
+	stamp, ok := m.InteractionStamp(pid)
+	if ok && opTime.Sub(stamp) < m.threshold {
+		return VerdictGrant
+	}
+	return VerdictDeny
+}
+
+// DecideSwitch mirrors the real monitor's tagless-switch shape.
+func (m *Monitor) DecideSwitch(pid int, opTime time.Time) Verdict {
+	stamp, ok := m.InteractionStamp(pid)
+	switch {
+	case !ok:
+		return VerdictDeny
+	case opTime.Sub(stamp) < m.threshold:
+		return VerdictGrant
+	case m.force:
+		return VerdictGrant // want "without a governing freshness comparison"
+	}
+	return VerdictDeny
+}
+
+// DecideSuppressed carries the same defect with a reasoned allow.
+func (m *Monitor) DecideSuppressed(pid int, opTime time.Time) Verdict {
+	if m.force {
+		//overhaul:allow flowcheck benchmark mode pins the verdict to measure overhead
+		return VerdictGrant
+	}
+	stamp, ok := m.InteractionStamp(pid)
+	if ok && opTime.Sub(stamp) < m.threshold {
+		return VerdictGrant
+	}
+	return VerdictDeny
+}
+
+// Tally enumerates the verdict domain without issuing anything; the
+// Duration comparison makes it a freshness-checking function, but the
+// slice literal must not count as issuance.
+func (m *Monitor) Tally(ages []time.Duration) map[Verdict]int {
+	out := make(map[Verdict]int)
+	for _, age := range ages {
+		for _, v := range []Verdict{VerdictGrant, VerdictDeny} {
+			if age < m.threshold {
+				out[v]++
+			}
+		}
+	}
+	return out
+}
+
+// MintGood stamps from the hardware clock directly.
+func (m *Monitor) MintGood(pid int) {
+	m.SetInteractionStamp(pid, m.clk.Now())
+}
+
+// MintViaHelper stamps through the cross-package helper: the clock
+// taint arrives via timeutil.FromClock's result summary fact.
+func (m *Monitor) MintViaHelper(pid int) {
+	m.SetInteractionStamp(pid, timeutil.FromClock(m.clk))
+}
+
+// MintViaField routes the clock reading through a struct field.
+func (m *Monitor) MintViaField(pid int) {
+	m.queue = pendingStamp{PID: pid, Time: m.clk.Now()}
+	m.SetInteractionStamp(m.queue.PID, m.queue.Time)
+}
+
+// Adopt forwards a caller-supplied stamp: parameter passthrough is
+// exempt, the caller's own call site is where the value is checked.
+func (m *Monitor) Adopt(pid int, t time.Time) {
+	m.SetInteractionStamp(pid, t)
+}
+
+// MintForged fabricates the stamp.
+func (m *Monitor) MintForged(pid int) {
+	m.SetInteractionStamp(pid, time.Unix(0, 42)) // want "not derived from the hardware clock"
+}
+
+// MintForgedHelper launders the fabrication through a helper, which
+// the cross-package summary still sees through.
+func (m *Monitor) MintForgedHelper(pid int) {
+	m.SetInteractionStamp(pid, timeutil.Forged()) // want "not derived from the hardware clock"
+}
+
+// MintSuppressed is the forged mint with a reasoned allow.
+func (m *Monitor) MintSuppressed(pid int) {
+	//overhaul:allow flowcheck replay tooling reconstructs stamps from a recorded trace
+	m.SetInteractionStamp(pid, time.Unix(0, 99))
+}

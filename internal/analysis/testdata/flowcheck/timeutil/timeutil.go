@@ -1,0 +1,19 @@
+// Package timeutil exists to carry taint across a package boundary:
+// FromClock's result summary (clock taint) is a fact monitor consumes.
+package timeutil
+
+import (
+	"time"
+
+	"flowfix/clock"
+)
+
+// FromClock reads the hardware clock through one indirection.
+func FromClock(c clock.Clock) time.Time {
+	return c.Now()
+}
+
+// Forged fabricates a timestamp from thin air.
+func Forged() time.Time {
+	return time.Unix(0, 42)
+}

@@ -1,0 +1,16 @@
+// Package app closes the cycle: it holds the audit log while taking
+// the registry lock, the reverse of registry.Register's order.
+package app
+
+import (
+	"lockfix/audit"
+	"lockfix/registry"
+)
+
+// Drain snapshots under the log lock, then touches the registry.
+func Drain(log *audit.Log, reg *registry.Registry) {
+	log.Lock()
+	defer log.Unlock()
+	reg.Lock() // want "lock-order cycle"
+	reg.Unlock()
+}

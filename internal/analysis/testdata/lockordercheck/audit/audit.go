@@ -1,0 +1,18 @@
+// Package audit is one half of the cross-package lock-order cycle.
+package audit
+
+import "sync"
+
+// Log embeds its mutex so other packages participate in its class.
+type Log struct {
+	sync.Mutex
+	entries []string
+}
+
+// Append acquires the log lock; its Acquires fact travels to
+// registry's caller.
+func (l *Log) Append(line string) {
+	l.Lock()
+	defer l.Unlock()
+	l.entries = append(l.entries, line)
+}

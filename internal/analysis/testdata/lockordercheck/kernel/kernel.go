@@ -1,0 +1,77 @@
+// Package kernel is the lockordercheck fixture's sharded side:
+// cross-shard acquisitions, the sequential (legal) walk, a recursive
+// self-lock, and a suppressed variant on a second sharded class.
+package kernel
+
+import "sync"
+
+// shard is one slice of the process table; the containing array makes
+// it a sharded lock class.
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Table is the sharded structure.
+type Table struct {
+	shards [4]shard
+}
+
+// Move acquires a second shard while one is held: the cross-shard
+// nesting the convention forbids.
+func (t *Table) Move(i, j int) {
+	t.shards[i].mu.Lock()
+	defer t.shards[i].mu.Unlock()
+	t.shards[j].mu.Lock() // want "cross-shard acquisition"
+	defer t.shards[j].mu.Unlock()
+	t.shards[j].n += t.shards[i].n
+	t.shards[i].n = 0
+}
+
+// Sum locks shards one at a time: the sanctioned pattern, no finding.
+func (t *Table) Sum() int {
+	total := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		total += t.shards[i].n
+		t.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// Counter is an unsharded class used for the recursive-lock case.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Double re-locks a mutex it already holds.
+func (c *Counter) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want "recursive acquisition"
+	c.n *= 2
+	c.mu.Unlock()
+}
+
+// bshard is a second sharded class, so the suppressed edge below is
+// distinct from Move's.
+type bshard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BTable shards bshard.
+type BTable struct {
+	shards []bshard
+}
+
+// Rebalance nests across shards under an explicit, reasoned allow.
+func (b *BTable) Rebalance(i, j int) {
+	b.shards[i].mu.Lock()
+	defer b.shards[i].mu.Unlock()
+	//overhaul:allow lockordercheck rebalance holds both shards by design; callers serialize through the table owner
+	b.shards[j].mu.Lock()
+	defer b.shards[j].mu.Unlock()
+	b.shards[i].n, b.shards[j].n = b.shards[j].n, b.shards[i].n
+}

@@ -1,0 +1,24 @@
+// Package registry holds its own lock while appending to the audit
+// log: the Registry→Log edge of the cycle, discovered through
+// Append's Acquires fact rather than a visible Lock call.
+package registry
+
+import (
+	"sync"
+
+	"lockfix/audit"
+)
+
+// Registry embeds its mutex.
+type Registry struct {
+	sync.Mutex
+	names map[string]int
+}
+
+// Register writes the registry and audits while holding it.
+func (r *Registry) Register(log *audit.Log, name string) {
+	r.Lock()
+	defer r.Unlock()
+	r.names[name]++
+	log.Append(name) // want "lock-order cycle"
+}

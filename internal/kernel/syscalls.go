@@ -127,6 +127,7 @@ func (k *Kernel) Create(p *Process, path string, mode fs.Mode) (*fs.Handle, erro
 	}
 	if sensitive {
 		if verdict := k.mon.Decide(p.pid, opForClass(class), k.clk.Now()); verdict != monitor.VerdictGrant {
+			//overhaul:allow failclosedcheck Decide audits its own deny (stats, audit shard, flight recorder); RecordDenial here would double-count the denial
 			return nil, fmt.Errorf("create %s (%s): %w", path, class, ErrAccessDenied)
 		}
 	}

@@ -579,8 +579,10 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 	reason := ""
 	switch {
 	case m.force:
+		//overhaul:allow flowcheck force-grant deliberately bypasses freshness: benchmark mode measures mediation overhead with the verdict pinned
 		verdict, reason = VerdictGrant, "force-grant (benchmark mode)"
 	case !m.enforce:
+		//overhaul:allow flowcheck observe-only mode grants by policy while still recording stamp age; enforcement is the ablation axis
 		verdict, reason = VerdictGrant, "observe-only mode"
 	case degraded != "":
 		// Fail closed: a decision path whose trusted substrate is
