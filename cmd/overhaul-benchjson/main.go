@@ -203,7 +203,7 @@ func normalizeCPUFamilies(entries map[string]Entry) map[string]Entry {
 // ns/op are dominated by configured synthetic work.
 const maxNsRatio = 1.25
 
-var gatedPrefixes = []string{"BenchmarkMicro", "BenchmarkDecide", "BenchmarkParallel"}
+var gatedPrefixes = []string{"BenchmarkMicro", "BenchmarkDecide", "BenchmarkParallel", "BenchmarkFleet"}
 
 func gated(name string) bool {
 	for _, p := range gatedPrefixes {

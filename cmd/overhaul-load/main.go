@@ -1,0 +1,268 @@
+// Command overhaul-load drives a fleet of Overhaul sessions with
+// open-loop traffic and reports sustained throughput and decision
+// latency quantiles.
+//
+// Usage:
+//
+//	overhaul-load [-sessions n] [-duration d] [-mix name] [-workers n]
+//	              [-seed n] [-json]
+//
+// The generator is open-loop: every event has a scheduled arrival time
+// drawn from the mix's arrival process before the run starts ticking,
+// and latency is measured from that *scheduled* time to completion —
+// never from when the generator got around to sending. A closed-loop
+// generator silently self-throttles when the system under test slows
+// down (coordinated omission); this one instead accumulates lateness
+// into the reported quantiles, which is the honest number for "can one
+// machine hold N desks".
+//
+// Traffic mixes come from internal/workload: "poisson-desks"
+// (independent interactive users), "bot-storm" (bursty automated
+// probing, nearly all denials), and "spyware-heavy" (the §V-D stealer's
+// poll cycle at fleet scale). Per-worker latency histograms are merged
+// after the run, so recording never contends across workers.
+//
+// With -json the report is a map keyed like sub-benchmarks
+// (BenchmarkFleetLoad/mix=…/sessions=…/metric=…) with ns_per_op
+// values, the exact shape overhaul-benchjson -check validates — CI's
+// fleet smoke job pipes one through it.
+package main
+
+import (
+	"container/heap"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"overhaul/internal/clock"
+	"overhaul/internal/fleet"
+	"overhaul/internal/monitor"
+	"overhaul/internal/telemetry"
+	"overhaul/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sessions := flag.Int("sessions", 1000, "number of concurrent sessions to boot")
+	duration := flag.Duration("duration", 10*time.Second, "measured load duration")
+	mixName := flag.String("mix", "poisson-desks", "traffic mix: poisson-desks, bot-storm, or spyware-heavy")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "generator workers (sessions are partitioned across them)")
+	seed := flag.Int64("seed", 1, "base seed for the per-session traffic streams")
+	asJSON := flag.Bool("json", false, "emit the report as benchjson-compatible JSON")
+	flag.Parse()
+
+	if *sessions <= 0 {
+		return fmt.Errorf("need at least one session")
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("need at least one worker")
+	}
+	if *workers > *sessions {
+		*workers = *sessions
+	}
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+
+	rep, err := generate(mix, *sessions, *workers, *duration, *seed)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep.benchEntries(mix.Name, *sessions))
+	}
+	rep.print(os.Stdout, mix.Name, *sessions, *workers)
+	return nil
+}
+
+// report is the outcome of one load run.
+type report struct {
+	bootTime  time.Duration
+	elapsed   time.Duration
+	events    uint64
+	decisions uint64
+	notifies  uint64
+	lat       *telemetry.LatencyHist
+	stats     fleet.FleetStats
+}
+
+// loadSession is one session's generator-side state: its event stream
+// and the already-drawn next event.
+type loadSession struct {
+	sess   *fleet.Session
+	id     uint64
+	pid    int
+	stream *workload.MixStream
+	next   workload.FleetEvent
+	nextAt int64 // scheduled arrival, unix nanos
+}
+
+// sessionHeap orders a worker's sessions by next scheduled arrival.
+type sessionHeap []*loadSession
+
+func (h sessionHeap) Len() int           { return len(h) }
+func (h sessionHeap) Less(i, j int) bool { return h[i].nextAt < h[j].nextAt }
+func (h sessionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sessionHeap) Push(x any)        { *h = append(*h, x.(*loadSession)) }
+func (h *sessionHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// generate boots the fleet, partitions sessions across workers, and
+// runs the open-loop load for the configured duration.
+func generate(mix workload.FleetMix, sessions, workers int, duration time.Duration, seed int64) (*report, error) {
+	f, err := fleet.New(fleet.Config{Policy: monitor.Policy{Enforce: true}})
+	if err != nil {
+		return nil, err
+	}
+
+	clk := clock.System{}
+	booted := make([]*loadSession, sessions)
+	bootStart := clk.Now()
+	for i := range booted {
+		s := f.CreateSession()
+		pid, err := s.Spawn()
+		if err != nil {
+			return nil, err
+		}
+		booted[i] = &loadSession{
+			sess:   s,
+			id:     s.ID(),
+			pid:    pid,
+			stream: mix.Stream(seed + int64(i)),
+		}
+	}
+	bootTime := clk.Now().Sub(bootStart)
+
+	start := clk.Now().Add(50 * time.Millisecond) // all workers start on one schedule origin
+	deadline := start.Add(duration)
+
+	// Partition round-robin and pre-draw each session's first arrival.
+	parts := make([]sessionHeap, workers)
+	for i, ls := range booted {
+		ls.next = ls.stream.Next()
+		ls.nextAt = start.UnixNano() + int64(ls.next.Gap)
+		parts[i%workers] = append(parts[i%workers], ls)
+	}
+
+	hists := make([]*telemetry.LatencyHist, workers)
+	counts := make([]struct{ events, decisions, notifies uint64 }, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		hists[w] = &telemetry.LatencyHist{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := parts[w]
+			heap.Init(&h)
+			hist := hists[w]
+			end := deadline.UnixNano()
+			for len(h) > 0 {
+				ls := h[0]
+				if ls.nextAt >= end {
+					break // every remaining arrival is past the deadline
+				}
+				// Open loop: sleep until the scheduled arrival if we are
+				// early; if we are late, fire immediately and let the
+				// lateness land in the measured latency.
+				if wait := ls.nextAt - clk.Now().UnixNano(); wait > 0 {
+					time.Sleep(time.Duration(wait)) //overhaul:allow clockcheck open-loop pacing waits real wall time until the scheduled arrival
+				}
+				ev := ls.next
+				var err error
+				if ev.Notify {
+					err = ls.sess.NotifyNanos(ls.pid, ls.nextAt)
+					counts[w].notifies++
+				} else {
+					_, err = ls.sess.DecideNanos(ls.pid, ev.Op, ls.nextAt)
+					counts[w].decisions++
+				}
+				if err != nil {
+					// Lifecycle errors cannot happen here (the generator
+					// owns its sessions); anything else is a bug worth
+					// dying loudly for in a load tool.
+					panic(err)
+				}
+				hist.Observe(time.Duration(clk.Now().UnixNano() - ls.nextAt))
+				counts[w].events++
+				ev2 := ls.stream.Next()
+				ls.next = ev2
+				ls.nextAt += int64(ev2.Gap)
+				heap.Fix(&h, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := clk.Now().Sub(start)
+	if elapsed > duration {
+		elapsed = duration // idle tail after the last pre-deadline arrival
+	}
+
+	rep := &report{bootTime: bootTime, elapsed: elapsed, lat: &telemetry.LatencyHist{}, stats: f.StatsSnapshot()}
+	for w := 0; w < workers; w++ {
+		rep.lat.Merge(hists[w])
+		rep.events += counts[w].events
+		rep.decisions += counts[w].decisions
+		rep.notifies += counts[w].notifies
+	}
+	return rep, nil
+}
+
+// benchEntry mirrors overhaul-benchjson's Entry.
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchEntries renders the report as a benchjson-compatible map:
+// latency quantiles and mean inter-completion time (1e9 / throughput),
+// all in nanoseconds.
+func (r *report) benchEntries(mix string, sessions int) map[string]benchEntry {
+	prefix := fmt.Sprintf("BenchmarkFleetLoad/mix=%s/sessions=%d", mix, sessions)
+	s := r.lat.Summary()
+	out := map[string]benchEntry{
+		prefix + "/metric=p50":  {NsPerOp: nonZero(float64(s.P50))},
+		prefix + "/metric=p99":  {NsPerOp: nonZero(float64(s.P99))},
+		prefix + "/metric=p999": {NsPerOp: nonZero(float64(s.P999))},
+		prefix + "/metric=max":  {NsPerOp: nonZero(float64(s.Max))},
+	}
+	if r.events > 0 && r.elapsed > 0 {
+		out[prefix+"/metric=interarrival"] = benchEntry{NsPerOp: float64(r.elapsed) / float64(r.events)}
+	}
+	return out
+}
+
+// nonZero clamps to 1ns: a sub-resolution quantile is still a valid
+// measurement, and benchjson -check rejects non-positive ns/op.
+func nonZero(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// print renders the human report.
+func (r *report) print(w *os.File, mix string, sessions, workers int) {
+	s := r.lat.Summary()
+	fmt.Fprintf(w, "fleet load: mix=%s sessions=%d workers=%d\n", mix, sessions, workers)
+	fmt.Fprintf(w, "  boot: %d sessions in %v (%.0f sessions/sec)\n",
+		sessions, r.bootTime.Round(time.Microsecond), float64(sessions)/r.bootTime.Seconds())
+	fmt.Fprintf(w, "  ran %v: %d events (%d decisions, %d notifications), %.0f events/sec\n",
+		r.elapsed.Round(time.Millisecond), r.events, r.decisions, r.notifies,
+		float64(r.events)/r.elapsed.Seconds())
+	fmt.Fprintf(w, "  decisions: %d grants, %d denials, %d audit drops\n",
+		r.stats.Grants, r.stats.Denials, r.stats.DroppedAudit)
+	fmt.Fprintf(w, "  latency (scheduled→done): p50=%v p90=%v p99=%v p999=%v max=%v\n",
+		s.P50, s.P90, s.P99, s.P999, s.Max)
+}

@@ -13,6 +13,16 @@
 //	overhaul-top -json     # the full telemetry snapshot as JSON
 //	overhaul-top -trace 4  # the span tree of the trace containing span 4
 //	overhaul-top -watch    # re-render the dashboard after each round
+//
+// Fleet mode aggregates across many sessions instead of tracing one
+// system: it boots a fleet, replays a deterministic traffic mix into
+// every session, and prints fleet-wide totals plus the sessions with
+// the most denials (the malware signature an operator hunts for).
+//
+//	overhaul-top -fleet 64                # fleet totals + top sessions
+//	overhaul-top -fleet 64 -mix bot-storm # a hostile mix
+//	overhaul-top -fleet 64 -session 7     # one session's counters + audit
+//	overhaul-top -fleet 64 -json          # the whole aggregation as JSON
 package main
 
 import (
@@ -37,7 +47,19 @@ func run() int {
 	traceSpan := flag.Uint64("trace", 0, "print the span tree of the trace containing this span ID")
 	watch := flag.Bool("watch", false, "render the dashboard after every workload round")
 	rounds := flag.Int("rounds", 3, "number of interaction rounds to replay")
+	fleetN := flag.Int("fleet", 0, "fleet mode: boot this many sessions and aggregate across them")
+	fleetEvents := flag.Int("events", 200, "fleet mode: mix events replayed per session")
+	fleetMix := flag.String("mix", "poisson-desks", "fleet mode: traffic mix to replay")
+	session := flag.Uint64("session", 0, "fleet mode: show this one session instead of the aggregate")
 	flag.Parse()
+
+	if *fleetN > 0 {
+		return runFleet(*fleetN, *fleetEvents, *fleetMix, *session, *jsonOut)
+	}
+	if *session != 0 {
+		fmt.Fprintln(os.Stderr, "overhaul-top: -session requires -fleet")
+		return 2
+	}
 
 	clk := clock.NewSimulated()
 	tel := telemetry.New(clk)

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"overhaul/internal/clock"
@@ -73,6 +74,16 @@ type (
 	// alertMsg is V_{A,op}, kernel → display server.
 	alertMsg monitor.AlertRequest
 )
+
+// alertMsgPool recycles the *alertMsg boxes the alert path sends over
+// the netlink channel. Passing an alertMsg by value through the `any`
+// message parameter boxes it — one heap allocation per granted
+// alert-set operation, which was the last allocation on the
+// instrumented decision path. The hub is fully synchronous (Call and
+// CallUser invoke handlers inline, including the duplicate-delivery
+// fault), so the box is dead as soon as callUser returns and can go
+// straight back to the pool.
+var alertMsgPool = sync.Pool{New: func() any { return new(alertMsg) }}
 
 // ErrUnknownMessage is returned by netlink handlers for unexpected
 // payloads.
@@ -348,12 +359,18 @@ func Boot(opts Options) (*System, error) {
 	// alert requests.
 	var x *xserver.Server
 	sys.userHandler = func(msg any) (any, error) {
-		m, ok := msg.(alertMsg)
-		if !ok {
+		switch m := msg.(type) {
+		case *alertMsg:
+			// ShowAlert copies the request; the box stays owned by the
+			// sender, which pools it after the synchronous call returns.
+			x.ShowAlert(monitor.AlertRequest(*m))
+			return nil, nil
+		case alertMsg:
+			x.ShowAlert(monitor.AlertRequest(m))
+			return nil, nil
+		default:
 			return nil, fmt.Errorf("%w: %T", ErrUnknownMessage, msg)
 		}
-		x.ShowAlert(monitor.AlertRequest(m))
-		return nil, nil
 	}
 	conn, err := hub.Connect(xProc.PID(), sys.userHandler)
 	if err != nil {
@@ -393,7 +410,11 @@ func Boot(opts Options) (*System, error) {
 		span := tel.StartSpan(req.Ctx, "netlink", "alert_call")
 		defer span.End()
 		req.Ctx = span.Context()
-		_, _ = sys.ch.callUser(alertMsg(req))
+		m := alertMsgPool.Get().(*alertMsg)
+		*m = alertMsg(req)
+		_, _ = sys.ch.callUser(m)
+		*m = alertMsg{}
+		alertMsgPool.Put(m)
 	})
 
 	// Start the trusted devfs helper and attach the standard sensors.

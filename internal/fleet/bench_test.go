@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"overhaul/internal/monitor"
+)
+
+// BenchmarkFleetDecide measures one Dispatch'd decision while the
+// fleet holds N live sessions, round-robining requests across all of
+// them. Scaling N from 10 to 10k shows what session count itself costs
+// the decision path (ingress routing plus cache pressure from 10k
+// separate stamp tables) — per-decision work is constant, so the rows
+// should stay near-flat and allocation-free. Gated by bench-compare
+// via the BenchmarkFleet prefix.
+func BenchmarkFleetDecide(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			f, err := New(Config{Policy: monitor.Policy{Enforce: true}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs := make([]Request, n)
+			opNanos := base.Add(time.Second).UnixNano()
+			for i := range reqs {
+				s := f.CreateSession()
+				pid, err := s.Spawn()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Notify(pid, base); err != nil {
+					b.Fatal(err)
+				}
+				reqs[i] = Request{SessionID: s.ID(), Kind: RequestDecide, PID: pid, Op: monitor.OpMic, Time: opNanos}
+			}
+			// Warm every session's audit ring so steady state is
+			// allocation-free from the first measured iteration.
+			for i := range reqs {
+				if _, err := f.Dispatch(reqs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Dispatch(reqs[i%n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetDispatchParallel drives the ingress from all CPUs at
+// once — the capacity-planning number: decisions per second one
+// machine sustains across a full fleet.
+func BenchmarkFleetDispatchParallel(b *testing.B) {
+	const n = 1000
+	f, err := New(Config{Policy: monitor.Policy{Enforce: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]Request, n)
+	opNanos := base.Add(time.Second).UnixNano()
+	for i := range reqs {
+		s := f.CreateSession()
+		pid, err := s.Spawn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Notify(pid, base); err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = Request{SessionID: s.ID(), Kind: RequestDecide, PID: pid, Op: monitor.OpMic, Time: opNanos}
+		if _, err := f.Dispatch(reqs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := f.Dispatch(reqs[i%n]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkFleetCreateSession measures session boot cost — the number
+// that says how fast a fleet can absorb a login storm.
+func BenchmarkFleetCreateSession(b *testing.B) {
+	f, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := f.CreateSession()
+		if _, err := s.Spawn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

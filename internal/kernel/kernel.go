@@ -122,8 +122,13 @@ type Kernel struct {
 	faults faultinject.Hook    // immutable after New
 	tel    *telemetry.Recorder // immutable after New; nil-safe
 
-	table       *procTable
-	nextPID     atomic.Int64
+	table   *procTable
+	nextPID atomic.Int64
+	// procPool recycles exited Process structs (type-stable task
+	// structs, the SLAB_TYPESAFE_BY_RCU analogue): Exit puts, Spawn and
+	// Fork get. Per-kernel so a struct's k pointer never changes, which
+	// keeps reincarnation races confined to the atomic fields.
+	procPool    sync.Pool
 	ptraceGuard atomic.Bool
 	stats       kernelStats
 	devRounds   int  // immutable after New
@@ -234,7 +239,14 @@ func (ts *taskStore) InteractionStamp(pid int) (time.Time, bool) {
 	if !ok {
 		return time.Time{}, false
 	}
-	return stampTime(p.stamp.Load()), true
+	stamp := p.slot.Time()
+	if p.pid.Load() != int64(pid) {
+		// The struct was recycled between the table lookup and the
+		// stamp read (Process structs are type-stable); the process we
+		// resolved is gone.
+		return time.Time{}, false
+	}
+	return stamp, true
 }
 
 // SetInteractionStamp implements monitor.TaskStore with newest-wins
@@ -248,14 +260,23 @@ func (ts *taskStore) SetInteractionStamp(pid int, t time.Time) error {
 
 // SetInteractionStampSpan implements monitor.SpanTaskStore: the stamp
 // and the span that minted it travel as one newest-wins unit, exactly
-// like the stamp alone does. The write is a lock-free CAS-max.
+// like the stamp alone does. The write is a lock-free CAS-max, run
+// under the pid's shard read lock: Exit's table.remove needs the write
+// lock and reincarnation happens only after remove, so a stamp can
+// never be adopted onto a recycled struct — the write-side counterpart
+// of the read-side pid re-check.
 func (ts *taskStore) SetInteractionStampSpan(pid int, t time.Time, ctx telemetry.SpanContext) error {
 	k := (*Kernel)(ts)
-	p, ok := k.table.get(pid)
+	sh := k.table.shard(pid)
+	sh.mu.RLock()
+	p, ok := sh.procs[pid]
+	if ok {
+		p.adoptStamp(t, ctx)
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return monitor.ErrNoSuchProcess
 	}
-	p.adoptStamp(t, ctx)
 	return nil
 }
 
@@ -266,7 +287,11 @@ func (ts *taskStore) InteractionSpan(pid int) (telemetry.SpanContext, bool) {
 	if !ok {
 		return telemetry.SpanContext{}, false
 	}
-	return p.StampSpan(), true
+	sc := p.StampSpan()
+	if p.pid.Load() != int64(pid) {
+		return telemetry.SpanContext{}, false
+	}
+	return sc, true
 }
 
 // PermissionsDisabled implements monitor.TaskStore: a process being
@@ -277,12 +302,16 @@ func (ts *taskStore) PermissionsDisabled(pid int) bool {
 		return false
 	}
 	p, ok := k.table.get(pid)
-	return ok && p.tracedBy.Load() != 0
+	return ok && p.tracedBy.Load() != 0 && p.pid.Load() == int64(pid)
 }
 
 // InteractionView implements monitor.FastTaskStore: everything a
-// permission decision needs in one shard read-lock plus three atomic
-// loads.
+// permission decision needs in one shard read-lock plus a handful of
+// atomic loads. The final pid re-check is the type-stable-memory
+// discipline: if the struct was reincarnated as a different process
+// between the lookup and the loads, the new pid (stored first during
+// reincarnation, so seq-cst ordering guarantees any new-incarnation
+// data implies a visible new pid) turns the read into a miss.
 func (ts *taskStore) InteractionView(pid int) (time.Time, telemetry.SpanContext, bool, bool) {
 	k := (*Kernel)(ts)
 	p, ok := k.table.get(pid)
@@ -290,7 +319,12 @@ func (ts *taskStore) InteractionView(pid int) (time.Time, telemetry.SpanContext,
 		return time.Time{}, telemetry.SpanContext{}, false, false
 	}
 	disabled := k.ptraceGuard.Load() && p.tracedBy.Load() != 0
-	return stampTime(p.stamp.Load()), p.StampSpan(), disabled, true
+	stamp := p.slot.Time()
+	sc := p.StampSpan()
+	if p.pid.Load() != int64(pid) {
+		return time.Time{}, telemetry.SpanContext{}, false, false
+	}
+	return stamp, sc, disabled, true
 }
 
 // --- introspection (netlink authentication) -----------------------------

@@ -18,25 +18,33 @@ import (
 // The fields the permission decision path reads — interaction stamp,
 // its minting span, and the tracer pid — are atomics, so a concurrent
 // Decide never blocks on a process mutating its own state.
+//
+// Process structs are type-stable: Exit returns the struct to a
+// per-kernel free list and a later Spawn/Fork may reincarnate it as a
+// different process (the SLAB_TYPESAFE_BY_RCU discipline — Linux
+// recycles task_structs the same way). PIDs themselves are never
+// reused, which is what makes recycling detectable: the lock-free read
+// path re-checks p.pid after its atomic loads and treats a mismatch as
+// "no such process". A *Process handle is therefore invalidated by
+// Exit; kernel subsystems always re-resolve pid → Process through the
+// table rather than caching handles across an exit.
 type Process struct {
-	k    *Kernel
-	pid  int
-	ppid int
+	k *Kernel
 
-	// stamp is the interaction timestamp (the Overhaul field) as unix
-	// nanos; see stampNanos. Written only through adoptStamp's CAS-max
-	// loop, so it is monotonically non-decreasing.
-	stamp atomic.Int64
-	// stampSpan is the trace span that minted stamp (nil when
-	// telemetry is off or the stamp arrived without context). It is
-	// updated and inherited in lockstep with stamp: fork copies it
-	// (P1) and IPC propagation carries it alongside the stamp (P2), so
-	// a permission query can always be traced back to the interaction
-	// that enables it. Under a CAS race the span may briefly describe
-	// a different write than the stamp; both are then authentic
-	// near-simultaneous interactions, and the skew only affects trace
-	// linkage, never the verdict.
-	stampSpan atomic.Pointer[telemetry.SpanContext]
+	// pid and ppid are atomics not because a process's ids ever change
+	// — they are fixed for one incarnation — but because reincarnation
+	// rewrites them while a stale lock-free reader may still hold the
+	// struct. reincarnate stores the new pid *before* resetting the
+	// stamp fields: under Go's seq-cst atomics a reader that observes
+	// any new-incarnation data and then re-checks the pid must observe
+	// the new pid and report a miss.
+	pid  atomic.Int64
+	ppid atomic.Int64
+
+	// slot is the interaction stamp + minting span (the Overhaul
+	// task_struct field), written only through StampSlot.Adopt's
+	// CAS-max loop on the live path.
+	slot StampSlot
 	// tracedBy is the tracer PID, 0 when not traced.
 	tracedBy atomic.Int32
 
@@ -49,10 +57,10 @@ type Process struct {
 }
 
 // PID returns the process identifier.
-func (p *Process) PID() int { return p.pid }
+func (p *Process) PID() int { return int(p.pid.Load()) }
 
 // PPID returns the parent's PID (0 for initial processes).
-func (p *Process) PPID() int { return p.ppid }
+func (p *Process) PPID() int { return int(p.ppid.Load()) }
 
 // Name returns the process name (comm).
 func (p *Process) Name() string {
@@ -77,42 +85,19 @@ func (p *Process) Cred() fs.Cred {
 
 // InteractionStamp returns the Overhaul interaction timestamp.
 func (p *Process) InteractionStamp() time.Time {
-	return stampTime(p.stamp.Load())
+	return p.slot.Time()
 }
 
 // StampSpan returns the trace span that minted the current interaction
 // stamp (zero when unknown).
 func (p *Process) StampSpan() telemetry.SpanContext {
-	if c := p.stampSpan.Load(); c != nil {
-		return *c
-	}
-	return telemetry.SpanContext{}
+	return p.slot.Span()
 }
 
 // adoptStamp installs t (and the span that delivered it) iff t is newer
-// than the current stamp — the newest-wins rule as a lock-free CAS-max.
-// The CAS winner stores the span, keeping stamp and span a unit on the
-// common uncontended path. A zero t never installs.
+// than the current stamp; see StampSlot.Adopt.
 func (p *Process) adoptStamp(t time.Time, ctx telemetry.SpanContext) {
-	n := stampNanos(t)
-	if n == 0 {
-		return
-	}
-	for {
-		cur := p.stamp.Load()
-		if n <= cur {
-			return
-		}
-		if p.stamp.CompareAndSwap(cur, n) {
-			if ctx == (telemetry.SpanContext{}) {
-				p.stampSpan.Store(nil)
-			} else {
-				c := ctx
-				p.stampSpan.Store(&c)
-			}
-			return
-		}
-	}
+	p.slot.Adopt(t, ctx)
 }
 
 // State returns the lifecycle state.
@@ -138,6 +123,35 @@ func (p *Process) alive() bool {
 	return p.state == StateRunning
 }
 
+// procGet pops a recycled Process off the kernel's free list, or
+// allocates a fresh one. The k field is set exactly once, on the
+// allocating path: the pool is per-kernel, so a recycled struct's k is
+// already correct and rewriting it would race with stale readers.
+func (k *Kernel) procGet() *Process {
+	if p, _ := k.procPool.Get().(*Process); p != nil {
+		return p
+	}
+	return &Process{k: k}
+}
+
+// reincarnate initialises a (possibly recycled) Process struct as a
+// brand-new process. The pid store comes FIRST — see the Process type
+// comment: it is what lets a stale lock-free reader detect that the
+// struct changed hands mid-read.
+func (p *Process) reincarnate(pid, ppid int, name, exe string, cred fs.Cred) {
+	p.pid.Store(int64(pid))
+	p.ppid.Store(int64(ppid))
+	p.slot.Reset()
+	p.tracedBy.Store(0)
+	p.mu.Lock()
+	p.name = name
+	p.exe = exe
+	p.cred = cred
+	p.state = StateRunning
+	p.children = p.children[:0] // keep the backing array: fork reuses it
+	p.mu.Unlock()
+}
+
 // SpawnSpec describes an initial process created from outside the
 // simulation (init, the display server, the trusted helper, ...).
 type SpawnSpec struct {
@@ -152,14 +166,8 @@ func (k *Kernel) Spawn(spec SpawnSpec) (*Process, error) {
 	if spec.Name == "" {
 		return nil, errors.New("spawn: empty process name")
 	}
-	p := &Process{
-		k:     k,
-		pid:   int(k.nextPID.Add(1)),
-		name:  spec.Name,
-		exe:   spec.Exe,
-		cred:  spec.Cred,
-		state: StateRunning,
-	}
+	p := k.procGet()
+	p.reincarnate(int(k.nextPID.Add(1)), 0, spec.Name, spec.Exe, spec.Cred)
 	k.table.put(p)
 	return p, nil
 }
@@ -170,36 +178,24 @@ func (k *Kernel) Spawn(spec SpawnSpec) (*Process, error) {
 // (paper §IV-B, "Process creation and IPC").
 func (p *Process) Fork() (*Process, error) {
 	if !p.alive() {
-		return nil, fmt.Errorf("fork from pid %d: %w", p.pid, ErrDeadProcess)
+		return nil, fmt.Errorf("fork from pid %d: %w", p.PID(), ErrDeadProcess)
 	}
 	k := p.k
 
 	p.mu.Lock()
 	name, exe, cred := p.name, p.exe, p.cred
 	p.mu.Unlock()
-	stamp := p.stamp.Load()
-	stampSpan := p.stampSpan.Load()
-	if k.disableP1 {
-		stamp = 0 // ablation: no inheritance
-		stampSpan = nil
-	}
 
-	child := &Process{
-		k:     k,
-		pid:   int(k.nextPID.Add(1)),
-		ppid:  p.pid,
-		name:  name,
-		exe:   exe,
-		cred:  cred,
-		state: StateRunning,
+	child := k.procGet()
+	child.reincarnate(int(k.nextPID.Add(1)), p.PID(), name, exe, cred)
+	if !k.disableP1 {
+		child.slot.inherit(&p.slot) // P1: stamp and minting span inherit together
 	}
-	child.stamp.Store(stamp)         // P1: inherited
-	child.stampSpan.Store(stampSpan) // the minting span inherits with it
 	k.table.put(child)
 	k.stats.forks.Add(1)
 
 	p.mu.Lock()
-	p.children = append(p.children, child.pid)
+	p.children = append(p.children, child.PID())
 	p.mu.Unlock()
 	return child, nil
 }
@@ -214,7 +210,7 @@ func (p *Process) Clone() (*Process, error) { return p.Fork() }
 // place on Linux.
 func (p *Process) Exec(name, exe string) error {
 	if !p.alive() {
-		return fmt.Errorf("exec in pid %d: %w", p.pid, ErrDeadProcess)
+		return fmt.Errorf("exec in pid %d: %w", p.PID(), ErrDeadProcess)
 	}
 	if name == "" {
 		return errors.New("exec: empty process name")
@@ -228,18 +224,23 @@ func (p *Process) Exec(name, exe string) error {
 	return nil
 }
 
-// Exit terminates the process and removes it from the process table.
+// Exit terminates the process, removes it from the process table, and
+// returns the task struct to the kernel's free list. The handle is
+// invalid afterwards: a later Spawn/Fork may reincarnate the struct as
+// a different process (with a different pid — pids are never reused).
 func (p *Process) Exit() error {
 	p.mu.Lock()
 	if p.state != StateRunning {
 		p.mu.Unlock()
-		return fmt.Errorf("exit pid %d: %w", p.pid, ErrDeadProcess)
+		return fmt.Errorf("exit pid %d: %w", p.PID(), ErrDeadProcess)
 	}
 	p.state = StateDead
 	p.mu.Unlock()
 
-	p.k.table.remove(p.pid)
-	p.k.stats.exits.Add(1)
+	k := p.k
+	k.table.remove(p.PID())
+	k.stats.exits.Add(1)
+	k.procPool.Put(p)
 	return nil
 }
 
@@ -253,18 +254,18 @@ func (p *Process) Exit() error {
 // its own child.
 func (p *Process) PtraceAttach(target *Process) error {
 	if !p.alive() {
-		return fmt.Errorf("ptrace from pid %d: %w", p.pid, ErrDeadProcess)
+		return fmt.Errorf("ptrace from pid %d: %w", p.PID(), ErrDeadProcess)
 	}
 	if target == nil || !target.alive() {
 		return fmt.Errorf("ptrace: target: %w", ErrDeadProcess)
 	}
-	if target.PPID() != p.pid && p.Cred().UID != 0 {
+	if target.PPID() != p.PID() && p.Cred().UID != 0 {
 		return fmt.Errorf("ptrace pid %d from pid %d: not a direct descendant: %w",
-			target.pid, p.pid, ErrNotPermitted)
+			target.PID(), p.PID(), ErrNotPermitted)
 	}
-	if !target.tracedBy.CompareAndSwap(0, int32(p.pid)) {
+	if !target.tracedBy.CompareAndSwap(0, int32(p.PID())) {
 		return fmt.Errorf("ptrace pid %d: already traced by %d: %w",
-			target.pid, target.tracedBy.Load(), ErrNotPermitted)
+			target.PID(), target.tracedBy.Load(), ErrNotPermitted)
 	}
 	return nil
 }
@@ -274,9 +275,9 @@ func (p *Process) PtraceDetach(target *Process) error {
 	if target == nil {
 		return errors.New("ptrace detach: nil target")
 	}
-	if !target.tracedBy.CompareAndSwap(int32(p.pid), 0) {
+	if !target.tracedBy.CompareAndSwap(int32(p.PID()), 0) {
 		return fmt.Errorf("ptrace detach pid %d: not traced by %d: %w",
-			target.pid, p.pid, ErrNotPermitted)
+			target.PID(), p.PID(), ErrNotPermitted)
 	}
 	return nil
 }

@@ -61,7 +61,7 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 		defer span.End()
 		if k.tel.Enabled() {
 			span.Annotate("path", path)
-			span.Annotate("pid", strconv.Itoa(p.pid))
+			span.Annotate("pid", strconv.Itoa(p.PID()))
 			k.tel.Add("kernel", "device_opens", "class="+string(class), 1)
 		}
 	}
@@ -87,18 +87,18 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 				"injected fault at "+string(faultinject.PointKernelOpen)+" during open "+path)
 		}
 		if sensitive {
-			k.mon.RecordDenialCtx(span.Context(), p.pid, opForClass(class), k.clk.Now(),
+			k.mon.RecordDenialCtx(span.Context(), p.PID(), opForClass(class), k.clk.Now(),
 				"transient open failure: fail closed")
 		}
 		_ = h.Close()
-		return nil, fmt.Errorf("open %s by pid %d: %w: %v", path, p.pid, ErrTransientIO, f.Err)
+		return nil, fmt.Errorf("open %s by pid %d: %w: %v", path, p.PID(), ErrTransientIO, f.Err)
 	}
 
 	if sensitive {
-		verdict := k.mon.DecideCtx(span.Context(), p.pid, opForClass(class), k.clk.Now())
+		verdict := k.mon.DecideCtx(span.Context(), p.PID(), opForClass(class), k.clk.Now())
 		if verdict != monitor.VerdictGrant {
 			k.stats.denials.Add(1)
-			return nil, fmt.Errorf("open %s (%s) by pid %d: %w", path, class, p.pid, ErrAccessDenied)
+			return nil, fmt.Errorf("open %s (%s) by pid %d: %w", path, class, p.PID(), ErrAccessDenied)
 		}
 	}
 	return h, nil
@@ -126,7 +126,7 @@ func (k *Kernel) Create(p *Process, path string, mode fs.Mode) (*fs.Handle, erro
 		deviceInitWork(storRounds)
 	}
 	if sensitive {
-		if verdict := k.mon.Decide(p.pid, opForClass(class), k.clk.Now()); verdict != monitor.VerdictGrant {
+		if verdict := k.mon.Decide(p.PID(), opForClass(class), k.clk.Now()); verdict != monitor.VerdictGrant {
 			//overhaul:allow failclosedcheck Decide audits its own deny (stats, audit shard, flight recorder); RecordDenial here would double-count the denial
 			return nil, fmt.Errorf("create %s (%s): %w", path, class, ErrAccessDenied)
 		}

@@ -47,9 +47,10 @@ func (t *procTable) get(pid int) (*Process, bool) {
 }
 
 func (t *procTable) put(p *Process) {
-	sh := t.shard(p.pid)
+	pid := p.PID()
+	sh := t.shard(pid)
 	sh.mu.Lock()
-	sh.procs[p.pid] = p
+	sh.procs[pid] = p
 	sh.mu.Unlock()
 }
 

@@ -99,18 +99,23 @@ func BenchmarkDecideTelemetryEnabled(b *testing.B) {
 	}
 }
 
-// TestDecideTelemetryEnabledSingleAlloc hard-asserts that the fully
-// instrumented Decide path allocates at most once per op: the retained
-// *Span itself. Everything else — counters, histograms, span
-// attributes, the structured flight-recorder append — must reuse
-// pre-interned handles and fixed-size buffers.
-func TestDecideTelemetryEnabledSingleAlloc(t *testing.T) {
+// TestDecideTelemetryEnabledZeroAlloc hard-asserts that the fully
+// instrumented Decide path allocates NOTHING per op in steady state:
+// counters, histograms, span attributes, the structured
+// flight-recorder append, and the span itself (served from the span
+// ring's free list once it has cycled) must all reuse pre-interned
+// handles and fixed-size buffers. The warmup cycles the lazily
+// allocated bounded stores past their capacities first, exactly like
+// the benchmarks do.
+func TestDecideTelemetryEnabledZeroAlloc(t *testing.T) {
 	m, opTime := benchMonitorT(t, telemetry.New(clock.NewSimulated()))
-	m.Decide(7, OpMic, opTime) // allocate the audit ring
+	for i := 0; i < benchWarmup; i++ {
+		m.Decide(7, OpMic, opTime)
+	}
 	if avg := testing.AllocsPerRun(200, func() {
 		m.Decide(7, OpMic, opTime)
-	}); avg > 1 {
-		t.Errorf("Decide with telemetry allocates %.1f times per op, want <= 1", avg)
+	}); avg != 0 {
+		t.Errorf("Decide with telemetry allocates %.1f times per op, want 0", avg)
 	}
 }
 

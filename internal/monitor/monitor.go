@@ -547,12 +547,10 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 		stamp    time.Time
 		exists   bool
 		disabled bool
-		haveView bool
 	)
 	if m.fastTasks != nil {
 		var sc telemetry.SpanContext
 		stamp, sc, disabled, exists = m.fastTasks.InteractionView(pid)
-		haveView = true
 		if m.tel.Enabled() && !ctx.Valid() {
 			// No explicit parent: join the trace of the interaction
 			// that minted the process's current stamp. This is what
@@ -566,6 +564,9 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 			}
 		}
 		stamp, exists = m.tasks.InteractionStamp(pid)
+		if exists {
+			disabled = m.tasks.PermissionsDisabled(pid)
+		}
 	}
 	span := m.tel.StartSpan(ctx, "monitor", "decide")
 	defer span.End()
@@ -575,36 +576,19 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 		degraded = *p
 	}
 
-	verdict := VerdictDeny
-	reason := ""
-	switch {
-	case m.force:
-		//overhaul:allow flowcheck force-grant deliberately bypasses freshness: benchmark mode measures mediation overhead with the verdict pinned
-		verdict, reason = VerdictGrant, "force-grant (benchmark mode)"
-	case !m.enforce:
-		//overhaul:allow flowcheck observe-only mode grants by policy while still recording stamp age; enforcement is the ablation axis
-		verdict, reason = VerdictGrant, "observe-only mode"
-	case degraded != "":
-		// Fail closed: a decision path whose trusted substrate is
-		// broken must deny, whatever the stamps say.
-		reason = "protection degraded: " + degraded
-	case !exists:
-		reason = "no such process"
-	case haveView && disabled, !haveView && m.tasks.PermissionsDisabled(pid):
-		reason = "permissions disabled (ptrace guard)"
-	case stamp.IsZero():
-		reason = "no recorded user interaction"
-	case opTime.Before(stamp):
-		// An operation "before" the interaction can only happen
-		// through clock misuse; treat as immediate proximity.
-		verdict, reason = VerdictGrant, "interaction at or after operation"
-	case opTime.Sub(stamp) < m.threshold:
-		verdict, reason = VerdictGrant, "within temporal proximity threshold"
-	default:
-		reason = fmt.Sprintf("interaction stale by %v (δ=%v)", opTime.Sub(stamp)-m.threshold, m.threshold)
-	}
+	// The verdict itself comes from the extracted Policy rule — the same
+	// value a fleet session applies — so the single-desktop Monitor and
+	// internal/fleet can never drift apart on decision semantics.
+	pol := Policy{Threshold: m.threshold, Force: m.force, Enforce: m.enforce}
+	verdict, reason := pol.Evaluate(Query{
+		OpTime:   opTime,
+		Stamp:    stamp,
+		Degraded: degraded,
+		Exists:   exists,
+		Disabled: disabled,
+	})
 
-	isDegraded := degraded != "" && !m.force && m.enforce
+	isDegraded := pol.DegradedDenial(degraded)
 	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: verdict, Reason: reason, Degraded: isDegraded}
 
 	if verdict == VerdictGrant {

@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy is the pure temporal-proximity decision rule D(Q_{A,t}) (paper
+// §III-B), extracted from the Monitor so that it can be shared: the
+// Monitor applies it on the single-desktop decision path, and
+// internal/fleet applies the same value across thousands of sessions
+// from one immutable copy-on-write snapshot. Policy is a small value
+// type with no pointers — comparing, copying, and embedding it are all
+// free — and Evaluate is a pure function of its inputs, which is what
+// makes the fleet ≡ standalone equivalence property testable
+// byte-for-byte.
+type Policy struct {
+	// Threshold is δ, the temporal proximity window. Must be positive;
+	// the Monitor constructor defaults it to DefaultThreshold.
+	Threshold time.Duration
+	// Force short-circuits every decision to grant (benchmark mode,
+	// paper Table I).
+	Force bool
+	// Enforce turns blocking on; false is observe-only mode.
+	Enforce bool
+}
+
+// Query carries everything one decision needs: the process view read
+// from the task store plus the operation timestamp. It is passed by
+// value — building one performs no allocation.
+type Query struct {
+	// OpTime is the privileged operation's timestamp.
+	OpTime time.Time
+	// Stamp is the process's most recent authentic-interaction time
+	// (zero if it has never received input).
+	Stamp time.Time
+	// Degraded is the fail-closed reason when the mediation substrate
+	// is broken; empty means healthy.
+	Degraded string
+	// Exists reports whether the process is alive in the task store.
+	Exists bool
+	// Disabled reports whether the process's permissions are
+	// force-disabled (the ptrace guard).
+	Disabled bool
+}
+
+// Fixed decision reasons. Exported so tests and the fleet equivalence
+// property can assert on the exact strings; the dynamic reasons
+// (degraded, stale) are produced by Evaluate itself.
+const (
+	ReasonForceGrant     = "force-grant (benchmark mode)"
+	ReasonObserveOnly    = "observe-only mode"
+	ReasonNoSuchProcess  = "no such process"
+	ReasonPtraceGuard    = "permissions disabled (ptrace guard)"
+	ReasonNoInteraction  = "no recorded user interaction"
+	ReasonStampAfterOp   = "interaction at or after operation"
+	ReasonWithinDelta    = "within temporal proximity threshold"
+	reasonDegradedPrefix = "protection degraded: "
+)
+
+// Evaluate applies the rule to one query and returns the verdict with
+// its human-readable reason. Every path except the stale-stamp denial
+// (which formats the staleness into its reason, exactly like the
+// pre-extraction code) is allocation-free.
+func (p Policy) Evaluate(q Query) (Verdict, string) {
+	switch {
+	case p.Force:
+		//overhaul:allow flowcheck force-grant deliberately bypasses freshness: benchmark mode measures mediation overhead with the verdict pinned
+		return VerdictGrant, ReasonForceGrant
+	case !p.Enforce:
+		//overhaul:allow flowcheck observe-only mode grants by policy while still recording stamp age; enforcement is the ablation axis
+		return VerdictGrant, ReasonObserveOnly
+	case q.Degraded != "":
+		// Fail closed: a decision path whose trusted substrate is
+		// broken must deny, whatever the stamps say.
+		return VerdictDeny, reasonDegradedPrefix + q.Degraded
+	case !q.Exists:
+		return VerdictDeny, ReasonNoSuchProcess
+	case q.Disabled:
+		return VerdictDeny, ReasonPtraceGuard
+	case q.Stamp.IsZero():
+		return VerdictDeny, ReasonNoInteraction
+	case q.OpTime.Before(q.Stamp):
+		// An operation "before" the interaction can only happen
+		// through clock misuse; treat as immediate proximity.
+		return VerdictGrant, ReasonStampAfterOp
+	case q.OpTime.Sub(q.Stamp) < p.Threshold:
+		return VerdictGrant, ReasonWithinDelta
+	default:
+		return VerdictDeny, fmt.Sprintf("interaction stale by %v (δ=%v)", q.OpTime.Sub(q.Stamp)-p.Threshold, p.Threshold)
+	}
+}
+
+// DegradedDenial reports whether a decision under this policy counts as
+// a degraded (fail-closed) denial rather than a temporal-proximity one:
+// degraded mode only bites when the policy actually enforces.
+func (p Policy) DegradedDenial(degraded string) bool {
+	return degraded != "" && !p.Force && p.Enforce
+}
+
+// Policy returns the monitor's decision rule as a shareable value.
+func (m *Monitor) Policy() Policy {
+	return Policy{Threshold: m.threshold, Force: m.force, Enforce: m.enforce}
+}

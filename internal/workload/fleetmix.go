@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"overhaul/internal/malware"
+	"overhaul/internal/monitor"
+)
+
+// FleetMix is a named per-session traffic profile for fleet-scale load
+// generation: how often events arrive (the arrival process) and what
+// each event is (an interaction notification or a sensitive-device
+// decision, and for decisions which op). Mixes are declarative and
+// stateless; Stream instantiates one deterministic event stream per
+// session, which is what lets an open-loop generator pre-schedule
+// arrivals and lets two runs with the same seed produce the same
+// traffic.
+type FleetMix struct {
+	// Name identifies the mix on the command line and in reports.
+	Name string
+
+	// Arrival selects the arrival process.
+	Arrival ArrivalKind
+	// Rate is the mean event rate per session, events/second.
+	Rate float64
+	// BurstLen is the mean burst length for ArrivalBursty (events per
+	// burst, geometrically distributed).
+	BurstLen int
+	// BurstGap is the mean idle time between bursts for ArrivalBursty.
+	BurstGap time.Duration
+
+	// NotifyRatio is the probability that an event is a user
+	// interaction N_{A,t} rather than a permission query Q_{A,t}.
+	// Interactive desks sit near the empirical click rate; bot traffic
+	// has almost none — which is exactly why the monitor denies it.
+	NotifyRatio float64
+
+	// Ops is the weighted op distribution for decision events. For
+	// pattern mixes (OpPattern non-nil) it is ignored.
+	Ops []OpWeight
+	// OpPattern, when non-nil, cycles decision ops through a fixed
+	// sequence instead of sampling Ops — the spyware mix replays the
+	// stealer's poll cycle this way.
+	OpPattern []monitor.Op
+}
+
+// OpWeight weights one op in a mix's decision distribution.
+type OpWeight struct {
+	Op     monitor.Op
+	Weight int
+}
+
+// ArrivalKind selects an arrival process.
+type ArrivalKind int
+
+// Arrival processes.
+const (
+	// ArrivalPoisson models independent human-paced events:
+	// exponential inter-arrival gaps with mean 1/Rate.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalBursty models automated traffic: geometric bursts of
+	// back-to-back events at Rate, separated by exponential idle gaps
+	// with mean BurstGap.
+	ArrivalBursty
+)
+
+// PoissonDesks is the baseline mix: independent interactive desktops.
+// Users click and type (frequent notifications), and sensitive-device
+// use follows interaction closely, so most decisions land inside the
+// proximity window. Rates follow the paper's empirical workload
+// (VI-B): a user interaction every few seconds while active.
+func PoissonDesks() FleetMix {
+	return FleetMix{
+		Name:        "poisson-desks",
+		Arrival:     ArrivalPoisson,
+		Rate:        2.0,
+		NotifyRatio: 0.7,
+		Ops: []OpWeight{
+			{Op: monitor.OpPaste, Weight: 4},
+			{Op: monitor.OpCopy, Weight: 4},
+			{Op: monitor.OpMic, Weight: 1},
+			{Op: monitor.OpCam, Weight: 1},
+			{Op: monitor.OpScreen, Weight: 1},
+		},
+	}
+}
+
+// BotStorm is the adversarial mix: automated sessions that burst
+// sensitive-device queries with essentially no user interaction — the
+// traffic shape of a mass-deployed bot probing devices. Nearly every
+// decision is a denial, which stresses the deny path and the audit
+// ring eviction.
+func BotStorm() FleetMix {
+	return FleetMix{
+		Name:        "bot-storm",
+		Arrival:     ArrivalBursty,
+		Rate:        200.0,
+		BurstLen:    32,
+		BurstGap:    5 * time.Second,
+		NotifyRatio: 0.01,
+		Ops: []OpWeight{
+			{Op: monitor.OpMic, Weight: 3},
+			{Op: monitor.OpCam, Weight: 3},
+			{Op: monitor.OpScreen, Weight: 2},
+			{Op: monitor.OpOther, Weight: 2},
+		},
+	}
+}
+
+// SpywareHeavy replays the §V-D information stealer at fleet scale:
+// steady background polling of clipboard, screen, and microphone (the
+// exact malware.PollOps cycle) over a lightly-interacting user, so a
+// realistic minority of steals lands inside the proximity window —
+// the residual-vulnerability traffic shape.
+func SpywareHeavy() FleetMix {
+	return FleetMix{
+		Name:        "spyware-heavy",
+		Arrival:     ArrivalPoisson,
+		Rate:        6.0,
+		NotifyRatio: 0.15,
+		OpPattern:   malware.PollOps(),
+	}
+}
+
+// Mixes returns the named mix catalog.
+func Mixes() []FleetMix {
+	return []FleetMix{PoissonDesks(), BotStorm(), SpywareHeavy()}
+}
+
+// MixByName resolves a mix from its command-line name.
+func MixByName(name string) (FleetMix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return FleetMix{}, fmt.Errorf("workload: unknown fleet mix %q", name)
+}
+
+// FleetEvent is one scheduled unit of session traffic.
+type FleetEvent struct {
+	// Gap is the inter-arrival time since the previous event.
+	Gap time.Duration
+	// Notify marks an interaction notification; otherwise the event is
+	// a decision for Op.
+	Notify bool
+	// Op is the queried operation for decision events.
+	Op monitor.Op
+}
+
+// MixStream is one session's deterministic event stream: a mix plus
+// private arrival/pattern state. Not safe for concurrent use — each
+// generator worker owns its streams.
+type MixStream struct {
+	mix       FleetMix
+	rng       *rand.Rand
+	totalW    int
+	burstLeft int
+	patIdx    int
+}
+
+// Stream instantiates the mix for one session. Streams with equal
+// seeds produce identical traffic.
+func (m FleetMix) Stream(seed int64) *MixStream {
+	total := 0
+	for _, w := range m.Ops {
+		total += w.Weight
+	}
+	return &MixStream{mix: m, rng: rand.New(rand.NewSource(seed)), totalW: total}
+}
+
+// Next produces the session's next event.
+func (s *MixStream) Next() FleetEvent {
+	ev := FleetEvent{Gap: s.nextGap()}
+	if s.rng.Float64() < s.mix.NotifyRatio {
+		ev.Notify = true
+		return ev
+	}
+	ev.Op = s.nextOp()
+	return ev
+}
+
+// nextGap samples the inter-arrival time.
+func (s *MixStream) nextGap() time.Duration {
+	m := &s.mix
+	switch m.Arrival {
+	case ArrivalBursty:
+		if s.burstLeft > 0 {
+			s.burstLeft--
+			return s.expGap(m.Rate)
+		}
+		// Start a new burst after an idle period; burst length is
+		// geometric with mean BurstLen.
+		n := 1
+		for n < 4*m.BurstLen && s.rng.Float64() > 1.0/float64(m.BurstLen) {
+			n++
+		}
+		s.burstLeft = n - 1
+		idle := -math.Log(1-s.rng.Float64()) * float64(m.BurstGap)
+		return time.Duration(idle)
+	default: // ArrivalPoisson
+		return s.expGap(m.Rate)
+	}
+}
+
+// expGap samples an exponential gap with mean 1/rate seconds.
+func (s *MixStream) expGap(rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Second
+	}
+	gap := -math.Log(1-s.rng.Float64()) / rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// nextOp samples or cycles the decision op.
+func (s *MixStream) nextOp() monitor.Op {
+	m := &s.mix
+	if len(m.OpPattern) > 0 {
+		op := m.OpPattern[s.patIdx]
+		s.patIdx = (s.patIdx + 1) % len(m.OpPattern)
+		return op
+	}
+	if s.totalW == 0 {
+		return monitor.OpOther
+	}
+	r := s.rng.Intn(s.totalW)
+	for _, w := range m.Ops {
+		r -= w.Weight
+		if r < 0 {
+			return w.Op
+		}
+	}
+	return m.Ops[len(m.Ops)-1].Op
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"overhaul/internal/malware"
 	"overhaul/internal/monitor"
@@ -179,5 +180,60 @@ func TestEmpiricalDifferentSeedsDiffer(t *testing.T) {
 	// The security outcome is seed-independent.
 	if a.ProtectedMachine.Malware.TotalStolen() != 0 || b.ProtectedMachine.Malware.TotalStolen() != 0 {
 		t.Fatal("protected machine leaked under some seed")
+	}
+}
+
+// TestFleetMixStreams checks the mix catalog: deterministic streams,
+// sane arrival gaps, op distributions matching each profile, and the
+// spyware mix replaying the stealer's exact poll cycle.
+func TestFleetMixStreams(t *testing.T) {
+	for _, mix := range Mixes() {
+		if _, err := MixByName(mix.Name); err != nil {
+			t.Errorf("MixByName(%q): %v", mix.Name, err)
+		}
+		a, b := mix.Stream(42), mix.Stream(42)
+		var meanGap time.Duration
+		notifies := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			ea, eb := a.Next(), b.Next()
+			if ea != eb {
+				t.Fatalf("%s: streams with equal seeds diverge at event %d: %+v vs %+v", mix.Name, i, ea, eb)
+			}
+			if ea.Gap < 0 {
+				t.Fatalf("%s: negative gap %v", mix.Name, ea.Gap)
+			}
+			meanGap += ea.Gap
+			if ea.Notify {
+				notifies++
+			} else if ea.Op == "" {
+				t.Fatalf("%s: decision event with empty op", mix.Name)
+			}
+		}
+		gotRatio := float64(notifies) / n
+		if gotRatio < mix.NotifyRatio-0.05 || gotRatio > mix.NotifyRatio+0.05 {
+			t.Errorf("%s: notify ratio %.3f, want ≈%.2f", mix.Name, gotRatio, mix.NotifyRatio)
+		}
+		if meanGap/n <= 0 {
+			t.Errorf("%s: degenerate mean gap %v", mix.Name, meanGap/n)
+		}
+	}
+
+	// The spyware mix must cycle the stealer's poll pattern verbatim.
+	s := SpywareHeavy().Stream(7)
+	want := malware.PollOps()
+	idx := 0
+	for i := 0; i < 100; i++ {
+		ev := s.Next()
+		if ev.Notify {
+			continue
+		}
+		if ev.Op != want[idx%len(want)] {
+			t.Fatalf("spyware op %d = %v, want %v (poll cycle)", i, ev.Op, want[idx%len(want)])
+		}
+		idx++
+	}
+	if _, err := MixByName("no-such-mix"); err == nil {
+		t.Error("MixByName accepted an unknown mix")
 	}
 }
