@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint lint-baseline test race bench bench-compare fleet fuzz chaos ci
+.PHONY: all build fmt vet lint lint-baseline test race bench bench-compare fleet fuzz chaos store ci
 
 all: build
 
@@ -64,9 +64,10 @@ bench:
 # gated benchmarks (see overhaul-benchjson -diff). Blocking in CI:
 # the noise a shared runner adds is absorbed by min-of-count=5 wall
 # clock, the 25 % ns budget, and alloc-only gating of oversubscribed
-# -cpu rows. A PR that deliberately trades decision-path performance
-# carries the `skip-bench-gate` label and refreshes the baseline via
-# `make bench` in the same change.
+# -cpu rows and the sub-100ns / syscall-bound BenchmarkStore rows.
+# A PR that deliberately trades decision-path performance carries the
+# `skip-bench-gate` label and refreshes the baseline via `make bench`
+# in the same change.
 bench-compare:
 	$(GO) test -bench=. $(BENCHFLAGS) ./... > bench.out
 	$(GO) test -bench='^BenchmarkParallel' -cpu=1,2,4 $(BENCHFLAGS) ./internal/kernel >> bench.out
@@ -82,12 +83,13 @@ fleet:
 	@rm -f fleet-load.json
 	$(GO) run ./cmd/overhaul-top -fleet 64 -mix bot-storm > /dev/null
 
-# Short fuzz pass over the stamp-propagation invariants and the devfs
-# helper protocol codec.
+# Short fuzz pass over the stamp-propagation invariants, the devfs
+# helper protocol codec, and the audit-store segment codec.
 fuzz:
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzMsgQueueStampPropagation$$' -fuzztime=10s
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzShmStampPropagation$$' -fuzztime=10s
 	$(GO) test ./internal/devfs -run='^$$' -fuzz='^FuzzMappingCodec$$' -fuzztime=10s
+	$(GO) test ./internal/auditstore -run='^$$' -fuzz='^FuzzSegmentDecode$$' -fuzztime=10s
 
 # Seeded chaos campaigns: all fault kinds armed, plus the mid-session
 # channel-kill scenario. Deterministic — a failure reproduces from the
@@ -97,5 +99,19 @@ chaos:
 	$(GO) run ./cmd/overhaul-chaos -seed 42 -steps 160 -faults default -kill 80
 	$(GO) run ./cmd/overhaul-chaos -seed 7 -steps 160 -faults default -kill 40 -reconnect 90
 
-ci: fmt build vet lint race bench fleet fuzz chaos
+# Durable-store smoke: a chaos campaign appends its audit stream into a
+# store while store faults tear writes and crash rotations/compactions,
+# then overhaul-top reopens the directory cold and queries it — the
+# full append-under-chaos → kill → reopen → query loop. Deterministic:
+# the seed fixes the fault schedule and the expected record count.
+STOREDIR = /tmp/overhaul-store-smoke
+store:
+	rm -rf $(STOREDIR)
+	$(GO) run ./cmd/overhaul-chaos -seed 11 -steps 200 -store $(STOREDIR) \
+		-faults 'default,auditstore.append:error:prob=0.05,auditstore.rotate:crash:after=3:count=1,auditstore.compact:crash:after=1:count=1'
+	$(GO) run ./cmd/overhaul-top -store $(STOREDIR) -verdict deny -limit 10
+	$(GO) run ./cmd/overhaul-top -store $(STOREDIR) -since 5m -json > /dev/null
+	rm -rf $(STOREDIR)
+
+ci: fmt build vet lint race bench fleet fuzz chaos store
 	$(GO) run ./cmd/overhaul-benchjson -check BENCH_overhaul.json

@@ -203,7 +203,7 @@ func normalizeCPUFamilies(entries map[string]Entry) map[string]Entry {
 // ns/op are dominated by configured synthetic work.
 const maxNsRatio = 1.25
 
-var gatedPrefixes = []string{"BenchmarkMicro", "BenchmarkDecide", "BenchmarkParallel", "BenchmarkFleet"}
+var gatedPrefixes = []string{"BenchmarkMicro", "BenchmarkDecide", "BenchmarkParallel", "BenchmarkFleet", "BenchmarkStore"}
 
 func gated(name string) bool {
 	for _, p := range gatedPrefixes {
@@ -229,6 +229,17 @@ func oversubscribed(name string, hostCPUs int) bool {
 	}
 	n, err := strconv.Atoi(m[1])
 	return err == nil && n > hostCPUs
+}
+
+// allocsOnly reports whether the entry's wall clock is excluded from
+// the gate. The per-scale store tables (BenchmarkStore*) record
+// scaling shape, but their ops sit outside the band where a 25 % wall
+// budget is signal on a shared runner: Get/Scan at small scales are
+// tens of ns (below the frequency-scaling noise floor), Append is
+// write()-syscall- and GC-bound. Their allocation contract is still
+// gated strictly, as is ns/op for every decision-path benchmark.
+func allocsOnly(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkStore")
 }
 
 // compare prints a gated-benchmark comparison table and errors when any
@@ -257,6 +268,8 @@ func compare(baseline, current map[string]Entry, hostCPUs int, w io.Writer) erro
 			bad = append(bad, name)
 		case ratio > maxNsRatio && oversubscribed(name, hostCPUs):
 			status = "ok (ns/op not gated: oversubscribed on this host)"
+		case ratio > maxNsRatio && allocsOnly(name):
+			status = "ok (ns/op not gated: allocs-only row)"
 		case ratio > maxNsRatio:
 			status = fmt.Sprintf("REGRESSION: ns/op %.2fx > %.2fx budget", ratio, maxNsRatio)
 			bad = append(bad, name)

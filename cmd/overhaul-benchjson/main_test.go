@@ -152,6 +152,25 @@ func TestCompareOversubscribedGatesAllocsOnly(t *testing.T) {
 	}
 }
 
+func TestCompareStoreRowsGateAllocsOnly(t *testing.T) {
+	// The per-scale store tables are wall-clock-exempt: Get/Scan at
+	// small scales are tens of ns and Append is syscall/GC-bound, so
+	// only their allocation contract gates.
+	baseline := map[string]Entry{"BenchmarkStoreAppend/jsonl/100": {NsPerOp: 2500, AllocsPerOp: 5}}
+	current := map[string]Entry{"BenchmarkStoreAppend/jsonl/100": {NsPerOp: 4500, AllocsPerOp: 5}}
+	var out strings.Builder
+	if err := compare(baseline, current, 8, &out); err != nil {
+		t.Fatalf("compare: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs-only") {
+		t.Errorf("store row not marked allocs-only:\n%s", out.String())
+	}
+	current["BenchmarkStoreAppend/jsonl/100"] = Entry{NsPerOp: 2400, AllocsPerOp: 6}
+	if err := compare(baseline, current, 8, &out); err == nil {
+		t.Error("alloc regression on store row passed, want failure")
+	}
+}
+
 func TestCompareRequiresOverlap(t *testing.T) {
 	baseline := map[string]Entry{"BenchmarkMicroOld": {NsPerOp: 100}}
 	current := map[string]Entry{"BenchmarkMicroNew": {NsPerOp: 100}}

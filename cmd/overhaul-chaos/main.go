@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"overhaul/internal/faultinject"
 	"overhaul/internal/faultinject/chaos"
@@ -34,21 +35,16 @@ func run() int {
 	faults := flag.String("faults", "default",
 		"fault rules: 'default', 'none', or a spec like 'netlink.user_to_kernel:drop:prob=0.1,devfs.helper_crash:crash:after=3'")
 	threshold := flag.Duration("threshold", 0, "grant window δ (0 = monitor default)")
+	storeDir := flag.String("store", "", "sink the audit stream into a durable store at this directory (queryable with overhaul-top -store)")
+	storeSegment := flag.Int("store-segment", 0, "store segment size in records (0 = campaign default)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	verbose := flag.Bool("v", false, "print the per-step event log")
 	flag.Parse()
 
-	var rules []faultinject.Rule
-	switch *faults {
-	case "none", "":
-	case "default":
-		rules = faultinject.DefaultRules()
-	default:
-		var err error
-		if rules, err = faultinject.ParseRules(*faults); err != nil {
-			fmt.Fprintln(os.Stderr, "overhaul-chaos:", err)
-			return 2
-		}
+	rules, err := parseFaults(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-chaos:", err)
+		return 2
 	}
 
 	res, err := chaos.Run(chaos.Campaign{
@@ -58,6 +54,8 @@ func run() int {
 		KillChannelAt: *kill,
 		ReconnectAt:   *reconnect,
 		Threshold:     *threshold,
+		StoreDir:      *storeDir,
+		StoreSegment:  *storeSegment,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "overhaul-chaos:", err)
@@ -80,6 +78,30 @@ func run() int {
 	return 0
 }
 
+// parseFaults expands the -faults spec. "none" (or empty) arms
+// nothing; a "default" entry anywhere in the comma-separated list
+// splices in the standard mix, so extra rules can ride along:
+// "default,auditstore.append:error:prob=0.05".
+func parseFaults(spec string) ([]faultinject.Rule, error) {
+	if spec == "none" || spec == "" {
+		return nil, nil
+	}
+	var rules []faultinject.Rule
+	var rest []string
+	for _, entry := range strings.Split(spec, ",") {
+		if strings.TrimSpace(entry) == "default" {
+			rules = append(rules, faultinject.DefaultRules()...)
+			continue
+		}
+		rest = append(rest, entry)
+	}
+	parsed, err := faultinject.ParseRules(strings.Join(rest, ","))
+	if err != nil {
+		return nil, err
+	}
+	return append(rules, parsed...), nil
+}
+
 func report(res *chaos.Result, verbose bool) {
 	fmt.Printf("chaos campaign: seed=%d steps=%d\n", res.Seed, res.Steps)
 	if verbose {
@@ -96,6 +118,10 @@ func report(res *chaos.Result, verbose bool) {
 		injected(res.Schedule), res.X.AlertsShown, res.X.AlertRenderFailures)
 	if res.Degraded {
 		fmt.Println("state:   monitor DEGRADED (fail closed) at end of run")
+	}
+	if res.StoreRecords > 0 || res.StoreFaults > 0 {
+		fmt.Printf("store:   %d records durable; %d injected faults, %d recoveries by reopen\n",
+			res.StoreRecords, res.StoreFaults, res.StoreReopens)
 	}
 	if len(res.Flight) > 0 && (verbose || !res.Ok()) {
 		fmt.Printf("flight:  %d dump(s); last dump:\n", res.FlightDumps)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"overhaul/internal/auditstore"
 	"overhaul/internal/fleet"
 	"overhaul/internal/monitor"
 	"overhaul/internal/workload"
@@ -20,8 +21,11 @@ var fleetBase = time.Date(2016, time.March, 1, 9, 0, 0, 0, time.UTC)
 // runFleet boots a fleet of n sessions, replays `events` deterministic
 // mix-driven events into each, and renders the fleet console: aggregate
 // totals plus the busiest sessions, or one session's detail with
-// -session, or the whole aggregation as JSON.
-func runFleet(n int, events int, mixName string, sessionFilter uint64, jsonOut bool) int {
+// -session, or the whole aggregation as JSON. With storeDir set, every
+// session additionally sinks its decisions into one durable store —
+// the per-session ring keeps only the last 64 decisions, the store
+// keeps them all — and the -session detail reads the durable trail.
+func runFleet(n int, events int, mixName string, sessionFilter uint64, jsonOut bool, storeDir string) int {
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "overhaul-top:", err)
@@ -32,8 +36,20 @@ func runFleet(n int, events int, mixName string, sessionFilter uint64, jsonOut b
 		fmt.Fprintln(os.Stderr, "overhaul-top:", err)
 		return 2
 	}
+	var store *auditstore.FileStore
+	var sinkStats auditstore.SinkStats
+	if storeDir != "" {
+		if store, err = auditstore.Open(storeDir, auditstore.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-top:", err)
+			return 2
+		}
+		defer store.Close() //overhaul:allow errdrop console exit; the replay already synced every record
+	}
 	for i := 0; i < n; i++ {
 		s := f.CreateSession()
+		if store != nil {
+			s.SetAuditSink(auditstore.SessionSink(store, s.ID(), &sinkStats))
+		}
 		pid, err := s.Spawn()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "overhaul-top:", err)
@@ -59,8 +75,14 @@ func runFleet(n int, events int, mixName string, sessionFilter uint64, jsonOut b
 		}
 	}
 
+	if store != nil && sinkStats.Errors.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "overhaul-top: %d of %d store appends failed\n",
+			sinkStats.Errors.Load(), sinkStats.Appends.Load())
+		return 2
+	}
+
 	if sessionFilter != 0 {
-		return fleetSessionDetail(f, sessionFilter, jsonOut)
+		return fleetSessionDetail(f, sessionFilter, store, jsonOut)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -72,6 +94,11 @@ func runFleet(n int, events int, mixName string, sessionFilter uint64, jsonOut b
 		return 0
 	}
 	fleetDashboard(f, mix.Name, events)
+	if store != nil {
+		if total, err := store.Count(); err == nil {
+			fmt.Printf("store: %d decisions durable across %d sessions\n", total, n)
+		}
+	}
 	return 0
 }
 
@@ -138,23 +165,36 @@ func fleetDashboard(f *fleet.Fleet, mixName string, events int) {
 	}
 }
 
-// fleetSessionDetail renders one session: its counters and audit tail.
-func fleetSessionDetail(f *fleet.Fleet, id uint64, jsonOut bool) int {
+// fleetSessionDetail renders one session: its counters and audit
+// trail. With a store attached, the trail is the session's durable
+// record — everything the bounded ring evicted included — queried by
+// session ID; without one, it is the ring's recent tail.
+func fleetSessionDetail(f *fleet.Fleet, id uint64, store *auditstore.FileStore, jsonOut bool) int {
 	s, ok := f.Session(id)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "overhaul-top: no session %d in this fleet\n", id)
 		return 1
 	}
 	audit := s.Audit()
+	var durable []auditstore.Record
+	if store != nil {
+		var err error
+		if durable, err = auditstore.ScanAll(store, auditstore.Query{Session: id}); err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-top:", err)
+			return 2
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
-			Session sessionRow         `json:"session"`
-			Audit   []monitor.Decision `json:"audit"`
+			Session sessionRow          `json:"session"`
+			Audit   []monitor.Decision  `json:"audit"`
+			Durable []auditstore.Record `json:"durable,omitempty"`
 		}{
 			Session: sessionRow{ID: s.ID(), Stats: s.StatsSnapshot(), LiveProcs: s.PIDCount(), AuditRecords: len(audit)},
 			Audit:   audit,
+			Durable: durable,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "overhaul-top:", err)
 			return 2
@@ -165,6 +205,14 @@ func fleetSessionDetail(f *fleet.Fleet, id uint64, jsonOut bool) int {
 	fmt.Printf("== session %d ==\n", id)
 	fmt.Printf("counters: %d notifications, %d grants, %d denials, %d alerts, %d spawns, %d exits\n",
 		st.Notifications, st.Grants, st.Denials, st.Alerts, st.Spawns, st.Exits)
+	if store != nil {
+		fmt.Printf("durable trail (%d records; ring kept %d, evicted %d):\n",
+			len(durable), len(audit), st.DroppedAudit)
+		for _, r := range durable {
+			printRecord(r)
+		}
+		return 0
+	}
 	fmt.Printf("audit (%d records kept, %d evicted):\n", len(audit), st.DroppedAudit)
 	for _, d := range audit {
 		verdict := "DENY "

@@ -23,6 +23,15 @@
 //	overhaul-top -fleet 64 -mix bot-storm # a hostile mix
 //	overhaul-top -fleet 64 -session 7     # one session's counters + audit
 //	overhaul-top -fleet 64 -json          # the whole aggregation as JSON
+//
+// Store mode queries a durable audit store directory (written by
+// overhaul-chaos -store, or by fleet mode with -store) with no live
+// system at all — the post-incident forensics path:
+//
+//	overhaul-top -store DIR                          # the whole recovered trail
+//	overhaul-top -store DIR -verdict deny -limit 20  # recent denials
+//	overhaul-top -store DIR -since 5m -pid 42        # one process, recent window
+//	overhaul-top -fleet 64 -store DIR -session 7     # a session's durable trail
 package main
 
 import (
@@ -50,14 +59,27 @@ func run() int {
 	fleetN := flag.Int("fleet", 0, "fleet mode: boot this many sessions and aggregate across them")
 	fleetEvents := flag.Int("events", 200, "fleet mode: mix events replayed per session")
 	fleetMix := flag.String("mix", "poisson-desks", "fleet mode: traffic mix to replay")
-	session := flag.Uint64("session", 0, "fleet mode: show this one session instead of the aggregate")
+	session := flag.Uint64("session", 0, "fleet/store mode: restrict to this one session")
+	storeDir := flag.String("store", "", "query a durable audit store directory (with -fleet: sink every session into it first)")
+	since := flag.String("since", "", "store query: RFC3339 instant, or a duration back from the newest record (e.g. 5m)")
+	pid := flag.Int("pid", 0, "store query: only this pid")
+	verdict := flag.String("verdict", "", "store query: only this verdict (grant|deny)")
+	reason := flag.String("reason", "", "store query: only reasons containing this substring")
+	limit := flag.Int("limit", 0, "store query: cap the records printed (0 = all)")
 	flag.Parse()
 
+	q := storeQuery{
+		since: *since, pid: *pid, verdict: *verdict,
+		reason: *reason, session: *session, limit: *limit,
+	}
 	if *fleetN > 0 {
-		return runFleet(*fleetN, *fleetEvents, *fleetMix, *session, *jsonOut)
+		return runFleet(*fleetN, *fleetEvents, *fleetMix, *session, *jsonOut, *storeDir)
+	}
+	if *storeDir != "" {
+		return runStoreQuery(*storeDir, q, *jsonOut)
 	}
 	if *session != 0 {
-		fmt.Fprintln(os.Stderr, "overhaul-top: -session requires -fleet")
+		fmt.Fprintln(os.Stderr, "overhaul-top: -session requires -fleet or -store")
 		return 2
 	}
 

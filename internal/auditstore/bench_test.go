@@ -1,0 +1,111 @@
+package auditstore_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"overhaul/internal/auditstore"
+)
+
+// Per-scale benchmark tables in the crumbs style (SNIPPETS.md Snippet
+// 2): every operation at 10/100/1k/10k records for both backends, so
+// BENCH_overhaul.json records how each scales and bench-compare blocks
+// regressions at any scale, not just the one a change happened to be
+// tuned on. File-backed rows run with Sync off: the tables measure the
+// store, not the filesystem.
+var benchScales = [...]int{10, 100, 1000, 10000}
+
+// benchStore builds a prefilled store of the given backend and size.
+func benchStore(b *testing.B, backend string, n int) auditstore.Store {
+	b.Helper()
+	var st auditstore.Store
+	if backend == "mem" {
+		st = auditstore.NewMemStore()
+	} else {
+		fs, err := auditstore.Open(b.TempDir(), auditstore.Options{})
+		if err != nil {
+			b.Fatalf("open: %v", err)
+		}
+		st = fs
+	}
+	for i := 0; i < n; i++ {
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			b.Fatalf("prefill %d: %v", i, err)
+		}
+	}
+	// Settle the heap before the timer starts: these loops are short
+	// (sub-µs ops × 2000 iterations), so whether a GC cycle lands inside
+	// the timed region otherwise dominates run-to-run variance.
+	runtime.GC()
+	return st
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	for _, backend := range []string{"mem", "jsonl"} {
+		for _, n := range benchScales {
+			b.Run(fmt.Sprintf("%s/%d", backend, n), func(b *testing.B) {
+				st := benchStore(b, backend, n)
+				defer st.Close() //overhaul:allow errdrop bench cleanup
+				recs := make([]auditstore.Record, b.N)
+				for i := range recs {
+					recs[i] = mkRecord(n + i)
+				}
+				runtime.GC()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := st.Append(recs[i]); err != nil {
+						b.Fatalf("append: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	for _, backend := range []string{"mem", "jsonl"} {
+		for _, n := range benchScales {
+			b.Run(fmt.Sprintf("%s/%d", backend, n), func(b *testing.B) {
+				st := benchStore(b, backend, n)
+				defer st.Close() //overhaul:allow errdrop bench cleanup
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					seq := uint64(i%n) + 1
+					if _, ok, err := st.Get(seq); !ok || err != nil {
+						b.Fatalf("get %d: ok=%v err=%v", seq, ok, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkStoreScan(b *testing.B) {
+	// Scan measures a full filtered pass: the deny posting list (~1/3
+	// of records) plus a reason substring check — the shape an
+	// overhaul-top triage query takes.
+	q := auditstore.Query{Verdict: "deny", Reason: "recent"}
+	for _, backend := range []string{"mem", "jsonl"} {
+		for _, n := range benchScales {
+			b.Run(fmt.Sprintf("%s/%d", backend, n), func(b *testing.B) {
+				st := benchStore(b, backend, n)
+				defer st.Close() //overhaul:allow errdrop bench cleanup
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					matched := 0
+					err := st.Scan(q, func(auditstore.Record) bool {
+						matched++
+						return true
+					})
+					if err != nil || matched == 0 {
+						b.Fatalf("scan: matched=%d err=%v", matched, err)
+					}
+				}
+			})
+		}
+	}
+}

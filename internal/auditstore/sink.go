@@ -1,0 +1,99 @@
+package auditstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"overhaul/internal/monitor"
+)
+
+// Tail incrementally mirrors a decision stream (the monitor's audit
+// log, a fleet session's ring) into a store: each Sync appends every
+// decision past the cursor. It is how the chaos runner keeps its
+// durable trail in step with the in-memory audit between steps.
+type Tail struct {
+	mu      sync.Mutex
+	st      Store
+	session uint64
+	cursor  int
+}
+
+// NewTail builds a tail over st, stamping every record with the given
+// session id. The cursor starts at the store's current record count,
+// so a tail over a freshly reopened store resumes exactly where the
+// recovered prefix ends.
+func NewTail(st Store, session uint64) (*Tail, error) {
+	n, err := st.Count()
+	if err != nil {
+		return nil, err
+	}
+	return &Tail{st: st, session: session, cursor: n}, nil
+}
+
+// Cursor returns how many stream decisions have been durably appended.
+func (t *Tail) Cursor() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cursor
+}
+
+// Sync appends stream[cursor:] to the store and advances the cursor
+// per record appended. On a store failure it returns the number
+// appended before the failure and the error; the cursor stays
+// consistent, so a Reset to a reopened store resumes cleanly.
+func (t *Tail) Sync(stream []monitor.Decision) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	appended := 0
+	for t.cursor < len(stream) {
+		if _, err := t.st.Append(FromDecision(stream[t.cursor], t.session)); err != nil {
+			return appended, err
+		}
+		t.cursor++
+		appended++
+	}
+	return appended, nil
+}
+
+// Rebind points the tail at a (typically reopened) store and re-anchors
+// the cursor at its recovered record count: decisions the crash lost
+// are re-appended by the next Sync, decisions that survived are not
+// duplicated.
+func (t *Tail) Rebind(st Store) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, err := st.Count()
+	if err != nil {
+		return err
+	}
+	t.st = st
+	t.cursor = n
+	return nil
+}
+
+// SinkStats counts what a SessionSink did — most importantly the
+// appends that failed, because the sink itself swallows errors (an
+// audit callback inside the decision path must never block or fail the
+// decision).
+type SinkStats struct {
+	Appends atomic.Uint64
+	Errors  atomic.Uint64
+}
+
+// SessionSink adapts a store to the fleet's per-session audit callback
+// (fleet.Session.SetAuditSink): every decision is appended with the
+// given session id. Append errors are counted in stats (nil for
+// "don't care"), not returned — the decision path stays non-blocking
+// and the store's fail-closed state is observable via stats.Errors and
+// any later direct store use.
+func SessionSink(st Store, session uint64, stats *SinkStats) func(monitor.Decision) {
+	return func(d monitor.Decision) {
+		_, err := st.Append(FromDecision(d, session))
+		if stats != nil {
+			stats.Appends.Add(1)
+			if err != nil {
+				stats.Errors.Add(1)
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"overhaul/internal/auditlog"
+	"overhaul/internal/auditstore"
 	"overhaul/internal/clock"
 	"overhaul/internal/core"
 	"overhaul/internal/devfs"
@@ -61,6 +62,18 @@ type Campaign struct {
 	ReconnectAt int
 	// Threshold is δ. Zero selects monitor.DefaultThreshold.
 	Threshold time.Duration
+	// StoreDir, when non-empty, attaches a durable audit store in that
+	// directory: after every step the runner syncs the audit stream
+	// into it, and any auditstore.* fault rules get a live store to
+	// break. On a store fault the runner reopens (recovering the
+	// CRC-verified prefix) and resumes; at the end of the run the store
+	// must hold exactly the full audit stream — divergence is an
+	// invariant violation.
+	StoreDir string
+	// StoreSegment is the store's segment size in records. Zero
+	// selects a small campaign-friendly size (32) so rotation and
+	// compaction actually happen within a default-length run.
+	StoreSegment int
 }
 
 // Violation is one invariant breach found by the online checker.
@@ -89,6 +102,12 @@ type Result struct {
 	Flight []string `json:"flight,omitempty"`
 	// FlightDumps counts every dump taken across the campaign.
 	FlightDumps int `json:"flight_dumps"`
+	// StoreRecords is the durable store's final record count (0 when
+	// no StoreDir was set); StoreFaults counts injected store failures
+	// and StoreReopens the recoveries that followed.
+	StoreRecords int `json:"store_records,omitempty"`
+	StoreFaults  int `json:"store_faults,omitempty"`
+	StoreReopens int `json:"store_reopens,omitempty"`
 }
 
 // Ok reports whether every invariant held.
@@ -139,6 +158,8 @@ type runner struct {
 	scanners  []string
 	tel       *telemetry.Recorder
 	res       *Result
+	store     *auditstore.FileStore
+	tail      *auditstore.Tail
 }
 
 // hook gates the injector behind r.armed so that the setup and the
@@ -225,6 +246,25 @@ func Run(c Campaign) (*Result, error) {
 	if err := r.setup(); err != nil {
 		return nil, err
 	}
+	if c.StoreDir != "" {
+		segment := c.StoreSegment
+		if segment == 0 {
+			segment = 32 // small enough that a default run rotates and compacts
+		}
+		// The store shares the campaign hook, so auditstore.* rules
+		// inject only during armed steps; Open itself never evaluates
+		// fault points (recovery is fault-free by construction).
+		st, err := auditstore.Open(c.StoreDir, auditstore.Options{
+			SegmentRecords: segment, Hook: r.hook(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: open store: %w", err)
+		}
+		r.store = st
+		if r.tail, err = auditstore.NewTail(st, 0); err != nil {
+			return nil, fmt.Errorf("chaos: store tail: %w", err)
+		}
+	}
 
 	r.armed = true
 	for step := 1; step <= c.Steps; step++ {
@@ -240,10 +280,12 @@ func Run(c Campaign) (*Result, error) {
 			}
 		}
 		r.step(step)
+		r.syncStore(step)
 	}
 	r.armed = false
 
 	r.finish()
+	r.finishStore()
 
 	r.res.Schedule = inj.Schedule()
 	for _, d := range sys.Audit() {
@@ -522,6 +564,98 @@ func (r *runner) finish() {
 		}
 		r.checkGrants(step, before)
 		r.event(step, "post-reconnect probes done")
+	}
+}
+
+// syncStore tails the audit stream into the durable store after a
+// step. An injected store fault fails the store closed; the runner
+// reopens the directory — recovering the CRC-verified prefix — and
+// resumes syncing from wherever recovery landed. A few attempts per
+// step bound the work; any remaining lag is picked up next step.
+func (r *runner) syncStore(step int) {
+	if r.store == nil {
+		return
+	}
+	audit := r.sys.Audit()
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err := r.tail.Sync(audit)
+		if err == nil {
+			return
+		}
+		r.res.StoreFaults++
+		r.event(step, "store fault: %v", err)
+		if err := r.reopenStore(); err != nil {
+			r.violate(step, "store-unrecoverable", "reopen after fault: %v", err)
+			return
+		}
+		r.event(step, "store reopened: %d records recovered", r.store.Recovery().Records)
+	}
+}
+
+// reopenStore closes the failed store and opens the directory again,
+// re-anchoring the tail at the recovered prefix.
+func (r *runner) reopenStore() error {
+	if err := r.store.Close(); err != nil && !errors.Is(err, auditstore.ErrClosed) {
+		return err
+	}
+	st, err := auditstore.Open(r.store.Dir(), auditstore.Options{
+		SegmentRecords: r.storeSegment(), Hook: r.hook(),
+	})
+	if err != nil {
+		return err
+	}
+	r.store = st
+	r.res.StoreReopens++
+	return r.tail.Rebind(st)
+}
+
+func (r *runner) storeSegment() int {
+	if r.c.StoreSegment != 0 {
+		return r.c.StoreSegment
+	}
+	return 32
+}
+
+// finishStore runs fault-free (armed is false): the final sync must
+// succeed, and the store must then hold exactly the audit stream — the
+// durable trail and the in-memory log cannot diverge.
+func (r *runner) finishStore() {
+	if r.store == nil {
+		return
+	}
+	step := r.c.Steps + 1
+	audit := r.sys.Audit()
+	if _, err := r.tail.Sync(audit); err != nil {
+		// The store may still be failed from the last armed fault.
+		if rerr := r.reopenStore(); rerr != nil {
+			r.violate(step, "store-unrecoverable", "final reopen: %v", rerr)
+			return
+		}
+		if _, err := r.tail.Sync(audit); err != nil {
+			r.violate(step, "store-divergence", "fault-free final sync failed: %v", err)
+			return
+		}
+	}
+	recs, err := auditstore.ScanAll(r.store, auditstore.Query{})
+	if err != nil {
+		r.violate(step, "store-divergence", "final scan: %v", err)
+		return
+	}
+	r.res.StoreRecords = len(recs)
+	if len(recs) != len(audit) {
+		r.violate(step, "store-divergence",
+			"store holds %d records, audit stream has %d", len(recs), len(audit))
+		return
+	}
+	for i, rec := range recs {
+		if rec.Decision() != audit[i] {
+			r.violate(step, "store-divergence",
+				"record %d diverged:\n store %+v\n audit %+v", i+1, rec.Decision(), audit[i])
+			return
+		}
+	}
+	if err := r.store.Close(); err != nil {
+		r.violate(step, "store-divergence", "final close: %v", err)
 	}
 }
 

@@ -71,6 +71,20 @@ const (
 	// error (transient I/O error; sensitive-device opens additionally
 	// record an audit denial so the failure is never silent).
 	PointKernelOpen Point = "kernel.open"
+	// PointStoreAppend covers the durable audit store's segment write.
+	// Injectable: error (torn write: half the framed line reaches the
+	// segment) and crash (the process dies before any byte lands).
+	// Either way the store fails closed until reopened.
+	PointStoreAppend Point = "auditstore.append"
+	// PointStoreRotate covers segment rotation, evaluated at each
+	// protocol window (before sealing the active segment; after the
+	// seal, before the fresh segment exists). Injectable: crash.
+	PointStoreRotate Point = "auditstore.rotate"
+	// PointStoreCompact covers compaction of sealed segments, evaluated
+	// at each protocol window (before staging; mid-stage with a torn
+	// tmp; staged but not renamed; renamed but sources not yet
+	// removed). Injectable: crash.
+	PointStoreCompact Point = "auditstore.compact"
 )
 
 // Points returns every known fault point, in stable order.
@@ -84,6 +98,9 @@ func Points() []Point {
 		PointShmTimer,
 		PointAlertRender,
 		PointKernelOpen,
+		PointStoreAppend,
+		PointStoreRotate,
+		PointStoreCompact,
 	}
 }
 

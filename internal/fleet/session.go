@@ -42,6 +42,12 @@ type Session struct {
 	// in-flight decisions).
 	tel *sessionTel
 
+	// auditSink is the optional durable audit callback (SetAuditSink),
+	// invoked under the audit lock so sink order matches ring order.
+	// Nil for the (default) ring-only tenant. Set before traffic
+	// starts, like tel.
+	auditSink func(monitor.Decision)
+
 	mu    sync.RWMutex // guards procs
 	procs map[int]*sessionProc
 }
@@ -131,6 +137,16 @@ func (s *Session) LatencyHist() *telemetry.LatencyHist {
 		return nil
 	}
 	return s.tel.latency
+}
+
+// SetAuditSink attaches a callback that receives every decision the
+// session audits, in audit order — the bridge from the bounded
+// per-session ring to a durable store (auditstore.SessionSink). Nil
+// detaches. Like SetTelemetry it must be set before traffic starts;
+// the callback runs inside the audit critical section and must not
+// block or call back into the session.
+func (s *Session) SetAuditSink(fn func(monitor.Decision)) {
+	s.auditSink = fn
 }
 
 // SetDegraded flips this session into fail-closed degraded mode.
@@ -314,9 +330,13 @@ func (s *Session) DecideNanos(pid int, op monitor.Op, nanos int64) (monitor.Verd
 	return verdict, nil
 }
 
-// appendAudit appends one decision to the session ring, oldest-out.
+// appendAudit appends one decision to the session ring, oldest-out,
+// and forwards it to the audit sink when one is attached.
 func (s *Session) appendAudit(d *monitor.Decision) {
 	if s.auditCap == 0 {
+		if sink := s.auditSink; sink != nil {
+			sink(*d)
+		}
 		return
 	}
 	a := &s.audit
@@ -334,6 +354,10 @@ func (s *Session) appendAudit(d *monitor.Decision) {
 		a.n++
 	}
 	*e = *d
+	if sink := s.auditSink; sink != nil {
+		// Under a.mu: the sink sees decisions in exactly ring order.
+		sink(*d)
+	}
 	a.mu.Unlock()
 }
 

@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"overhaul/internal/monitor"
+)
+
+// TestSessionAuditSink pins the durable-audit bridge: an attached sink
+// sees every decision the session makes, in audit order, even after
+// the bounded ring has started evicting — the sink is how a tenant's
+// trail outlives the ring.
+func TestSessionAuditSink(t *testing.T) {
+	f := newTestFleet(t, Config{AuditCapacity: 4})
+	s := f.CreateSession()
+	var sunk []monitor.Decision
+	s.SetAuditSink(func(d monitor.Decision) { sunk = append(sunk, d) })
+	pid, err := s.Spawn()
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := s.Notify(pid, base); err != nil {
+		t.Fatalf("Notify: %v", err)
+	}
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := s.Decide(pid, monitor.OpMic, base.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatalf("Decide %d: %v", i, err)
+		}
+	}
+
+	if len(sunk) != n {
+		t.Fatalf("sink saw %d decisions, want %d", len(sunk), n)
+	}
+	ring := s.Audit()
+	if len(ring) != 4 {
+		t.Fatalf("ring holds %d decisions, want 4 (capacity)", len(ring))
+	}
+	// The ring is the tail of the sink stream, element for element.
+	for i, d := range ring {
+		if sunk[n-4+i] != d {
+			t.Fatalf("ring[%d] != sink[%d]:\n ring %+v\n sink %+v", i, n-4+i, d, sunk[n-4+i])
+		}
+	}
+	// Sink order is decision order: op times ascend.
+	for i := 1; i < len(sunk); i++ {
+		if sunk[i].OpTime.Before(sunk[i-1].OpTime) {
+			t.Fatalf("sink out of order at %d: %v after %v", i, sunk[i].OpTime, sunk[i-1].OpTime)
+		}
+	}
+}
