@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint lint-baseline test race bench bench-compare fleet fuzz chaos store ci
+.PHONY: all build fmt vet lint lint-baseline test race bench bench-compare fleet fuzz chaos store multiview ci
 
 all: build
 
@@ -63,8 +63,10 @@ bench:
 # baseline. Fails on >25 % ns/op or any allocs/op regression on the
 # gated benchmarks (see overhaul-benchjson -diff). Blocking in CI:
 # the noise a shared runner adds is absorbed by min-of-count=5 wall
-# clock, the 25 % ns budget, and alloc-only gating of oversubscribed
-# -cpu rows and the sub-100ns / syscall-bound BenchmarkStore rows.
+# clock, the 25 % ns budget, a 10 ns absolute noise floor (a relative
+# budget on a sub-ns row like an unattached probe hook gates timer
+# jitter, not code), and alloc-only gating of oversubscribed -cpu rows
+# and the sub-100ns / syscall-bound BenchmarkStore rows.
 # A PR that deliberately trades decision-path performance carries the
 # `skip-bench-gate` label and refreshes the baseline via `make bench`
 # in the same change.
@@ -84,12 +86,14 @@ fleet:
 	$(GO) run ./cmd/overhaul-top -fleet 64 -mix bot-storm > /dev/null
 
 # Short fuzz pass over the stamp-propagation invariants, the devfs
-# helper protocol codec, and the audit-store segment codec.
+# helper protocol codec, the audit-store segment codec, and the probe
+# spec compiler (parse → String → parse round trip).
 fuzz:
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzMsgQueueStampPropagation$$' -fuzztime=10s
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzShmStampPropagation$$' -fuzztime=10s
 	$(GO) test ./internal/devfs -run='^$$' -fuzz='^FuzzMappingCodec$$' -fuzztime=10s
 	$(GO) test ./internal/auditstore -run='^$$' -fuzz='^FuzzSegmentDecode$$' -fuzztime=10s
+	$(GO) test ./internal/probe -run='^$$' -fuzz='^FuzzProbeSpec$$' -fuzztime=10s
 
 # Seeded chaos campaigns: all fault kinds armed, plus the mid-session
 # channel-kill scenario. Deterministic — a failure reproduces from the
@@ -113,5 +117,15 @@ store:
 	$(GO) run ./cmd/overhaul-top -store $(STOREDIR) -since 5m -json > /dev/null
 	rm -rf $(STOREDIR)
 
-ci: fmt build vet lint race bench fleet fuzz chaos store
+# Probe multiview overhead report: every probe-hooked hot path timed in
+# three modes (probes off, attached-idle, attached-matching + full
+# telemetry). -gate fails if any benchmark's off→idle overhead exceeds
+# the 10% budget (with a 10ns/op absolute floor for sub-noise deltas);
+# the JSON must satisfy the same checker that gates BENCH_overhaul.json.
+multiview:
+	$(GO) run ./cmd/overhaul-multiview -k 3 -ops 5000 -json multiview.json -html multiview.html -gate
+	$(GO) run ./cmd/overhaul-benchjson -check multiview.json
+	@rm -f multiview.json multiview.html
+
+ci: fmt build vet lint race bench fleet fuzz chaos store multiview
 	$(GO) run ./cmd/overhaul-benchjson -check BENCH_overhaul.json

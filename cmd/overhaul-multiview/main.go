@@ -1,0 +1,78 @@
+// Command overhaul-multiview runs the probe layer's libMicro-style
+// multiview overhead report: every probe-hooked hot path measured K
+// times in three modes (probes off, attached-idle, attached-matching
+// with full telemetry), minima compared, and — with -gate — the
+// off→idle overhead held to the issue's 10% budget per benchmark.
+//
+// Usage:
+//
+//	overhaul-multiview [-k 5] [-ops 20000] [-json FILE] [-html FILE]
+//	                   [-gate] [-budget 10] [-floor 10]
+//
+// The -json document is compatible with overhaul-benchjson -check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overhaul/internal/multiview"
+)
+
+func main() {
+	var (
+		k      = flag.Int("k", multiview.DefaultK, "repetitions per (benchmark, mode); minimum wins")
+		ops    = flag.Int("ops", multiview.DefaultOps, "operations per repetition")
+		jsonP  = flag.String("json", "", "write benchjson-compatible results to this file")
+		htmlP  = flag.String("html", "", "write the HTML comparison report to this file")
+		gate   = flag.Bool("gate", false, "exit 1 if any benchmark's off→idle overhead exceeds the budget")
+		budget = flag.Float64("budget", multiview.DefaultBudgetPct, "off→idle overhead budget in percent")
+		floor  = flag.Float64("floor", multiview.DefaultFloorNs, "absolute ns/op floor below which the gate never fails")
+	)
+	flag.Parse()
+
+	if err := run(*k, *ops, *jsonP, *htmlP, *gate, *budget, *floor); err != nil {
+		fmt.Fprintln(os.Stderr, "overhaul-multiview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k, ops int, jsonPath, htmlPath string, gate bool, budget, floor float64) error {
+	rep, err := multiview.Run(multiview.Options{K: k, Ops: ops})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Text())
+
+	if jsonPath != "" {
+		out, err := rep.BenchJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if htmlPath != "" {
+		out, err := rep.HTML(budget, floor)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(htmlPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", htmlPath)
+	}
+	if gate {
+		if fails := rep.Gate(budget, floor); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "GATE FAIL:", f)
+			}
+			return fmt.Errorf("%d of %d benchmarks over the %.0f%% off→idle budget", len(fails), len(rep.Rows), budget)
+		}
+		fmt.Printf("gate ok: all %d benchmarks within the %.0f%% off→idle budget\n", len(rep.Rows), budget)
+	}
+	return nil
+}

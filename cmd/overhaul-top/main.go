@@ -14,6 +14,13 @@
 //	overhaul-top -trace 4  # the span tree of the trace containing span 4
 //	overhaul-top -watch    # re-render the dashboard after each round
 //
+// Probe mode attaches an eBPF-style probe before the workload runs and
+// prints the matched event stream afterwards — the live-tracing path:
+//
+//	overhaul-top -probe ""                          # match-all firehose
+//	overhaul-top -probe "hook=kernel.decide verdict=deny"
+//	overhaul-top -probe "op=open dev=mic"           # device opens only
+//
 // Fleet mode aggregates across many sessions instead of tracing one
 // system: it boots a fleet, replays a deterministic traffic mix into
 // every session, and prints fleet-wide totals plus the sessions with
@@ -44,6 +51,8 @@ import (
 	"overhaul/internal/clock"
 	"overhaul/internal/core"
 	"overhaul/internal/devfs"
+	"overhaul/internal/monitor"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 )
 
@@ -66,7 +75,9 @@ func run() int {
 	verdict := flag.String("verdict", "", "store query: only this verdict (grant|deny)")
 	reason := flag.String("reason", "", "store query: only reasons containing this substring")
 	limit := flag.Int("limit", 0, "store query: cap the records printed (0 = all)")
+	probeSpec := flag.String("probe", "-", `attach a probe spec (e.g. "hook=kernel.decide verdict=deny"; "" = match all) and print its events after the workload`)
 	flag.Parse()
+	probeOn := *probeSpec != "-"
 
 	q := storeQuery{
 		since: *since, pid: *pid, verdict: *verdict,
@@ -85,11 +96,24 @@ func run() int {
 
 	clk := clock.NewSimulated()
 	tel := telemetry.New(clk)
+	var (
+		reg       *probe.Registry
+		probeRing *probe.Ring
+	)
+	if probeOn {
+		reg = probe.NewRegistry()
+		probeRing = probe.NewRing(4096)
+		if _, err := reg.AttachSpec(*probeSpec, probeRing); err != nil {
+			fmt.Fprintln(os.Stderr, "overhaul-top:", err)
+			return 2
+		}
+	}
 	sys, err := core.Boot(core.Options{
 		Clock:       clk,
 		Enforce:     true,
 		AlertSecret: "tabby-cat",
 		Telemetry:   tel,
+		Probes:      reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "overhaul-top:", err)
@@ -134,7 +158,34 @@ func run() int {
 	case !*watch:
 		dashboard(tel)
 	}
+	if probeOn && !*jsonOut && *traceSpan == 0 {
+		printProbes(reg, probeRing)
+	}
 	return 0
+}
+
+// printProbes renders the attached probes and the event stream their
+// rings captured during the workload.
+func printProbes(reg *probe.Registry, ring *probe.Ring) {
+	fmt.Println("== probes ==")
+	for _, info := range reg.List() {
+		spec := info.Spec
+		if spec == "" {
+			spec = "(match all)"
+		}
+		fmt.Printf("probe %d %s hooks=%d matched=%d dropped=%d\n",
+			info.ID, spec, len(info.Hooks), info.Matched, info.Dropped)
+	}
+	buf := make([]probe.Event, 256)
+	for {
+		n := ring.ReadBatch(buf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			fmt.Println(buf[i].Format(monitor.DefaultThreshold))
+		}
+	}
 }
 
 // round replays one deterministic interaction sequence: a click that

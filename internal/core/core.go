@@ -25,6 +25,7 @@ import (
 	"overhaul/internal/kernel"
 	"overhaul/internal/monitor"
 	"overhaul/internal/netlink"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 	"overhaul/internal/xserver"
 )
@@ -158,6 +159,11 @@ type Options struct {
 	// (metrics, decision-path spans, flight recorder). Nil disables
 	// instrumentation at zero cost.
 	Telemetry *telemetry.Recorder
+	// Probes, when non-nil, arms the probe attach points across every
+	// subsystem (kernel, monitor, xserver, netlink). Nil (the default)
+	// leaves the system uninstrumented: each hook then costs a single
+	// nil check.
+	Probes *probe.Registry
 }
 
 // System is a booted Overhaul machine.
@@ -265,6 +271,7 @@ func Boot(opts Options) (*System, error) {
 			ForceGrant:    opts.ForceGrant,
 			AuditCapacity: opts.AuditCapacity,
 			Telemetry:     opts.Telemetry,
+			Probes:        opts.Probes,
 		},
 		DisablePtraceGuard: opts.DisablePtraceGuard,
 		DeviceInitRounds:   opts.DeviceInitRounds,
@@ -296,6 +303,7 @@ func Boot(opts Options) (*System, error) {
 	}
 	hub.SetFaultHook(opts.FaultHook)
 	hub.SetTelemetry(opts.Telemetry)
+	hub.SetProbes(opts.Probes)
 	hub.SetKernelHandler(func(msg any) (any, error) {
 		switch m := msg.(type) {
 		case interactionMsg:
@@ -395,6 +403,7 @@ func Boot(opts Options) (*System, error) {
 		DisableXTest:        opts.DisableXTest,
 		FaultHook:           opts.FaultHook,
 		Telemetry:           opts.Telemetry,
+		Probes:              opts.Probes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

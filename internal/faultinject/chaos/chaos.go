@@ -36,6 +36,7 @@ import (
 	"overhaul/internal/ipc"
 	"overhaul/internal/kernel"
 	"overhaul/internal/monitor"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 	"overhaul/internal/xserver"
 )
@@ -74,6 +75,12 @@ type Campaign struct {
 	// selects a small campaign-friendly size (32) so rotation and
 	// compaction actually happen within a default-length run.
 	StoreSegment int
+	// ProbeRing is the capacity of the campaign's observer probe ring
+	// (a match-all probe attached to kernel.decide). Zero selects 1024;
+	// small values force overflow under probe.ring reader-stall faults,
+	// which must only ever increment the drop counter — never block or
+	// perturb a decision.
+	ProbeRing int
 }
 
 // Violation is one invariant breach found by the online checker.
@@ -108,6 +115,13 @@ type Result struct {
 	StoreRecords int `json:"store_records,omitempty"`
 	StoreFaults  int `json:"store_faults,omitempty"`
 	StoreReopens int `json:"store_reopens,omitempty"`
+	// Probe accounting for the campaign's kernel.decide observer probe:
+	// events matched at the hook, consumed by the batched reader,
+	// dropped on ring overflow, and reader stalls injected.
+	ProbeMatched uint64 `json:"probe_matched"`
+	ProbeRead    uint64 `json:"probe_read"`
+	ProbeDropped uint64 `json:"probe_dropped"`
+	ProbeStalls  uint64 `json:"probe_stalls"`
 }
 
 // Ok reports whether every invariant held.
@@ -160,6 +174,18 @@ type runner struct {
 	res       *Result
 	store     *auditstore.FileStore
 	tail      *auditstore.Tail
+
+	// The observer probe: a match-all predicate on kernel.decide whose
+	// ring is drained once per step. Its fault injector is a SEPARATE
+	// seeded stream from the main one, so probe.ring reader stalls
+	// consume no randomness from the fault schedule the system under
+	// test sees — a probed and an unprobed campaign with the same seed
+	// make byte-identical decisions.
+	probeInj  *faultinject.Injector
+	probeRing *probe.Ring
+	probeObs  *probe.Probe
+	probeBuf  []probe.Event
+	probeRead uint64
 }
 
 // hook gates the injector behind r.armed so that the setup and the
@@ -202,7 +228,24 @@ func Run(c Campaign) (*Result, error) {
 	if c.Steps <= 0 {
 		c.Steps = DefaultSteps
 	}
-	inj, err := faultinject.New(c.Seed, c.Rules...)
+	// probe.ring rules drive the observer's reader stalls and are
+	// evaluated on their own injector stream; everything else feeds the
+	// system under test. The partition keeps the main fault schedule —
+	// and therefore every decision — independent of whether a probe is
+	// watching.
+	var mainRules, probeRules []faultinject.Rule
+	for _, rule := range c.Rules {
+		if rule.Point == faultinject.PointProbeRing {
+			probeRules = append(probeRules, rule)
+		} else {
+			mainRules = append(mainRules, rule)
+		}
+	}
+	inj, err := faultinject.New(c.Seed, mainRules...)
+	if err != nil {
+		return nil, err
+	}
+	probeInj, err := faultinject.New(c.Seed^0x9b0be5eed, probeRules...)
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +261,7 @@ func Run(c Campaign) (*Result, error) {
 		c:         c,
 		threshold: threshold,
 		inj:       inj,
+		probeInj:  probeInj,
 		// The recorder rides the campaign's virtual clock, so its
 		// output — like the rest of the transcript — is a pure function
 		// of the seed.
@@ -228,6 +272,7 @@ func Run(c Campaign) (*Result, error) {
 		res: &Result{Seed: c.Seed, Steps: c.Steps},
 	}
 
+	reg := probe.NewRegistry()
 	sys, err := core.Boot(core.Options{
 		Clock:       clk,
 		Enforce:     true,
@@ -235,6 +280,7 @@ func Run(c Campaign) (*Result, error) {
 		AlertSecret: "chaos-cat",
 		FaultHook:   r.hook(),
 		Telemetry:   r.tel,
+		Probes:      reg,
 		// Large enough that the checker never loses records to ring
 		// eviction mid-campaign.
 		AuditCapacity: 1 << 16,
@@ -243,6 +289,26 @@ func Run(c Campaign) (*Result, error) {
 		return nil, fmt.Errorf("chaos: boot: %w", err)
 	}
 	r.sys = sys
+
+	// The observer probe sees every decision record the audit log
+	// sees; the end-of-run check asserts the two streams never
+	// diverge in count, whatever faults the ring reader ate.
+	ringCap := c.ProbeRing
+	if ringCap == 0 {
+		ringCap = 1024
+	}
+	r.probeRing = probe.NewRing(ringCap)
+	r.probeRing.SetFaultHook(func(p faultinject.Point) faultinject.Fault {
+		if !r.armed {
+			return faultinject.Fault{Point: p}
+		}
+		return r.probeInj.Eval(p)
+	})
+	r.probeBuf = make([]probe.Event, 256)
+	if r.probeObs, err = reg.AttachSpec("hook=kernel.decide", r.probeRing); err != nil {
+		return nil, fmt.Errorf("chaos: attach probe: %w", err)
+	}
+
 	if err := r.setup(); err != nil {
 		return nil, err
 	}
@@ -280,12 +346,14 @@ func Run(c Campaign) (*Result, error) {
 			}
 		}
 		r.step(step)
+		r.drainProbe()
 		r.syncStore(step)
 	}
 	r.armed = false
 
 	r.finish()
 	r.finishStore()
+	r.finishProbe()
 
 	r.res.Schedule = inj.Schedule()
 	for _, d := range sys.Audit() {
@@ -564,6 +632,48 @@ func (r *runner) finish() {
 		}
 		r.checkGrants(step, before)
 		r.event(step, "post-reconnect probes done")
+	}
+}
+
+// drainProbe batch-reads the observer ring after a step. An injected
+// reader stall consumes nothing this step; the backlog (and any
+// overflow drops it causes) is picked up on a later drain. The drain
+// never blocks the system under test — that is the point.
+func (r *runner) drainProbe() {
+	for {
+		n := r.probeRing.ReadBatch(r.probeBuf)
+		if n == 0 {
+			return
+		}
+		r.probeRead += uint64(n)
+	}
+}
+
+// finishProbe runs the probe layer's end-of-run invariants, fault-free
+// (armed is false, so the final drain cannot stall):
+//
+//  1. Accounting closes: every matched event was either read or
+//     counted as an overflow drop — nothing vanished.
+//  2. Probe ≡ audit: the observer matched exactly one event per audit
+//     record. A stalled or overflowing ring loses events, never
+//     decisions.
+func (r *runner) finishProbe() {
+	step := r.c.Steps + 1
+	r.drainProbe()
+	st := r.probeRing.Stats()
+	matched := r.probeObs.Matched()
+	r.res.ProbeMatched = matched
+	r.res.ProbeRead = r.probeRead
+	r.res.ProbeDropped = st.Dropped
+	r.res.ProbeStalls = st.Stalls
+	if r.probeRead != st.Published || st.Published+st.Dropped != matched {
+		r.violate(step, "probe-accounting",
+			"matched %d != published %d (read %d) + dropped %d",
+			matched, st.Published, r.probeRead, st.Dropped)
+	}
+	if audit := r.sys.Audit(); matched != uint64(len(audit)) {
+		r.violate(step, "probe-audit-divergence",
+			"observer matched %d decide events, audit log has %d records", matched, len(audit))
 	}
 }
 

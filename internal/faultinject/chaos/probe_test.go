@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"testing"
+
+	"overhaul/internal/faultinject"
+)
+
+// TestCampaignProbeAccountingFaultFree: with no faults the observer
+// probe must see exactly the audit stream — matched == read, zero
+// drops, zero stalls — and the accounting invariants must hold.
+func TestCampaignProbeAccountingFaultFree(t *testing.T) {
+	res, err := Run(Campaign{Seed: 3, Steps: 120})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.Transcript())
+	}
+	if res.ProbeMatched == 0 {
+		t.Fatal("observer probe matched nothing; hook not armed?")
+	}
+	if res.ProbeMatched != res.ProbeRead || res.ProbeDropped != 0 || res.ProbeStalls != 0 {
+		t.Fatalf("fault-free probe accounting: matched=%d read=%d dropped=%d stalls=%d",
+			res.ProbeMatched, res.ProbeRead, res.ProbeDropped, res.ProbeStalls)
+	}
+	if res.ProbeMatched != uint64(len(res.AuditLines)) {
+		t.Fatalf("probe matched %d, audit has %d lines", res.ProbeMatched, len(res.AuditLines))
+	}
+}
+
+// TestCampaignProbeOverflowNeverPerturbsDecisions is the satellite's
+// chaos invariant, twin-campaign form: the same seed is run once
+// untouched and once with a tiny observer ring under a 90% reader
+// stall — forcing overflow — and the two campaigns' audit streams must
+// be byte-identical. A watching probe that is starving can only lose
+// its own events (counted in the drop counter); it can never block a
+// decision or shift the fault schedule.
+func TestCampaignProbeOverflowNeverPerturbsDecisions(t *testing.T) {
+	base := Campaign{Seed: 42, Steps: 200, Rules: faultinject.DefaultRules()}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatalf("Run clean: %v", err)
+	}
+
+	stalled := base
+	stalled.ProbeRing = 8
+	stalled.Rules = append(append([]faultinject.Rule{}, base.Rules...), faultinject.Rule{
+		Point: faultinject.PointProbeRing,
+		Kind:  faultinject.KindError,
+		Prob:  0.9,
+	})
+	starved, err := Run(stalled)
+	if err != nil {
+		t.Fatalf("Run stalled: %v", err)
+	}
+
+	if !clean.Ok() {
+		t.Fatalf("clean campaign violations:\n%s", clean.Transcript())
+	}
+	if !starved.Ok() {
+		t.Fatalf("starved campaign violations:\n%s", starved.Transcript())
+	}
+	if starved.ProbeStalls == 0 {
+		t.Fatal("stall rule at prob=0.9 never fired")
+	}
+	if starved.ProbeDropped == 0 {
+		t.Fatal("8-slot ring under 90% reader stall never overflowed; the scenario is not exercising drop-on-full")
+	}
+	if got, want := starved.ProbeRead+starved.ProbeDropped, starved.ProbeMatched; got != want {
+		t.Fatalf("starved accounting: read %d + dropped %d != matched %d",
+			starved.ProbeRead, starved.ProbeDropped, want)
+	}
+
+	// The decision streams are byte-identical: overflow cost the
+	// observer its events, not the system its behaviour.
+	if len(clean.AuditLines) != len(starved.AuditLines) {
+		t.Fatalf("audit diverged: %d vs %d records", len(clean.AuditLines), len(starved.AuditLines))
+	}
+	for i := range clean.AuditLines {
+		if clean.AuditLines[i] != starved.AuditLines[i] {
+			t.Fatalf("audit record %d diverged:\nclean   %s\nstarved %s",
+				i, clean.AuditLines[i], starved.AuditLines[i])
+		}
+	}
+	if clean.Schedule != starved.Schedule {
+		t.Fatal("main fault schedule shifted when probe.ring rules were added; the probe injector is not isolated")
+	}
+}

@@ -85,6 +85,11 @@ const (
 	// tmp; staged but not renamed; renamed but sources not yet
 	// removed). Injectable: crash.
 	PointStoreCompact Point = "auditstore.compact"
+	// PointProbeRing covers the probe perf-ring's batched reader.
+	// Injectable: error (reader stall: one batch read returns nothing
+	// and consumes nothing, so publishers keep filling the ring until
+	// overflow turns into counted drops — never into blocking).
+	PointProbeRing Point = "probe.ring"
 )
 
 // Points returns every known fault point, in stable order.
@@ -101,6 +106,7 @@ func Points() []Point {
 		PointStoreAppend,
 		PointStoreRotate,
 		PointStoreCompact,
+		PointProbeRing,
 	}
 }
 
@@ -501,5 +507,6 @@ func DefaultRules() []Rule {
 		{Point: PointShmTimer, Kind: KindError, Prob: 0.10},
 		{Point: PointAlertRender, Kind: KindError, Prob: 0.10},
 		{Point: PointKernelOpen, Kind: KindError, Prob: 0.05},
+		{Point: PointProbeRing, Kind: KindError, Prob: 0.25},
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"overhaul/internal/monitor"
+	"overhaul/internal/probe"
 	"overhaul/internal/workload"
 )
 
@@ -114,6 +115,9 @@ type Config struct {
 	// AuditCapacity bounds each session's audit ring. Sessions are
 	// numerous, so the default is deliberately small: 64 records.
 	AuditCapacity int
+	// Probes, when non-nil, arms the fleet.dispatch attach point,
+	// fired for every ingress request routed to a session.
+	Probes *probe.Registry
 }
 
 // DefaultAuditCapacity is the per-session audit ring size. 64 records
@@ -136,6 +140,9 @@ type sessionShard struct {
 type Fleet struct {
 	tables   atomic.Pointer[Tables]
 	auditCap int // immutable after New
+	// probeDispatch is the fleet.dispatch attach point, resolved once
+	// at New; one atomic load per ingress request while unattached.
+	probeDispatch *probe.Hook
 
 	shards [sessionShards]sessionShard
 	nextID atomic.Uint64
@@ -178,6 +185,7 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("fleet: negative audit capacity %d", auditCap)
 	}
 	f := &Fleet{auditCap: auditCap}
+	f.probeDispatch = cfg.Probes.Hook(probe.HookFleetDispatch)
 	f.tables.Store(&Tables{policy: pol, alertOps: alertOps, apps: apps, gen: 1})
 	for i := range f.shards {
 		f.shards[i].m = make(map[uint64]*Session)
@@ -364,13 +372,33 @@ func (f *Fleet) Dispatch(req Request) (monitor.Verdict, error) {
 	if !ok {
 		return 0, ErrNoSuchSession
 	}
+	var (
+		v   monitor.Verdict
+		err error
+	)
 	switch req.Kind {
 	case RequestNotify:
-		return 0, s.NotifyNanos(req.PID, req.Time)
+		err = s.NotifyNanos(req.PID, req.Time)
 	case RequestDecide:
-		v, err := s.DecideNanos(req.PID, req.Op, req.Time)
-		return v, err
+		v, err = s.DecideNanos(req.PID, req.Op, req.Time)
 	default:
 		return 0, fmt.Errorf("fleet: unknown request kind %d", req.Kind)
 	}
+	if f.probeDispatch.Wants(int64(req.PID)) {
+		ev := probe.Event{
+			TimeNanos: req.Time,
+			Session:   req.SessionID,
+			PID:       int64(req.PID),
+			Kind:      probe.KindDispatch,
+			Dev:       probe.DevOf(string(req.Op)),
+		}
+		switch v {
+		case monitor.VerdictGrant:
+			ev.Verdict = probe.VerdictGrant
+		case monitor.VerdictDeny:
+			ev.Verdict = probe.VerdictDeny
+		}
+		f.probeDispatch.Emit(ev)
+	}
+	return v, err
 }

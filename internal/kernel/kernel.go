@@ -28,6 +28,7 @@ import (
 	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 	"overhaul/internal/monitor"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 )
 
@@ -121,6 +122,10 @@ type Kernel struct {
 	mon    *monitor.Monitor
 	faults faultinject.Hook    // immutable after New
 	tel    *telemetry.Recorder // immutable after New; nil-safe
+	// probeOpen is the kernel.open attach point, resolved once at New;
+	// one atomic load per open while unattached (nil check when no
+	// registry was configured).
+	probeOpen *probe.Hook
 
 	table   *procTable
 	nextPID atomic.Int64
@@ -163,6 +168,7 @@ func New(clk clock.Clock, fsys *fs.FS, cfg Config) (*Kernel, error) {
 		ipc:        newIPCTables(),
 	}
 	k.ptraceGuard.Store(!cfg.DisablePtraceGuard)
+	k.probeOpen = cfg.Monitor.Probes.Hook(probe.HookKernelOpen)
 	mon, err := monitor.New(clk, (*taskStore)(k), cfg.Monitor)
 	if err != nil {
 		return nil, fmt.Errorf("kernel: %w", err)

@@ -8,6 +8,7 @@ import (
 	"overhaul/internal/faultinject"
 	"overhaul/internal/fs"
 	"overhaul/internal/monitor"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 )
 
@@ -23,6 +24,36 @@ func opForClass(c devfs.Class) monitor.Op {
 	default:
 		return monitor.OpOther
 	}
+}
+
+// devForClass maps a sensitive device class to the probe-layer device
+// vocabulary (same mapping as opForClass, interned).
+func devForClass(c devfs.Class) probe.Dev {
+	switch c {
+	case devfs.ClassMicrophone:
+		return probe.DevMic
+	case devfs.ClassCamera:
+		return probe.DevCam
+	default:
+		return probe.DevOther
+	}
+}
+
+// emitOpen publishes a kernel.open probe event. Callers gate on
+// k.probeOpen.Armed() so the unattached open path pays one atomic load
+// and nothing else.
+func (k *Kernel) emitOpen(pid int, class devfs.Class, sensitive bool, v probe.Verdict, reason probe.Reason) {
+	ev := probe.Event{
+		TimeNanos: k.clk.Now().UnixNano(),
+		PID:       int64(pid),
+		Kind:      probe.KindOpen,
+		Reason:    reason,
+	}
+	if sensitive {
+		ev.Dev = devForClass(class)
+		ev.Verdict = v
+	}
+	k.probeOpen.Emit(ev)
 }
 
 // Open is the augmented open(2): normal UNIX access control first, then
@@ -90,6 +121,9 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 			k.mon.RecordDenialCtx(span.Context(), p.PID(), opForClass(class), k.clk.Now(),
 				"transient open failure: fail closed")
 		}
+		if k.probeOpen.Wants(int64(p.PID())) {
+			k.emitOpen(p.PID(), class, sensitive, probe.VerdictDeny, probe.ReasonFailClosed)
+		}
 		_ = h.Close()
 		return nil, fmt.Errorf("open %s by pid %d: %w: %v", path, p.PID(), ErrTransientIO, f.Err)
 	}
@@ -98,8 +132,14 @@ func (k *Kernel) Open(p *Process, path string, access fs.Access) (*fs.Handle, er
 		verdict := k.mon.DecideCtx(span.Context(), p.PID(), opForClass(class), k.clk.Now())
 		if verdict != monitor.VerdictGrant {
 			k.stats.denials.Add(1)
+			if k.probeOpen.Wants(int64(p.PID())) {
+				k.emitOpen(p.PID(), class, sensitive, probe.VerdictDeny, probe.ReasonNone)
+			}
 			return nil, fmt.Errorf("open %s (%s) by pid %d: %w", path, class, p.PID(), ErrAccessDenied)
 		}
+	}
+	if k.probeOpen.Wants(int64(p.PID())) {
+		k.emitOpen(p.PID(), class, sensitive, probe.VerdictGrant, probe.ReasonNone)
 	}
 	return h, nil
 }

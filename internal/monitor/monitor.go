@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"overhaul/internal/clock"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 )
 
@@ -198,6 +199,11 @@ type Config struct {
 	// flight-recorder events. Nil disables instrumentation entirely
 	// (zero allocations on the Decide hot path).
 	Telemetry *telemetry.Recorder
+	// Probes, when non-nil, arms the monitor's probe attach points
+	// (monitor.evaluate, monitor.audit, kernel.decide). Nil leaves the
+	// hooks unresolved; each attach point then costs a single nil check
+	// on the decision path.
+	Probes *probe.Registry
 }
 
 // defaultAlertOps covers the kernel-mediated device operations. Screen
@@ -283,6 +289,13 @@ type Monitor struct {
 	auditCap  int
 	tel       *telemetry.Recorder // nil-safe; nil means disabled
 
+	// Probe attach points, resolved once at construction. Each costs
+	// one atomic load per decision while unattached (nil when the
+	// monitor was built without a probe registry: one nil check).
+	probeEval   *probe.Hook // monitor.evaluate
+	probeAudit  *probe.Hook // monitor.audit
+	probeDecide *probe.Hook // kernel.decide
+
 	alertFn  atomic.Value           // AlertFunc (typed nil disables)
 	degraded atomic.Pointer[string] // nil: healthy; else fail-closed reason
 	seq      atomic.Uint64          // global audit sequence
@@ -355,6 +368,9 @@ func New(clk clock.Clock, tasks TaskStore, cfg Config) (*Monitor, error) {
 	}
 	m.spanTasks, _ = tasks.(SpanTaskStore)
 	m.fastTasks, _ = tasks.(FastTaskStore)
+	m.probeEval = cfg.Probes.Hook(probe.HookMonitorEvaluate)
+	m.probeAudit = cfg.Probes.Hook(probe.HookMonitorAudit)
+	m.probeDecide = cfg.Probes.Hook(probe.HookKernelDecide)
 	if tel := cfg.Telemetry; tel.Enabled() {
 		// Resolve every handle the decision path can hit once, here.
 		// Never-updated handles stay invisible in snapshots, so this
@@ -494,8 +510,43 @@ func (m *Monitor) DegradedReason() (string, bool) {
 	return "", false
 }
 
+// probeDevs maps opIndex to the probe-layer device class.
+var probeDevs = [6]probe.Dev{
+	probe.DevCopy, probe.DevPaste, probe.DevScreen,
+	probe.DevMic, probe.DevCam, probe.DevOther,
+}
+
+// probeEvent flattens a decision into a probe event. Reasons are
+// interned to codes; dynamic reason text (staleness, δ) is
+// reconstructable from TimeNanos/StampNanos and the threshold, so the
+// event stays fixed-size and the emission allocation-free.
+func probeEvent(kind probe.Kind, d *Decision) probe.Event {
+	ev := probe.Event{
+		TimeNanos: d.OpTime.UnixNano(),
+		PID:       int64(d.PID),
+		Kind:      kind,
+		Reason:    probe.ReasonOf(d.Reason),
+	}
+	if !d.Stamp.IsZero() {
+		ev.StampNanos = d.Stamp.UnixNano()
+	}
+	if i := opIndex(d.Op); i >= 0 {
+		ev.Dev = probeDevs[i]
+	}
+	switch d.Verdict {
+	case VerdictGrant:
+		ev.Verdict = probe.VerdictGrant
+	case VerdictDeny:
+		ev.Verdict = probe.VerdictDeny
+	}
+	return ev
+}
+
 // appendAudit appends one decision to its pid's audit shard.
 func (m *Monitor) appendAudit(d *Decision) {
+	if m.probeAudit.Wants(int64(d.PID)) {
+		m.probeAudit.Emit(probeEvent(probe.KindAudit, d))
+	}
 	// Every audit append is mirrored to a telemetry counter so the
 	// audit log and overhaul-top can never silently disagree.
 	m.mAuditAppends.Add(1)
@@ -590,6 +641,9 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 
 	isDegraded := pol.DegradedDenial(degraded)
 	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: verdict, Reason: reason, Degraded: isDegraded}
+	if m.probeEval.Wants(int64(pid)) {
+		m.probeEval.Emit(probeEvent(probe.KindEvaluate, &d))
+	}
 
 	if verdict == VerdictGrant {
 		m.stats.grants.Add(1)
@@ -600,6 +654,9 @@ func (m *Monitor) DecideCtx(ctx telemetry.SpanContext, pid int, op Op, opTime ti
 		}
 	}
 	m.appendAudit(&d)
+	if m.probeDecide.Wants(int64(pid)) {
+		m.probeDecide.Emit(probeEvent(probe.KindDecide, &d))
+	}
 	alertFn := m.alertSink()
 	oi := opIndex(op)
 	sendAlert := alertFn != nil && (oi >= 0 && m.alertFast[oi] || oi < 0 && m.alertOps[op])
@@ -647,6 +704,9 @@ func (m *Monitor) RecordDenialCtx(ctx telemetry.SpanContext, pid int, op Op, opT
 	d := Decision{PID: pid, Op: op, OpTime: opTime, Stamp: stamp, Verdict: VerdictDeny, Reason: reason}
 	m.stats.denials.Add(1)
 	m.appendAudit(&d)
+	if m.probeDecide.Wants(int64(pid)) {
+		m.probeDecide.Emit(probeEvent(probe.KindDecide, &d))
+	}
 	if m.tel.Enabled() {
 		m.countDecision(op, VerdictDeny)
 		m.mDenialsRecorded.Add(1)

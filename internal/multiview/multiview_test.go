@@ -1,0 +1,137 @@
+package multiview
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSmallMatrix runs the real matrix at a tiny op count and
+// checks every (benchmark, mode) slot was measured.
+func TestRunSmallMatrix(t *testing.T) {
+	rep, err := Run(Options{K: 1, Ops: 300})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.K != 1 || rep.Ops != 300 {
+		t.Fatalf("options not recorded: K=%d Ops=%d", rep.K, rep.Ops)
+	}
+	if len(rep.Rows) != len(benchmarks()) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(benchmarks()))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Rows {
+		if seen[r.Name] {
+			t.Errorf("duplicate row %q", r.Name)
+		}
+		seen[r.Name] = true
+		for _, m := range []Measurement{r.Off, r.Idle, r.Match} {
+			if m.NsPerOp <= 0 {
+				t.Errorf("%s: unmeasured slot %+v", r.Name, m)
+			}
+		}
+	}
+}
+
+// TestBenchJSONShape checks the JSON document is exactly what
+// overhaul-benchjson -check accepts: Benchmark-prefixed keys, positive
+// ns/op, non-negative allocs.
+func TestBenchJSONShape(t *testing.T) {
+	rep := &Report{K: 1, Ops: 10, Rows: []Row{
+		{Name: "Decide",
+			Off:   Measurement{NsPerOp: 100, AllocsPerOp: 0},
+			Idle:  Measurement{NsPerOp: 105, AllocsPerOp: 0},
+			Match: Measurement{NsPerOp: 180, AllocsPerOp: 2}},
+	}}
+	out, err := rep.BenchJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries map[string]Measurement
+	if err := json.Unmarshal(out, &entries); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	for name, e := range entries {
+		if !strings.HasPrefix(name, "BenchmarkMultiviewDecide/mode=") {
+			t.Errorf("bad key %q", name)
+		}
+		if e.NsPerOp <= 0 || e.AllocsPerOp < 0 {
+			t.Errorf("%s: bad entry %+v", name, e)
+		}
+	}
+	if entries["BenchmarkMultiviewDecide/mode=match"].AllocsPerOp != 2 {
+		t.Error("match-mode allocs not preserved")
+	}
+}
+
+// TestGateBudgetAndFloor pins the two-condition gate: a row fails only
+// when it exceeds the relative budget AND the absolute floor.
+func TestGateBudgetAndFloor(t *testing.T) {
+	rep := &Report{Rows: []Row{
+		// 20% over but only +2 ns: under the floor, passes.
+		{Name: "Tiny", Off: Measurement{NsPerOp: 10}, Idle: Measurement{NsPerOp: 12}},
+		// +50 ns but only 5%: under the budget, passes.
+		{Name: "Big", Off: Measurement{NsPerOp: 1000}, Idle: Measurement{NsPerOp: 1050}},
+		// 15% and +30 ns: fails both conditions.
+		{Name: "Bad", Off: Measurement{NsPerOp: 200}, Idle: Measurement{NsPerOp: 230}},
+	}}
+	fails := rep.Gate(DefaultBudgetPct, DefaultFloorNs)
+	if len(fails) != 1 {
+		t.Fatalf("got %d failures %v, want 1", len(fails), fails)
+	}
+	if !strings.Contains(fails[0], "Bad") || !strings.Contains(fails[0], "+15.0%") {
+		t.Errorf("failure line %q does not name the bad row", fails[0])
+	}
+	if rep.Rows[0].OverBudget(DefaultBudgetPct, DefaultFloorNs) {
+		t.Error("Tiny should pass: over budget but under the absolute floor")
+	}
+	if rep.Rows[1].OverBudget(DefaultBudgetPct, DefaultFloorNs) {
+		t.Error("Big should pass: over the floor but under the budget")
+	}
+}
+
+// TestMeasurementMerge pins min-of-K folding with the zero sentinel.
+func TestMeasurementMerge(t *testing.T) {
+	var m Measurement
+	m.merge(Measurement{NsPerOp: 120, AllocsPerOp: 3})
+	if m.NsPerOp != 120 || m.AllocsPerOp != 3 {
+		t.Fatalf("first merge should copy: %+v", m)
+	}
+	m.merge(Measurement{NsPerOp: 110, AllocsPerOp: 5})
+	if m.NsPerOp != 110 {
+		t.Errorf("ns not folded to min: %v", m.NsPerOp)
+	}
+	if m.AllocsPerOp != 3 {
+		t.Errorf("allocs not folded to min: %v", m.AllocsPerOp)
+	}
+}
+
+// TestHTMLReport checks the page renders with rows and the gate
+// verdict.
+func TestHTMLReport(t *testing.T) {
+	rep := &Report{K: 3, Ops: 1000, Rows: []Row{
+		{Name: "Decide", Off: Measurement{NsPerOp: 100}, Idle: Measurement{NsPerOp: 103}, Match: Measurement{NsPerOp: 150}},
+		{Name: "Bad", Off: Measurement{NsPerOp: 200}, Idle: Measurement{NsPerOp: 260}, Match: Measurement{NsPerOp: 300}},
+	}}
+	out, err := rep.HTML(DefaultBudgetPct, DefaultFloorNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(out)
+	for _, want := range []string{"Decide", "Bad", "Gate failures", `class="fail"`, "multiview"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{ModeOff: "off", ModeIdle: "idle", ModeMatch: "match"} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

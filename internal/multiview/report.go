@@ -1,0 +1,214 @@
+package multiview
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"strings"
+)
+
+// Measurement is one benchmark's cost in one mode, in the same shape
+// cmd/overhaul-benchjson records (ns_per_op, allocs_per_op).
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// merge folds another repetition in, keeping the minimum of each
+// metric (libMicro convention: the minimum is the least-disturbed
+// run). A zero NsPerOp marks the slot as not yet measured.
+func (s *Measurement) merge(m Measurement) {
+	if s.NsPerOp == 0 {
+		*s = m
+		return
+	}
+	if m.NsPerOp < s.NsPerOp {
+		s.NsPerOp = m.NsPerOp
+	}
+	if m.AllocsPerOp < s.AllocsPerOp {
+		s.AllocsPerOp = m.AllocsPerOp
+	}
+}
+
+// Row is one benchmark's three-mode comparison.
+type Row struct {
+	Name  string      `json:"name"`
+	Off   Measurement `json:"off"`
+	Idle  Measurement `json:"idle"`
+	Match Measurement `json:"match"`
+}
+
+// mode returns the slot for the given mode.
+func (r *Row) mode(m Mode) *Measurement {
+	switch m {
+	case ModeIdle:
+		return &r.Idle
+	case ModeMatch:
+		return &r.Match
+	}
+	return &r.Off
+}
+
+// IdleDeltaNs is the absolute off→idle cost per op: what arming
+// never-matching probes on every hook adds.
+func (r Row) IdleDeltaNs() float64 { return r.Idle.NsPerOp - r.Off.NsPerOp }
+
+// IdlePct is the off→idle overhead in percent. This is the gated
+// number.
+func (r Row) IdlePct() float64 {
+	if r.Off.NsPerOp == 0 {
+		return 0
+	}
+	return 100 * r.IdleDeltaNs() / r.Off.NsPerOp
+}
+
+// MatchPct is the off→match overhead in percent: predicate + ring
+// publish + batched drain + full telemetry. Reported, not gated.
+func (r Row) MatchPct() float64 {
+	if r.Off.NsPerOp == 0 {
+		return 0
+	}
+	return 100 * (r.Match.NsPerOp - r.Off.NsPerOp) / r.Off.NsPerOp
+}
+
+// OverBudget reports whether this row fails the off→idle gate: the
+// relative overhead exceeds budgetPct AND the absolute delta exceeds
+// floorNs. The floor keeps sub-noise absolute regressions on very
+// short benchmarks from tripping a purely relative budget.
+func (r Row) OverBudget(budgetPct, floorNs float64) bool {
+	return r.IdlePct() > budgetPct && r.IdleDeltaNs() > floorNs
+}
+
+// Report is the full multiview matrix: per-mode minima over K
+// repetitions of Ops operations each.
+type Report struct {
+	K    int   `json:"k"`
+	Ops  int   `json:"ops"`
+	Rows []Row `json:"rows"`
+}
+
+// Gate returns one failure line per benchmark whose off→idle overhead
+// exceeds both the percentage budget and the absolute floor; an empty
+// slice means the report passes.
+func (rep *Report) Gate(budgetPct, floorNs float64) []string {
+	var fails []string
+	for _, r := range rep.Rows {
+		if r.OverBudget(budgetPct, floorNs) {
+			fails = append(fails, fmt.Sprintf(
+				"%s: off→idle +%.1f%% (+%.1f ns/op) exceeds %.0f%% budget",
+				r.Name, r.IdlePct(), r.IdleDeltaNs(), budgetPct))
+		}
+	}
+	return fails
+}
+
+// BenchJSON renders the report as the map[name]Entry document
+// cmd/overhaul-benchjson reads and validates: one entry per
+// (benchmark, mode), keyed BenchmarkMultiview<Name>/mode=<mode>.
+func (rep *Report) BenchJSON() ([]byte, error) {
+	entries := make(map[string]Measurement, 3*len(rep.Rows))
+	for _, r := range rep.Rows {
+		entries["BenchmarkMultiview"+r.Name+"/mode=off"] = r.Off
+		entries["BenchmarkMultiview"+r.Name+"/mode=idle"] = r.Idle
+		entries["BenchmarkMultiview"+r.Name+"/mode=match"] = r.Match
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Text renders the fixed-width comparison table printed to stdout.
+func (rep *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multiview: %d benchmarks × 3 modes, min of %d × %d ops\n",
+		len(rep.Rows), rep.K, rep.Ops)
+	fmt.Fprintf(&b, "%-14s %12s %12s %9s %12s %9s %12s\n",
+		"benchmark", "off ns/op", "idle ns/op", "idle", "match ns/op", "match", "allocs o/i/m")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-14s %12.1f %12.1f %+8.1f%% %12.1f %+8.1f%% %6d/%d/%d\n",
+			r.Name, r.Off.NsPerOp, r.Idle.NsPerOp, r.IdlePct(),
+			r.Match.NsPerOp, r.MatchPct(),
+			r.Off.AllocsPerOp, r.Idle.AllocsPerOp, r.Match.AllocsPerOp)
+	}
+	return b.String()
+}
+
+// htmlRow is one template row with the gate verdict precomputed.
+type htmlRow struct {
+	Row
+	Fail bool
+}
+
+type htmlData struct {
+	K, Ops    int
+	BudgetPct float64
+	FloorNs   float64
+	Rows      []htmlRow
+	Failures  []string
+}
+
+var htmlTmpl = template.Must(template.New("multiview").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Overhaul probe multiview report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #1a1a1a; }
+table { border-collapse: collapse; margin-top: 1rem; }
+th, td { padding: 0.35rem 0.9rem; border-bottom: 1px solid #ddd; text-align: right; }
+th { border-bottom: 2px solid #888; }
+td:first-child, th:first-child { text-align: left; font-family: ui-monospace, monospace; }
+tr.fail td { background: #fde8e8; }
+tr.pass td.gated { background: #e8f5e9; }
+.note { color: #555; max-width: 48rem; }
+.fails { color: #b00020; }
+</style>
+</head>
+<body>
+<h1>Probe multiview overhead report</h1>
+<p class="note">Each benchmark ran in three modes — <b>off</b> (no probe
+registry), <b>idle</b> (never-matching probe armed on every attach
+point), <b>match</b> (match-all probe, drained perf ring, full
+telemetry) — {{.K}}× at {{.Ops}} ops each; minima reported. The gated
+column is off→idle: budget {{printf "%.0f" .BudgetPct}}%, absolute
+floor {{printf "%.0f" .FloorNs}} ns/op. Match mode is reported, not
+gated.</p>
+<table>
+<tr><th>benchmark</th><th>off ns/op</th><th>idle ns/op</th><th>off→idle</th>
+<th>match ns/op</th><th>off→match</th><th>allocs off/idle/match</th></tr>
+{{range .Rows}}<tr class="{{if .Fail}}fail{{else}}pass{{end}}">
+<td>{{.Name}}</td>
+<td>{{printf "%.1f" .Off.NsPerOp}}</td>
+<td>{{printf "%.1f" .Idle.NsPerOp}}</td>
+<td class="gated">{{printf "%+.1f" .IdlePct}}%</td>
+<td>{{printf "%.1f" .Match.NsPerOp}}</td>
+<td>{{printf "%+.1f" .MatchPct}}%</td>
+<td>{{.Off.AllocsPerOp}}/{{.Idle.AllocsPerOp}}/{{.Match.AllocsPerOp}}</td>
+</tr>
+{{end}}</table>
+{{if .Failures}}<h2 class="fails">Gate failures</h2><ul class="fails">
+{{range .Failures}}<li>{{.}}</li>{{end}}</ul>
+{{else}}<p>All benchmarks within budget.</p>{{end}}
+</body>
+</html>
+`))
+
+// HTML renders the standalone comparison page, coloring rows by the
+// off→idle gate verdict.
+func (rep *Report) HTML(budgetPct, floorNs float64) ([]byte, error) {
+	data := htmlData{
+		K: rep.K, Ops: rep.Ops,
+		BudgetPct: budgetPct, FloorNs: floorNs,
+		Failures: rep.Gate(budgetPct, floorNs),
+	}
+	for _, r := range rep.Rows {
+		data.Rows = append(data.Rows, htmlRow{Row: r, Fail: r.OverBudget(budgetPct, floorNs)})
+	}
+	var b strings.Builder
+	if err := htmlTmpl.Execute(&b, data); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}

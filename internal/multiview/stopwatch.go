@@ -1,0 +1,26 @@
+package multiview
+
+import "time"
+
+// stopwatch is the one sanctioned wall-clock reader in the multiview
+// harness. The overhead report measures real elapsed time — the whole
+// point is what the probe layer costs on actual hardware — so it
+// cannot run on the injectable clock.Clock like the rest of the
+// repository. Every wall-clock read is confined to this file so
+// clockcheck can keep the rest of the module deterministic.
+type stopwatch struct {
+	start time.Time
+}
+
+// startWall begins a wall-clock measurement.
+func startWall() stopwatch {
+	return stopwatch{start: time.Now()} //overhaul:allow clockcheck multiview measures real elapsed time
+}
+
+// lap returns the elapsed wall time and restarts the stopwatch.
+func (s *stopwatch) lap() time.Duration {
+	now := time.Now() //overhaul:allow clockcheck multiview measures real elapsed time
+	d := now.Sub(s.start)
+	s.start = now
+	return d
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"overhaul/internal/faultinject"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 )
 
@@ -98,6 +99,10 @@ type Hub struct {
 	// metric-key lookup (nil and nil-safe when telemetry is off).
 	mUserToKernel *telemetry.Counter
 	mKernelToUser *telemetry.Counter
+	// probeSend/probeRecv are the netlink.send (kernel→user) and
+	// netlink.recv (user→kernel) attach points, resolved in SetProbes.
+	probeSend *probe.Hook
+	probeRecv *probe.Hook
 }
 
 // NewHub creates a hub whose connections are vetted by auth.
@@ -137,6 +142,15 @@ func (h *Hub) SetTelemetry(tel *telemetry.Recorder) {
 	} else {
 		h.mUserToKernel, h.mKernelToUser = nil, nil
 	}
+}
+
+// SetProbes resolves the hub's probe attach points from reg. A nil
+// registry (the default) leaves the channel uninstrumented.
+func (h *Hub) SetProbes(reg *probe.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.probeSend = reg.Hook(probe.HookNetlinkSend)
+	h.probeRecv = reg.Hook(probe.HookNetlinkRecv)
 }
 
 // applyFault evaluates the channel fault point for one message and
@@ -205,9 +219,13 @@ func (h *Hub) CallUser(pid int, msg any) (any, error) {
 		fn = c.userHandler
 	}
 	m := h.mKernelToUser
+	pb := h.probeSend
 	h.mu.RUnlock()
 	h.stats.kernelToUser.Add(1)
 	m.Add(1)
+	if pb.Wants(int64(pid)) {
+		pb.Emit(probe.Event{PID: int64(pid), Kind: probe.KindSend})
+	}
 
 	if !ok {
 		return nil, fmt.Errorf("%w: pid %d", ErrNotConnected, pid)
@@ -278,9 +296,13 @@ func (c *Conn) Call(msg any) (any, error) {
 	c.hub.mu.RLock()
 	fn := c.hub.kernelHandler
 	m := c.hub.mUserToKernel
+	pb := c.hub.probeRecv
 	c.hub.mu.RUnlock()
 	c.hub.stats.userToKernel.Add(1)
 	m.Add(1)
+	if pb.Wants(int64(c.pid)) {
+		pb.Emit(probe.Event{PID: int64(c.pid), Kind: probe.KindRecv})
+	}
 
 	if fn == nil {
 		return nil, ErrNoHandler

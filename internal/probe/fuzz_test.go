@@ -1,0 +1,41 @@
+package probe
+
+import "testing"
+
+// FuzzProbeSpec asserts the spec compiler is total (never panics) and
+// that its canonical rendering is a fixed point: any spec that parses
+// re-parses from its String() to the identical compiled form.
+func FuzzProbeSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"op=open",
+		"op=open,decide dev=mic verdict=deny",
+		"hook=kernel.decide pid=1-99 session=5",
+		"dev=none,copy,paste,scr,mic,cam,dev",
+		"verdict=none,grant,deny",
+		"pid=0-9223372036854775807",
+		"session=18446744073709551615",
+		"op= dev=??? pid=9-3",
+		"hook=a hook=b",
+		"  op=open\tdev=mic  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		rendered := s.String()
+		s2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) ok but reparse of %q failed: %v", text, rendered, err)
+		}
+		if s2 != s {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", text, rendered, s2, s)
+		}
+		if again := s2.String(); again != rendered {
+			t.Fatalf("String not canonical for %q: %q then %q", text, rendered, again)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package probe
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Hook is one named attach point compiled into a hot path. The host
+// subsystem holds the *Hook (resolved once from the Registry at
+// construction) and guards every emission with Wants(pid):
+//
+//	if h := k.probeOpen; h.Wants(int64(pid)) {
+//	    h.Emit(probe.Event{...})
+//	}
+//
+// Wants on an unattached hook is one atomic pointer load (plus the nil
+// check a nil registry compiles down to) — the entire cost the hot
+// path pays when no probe is attached. When probes are attached, Wants
+// is the first stage of predicate evaluation: the attach set carries
+// the union of the attached specs' pid windows, precomputed at attach
+// time, so a pid-scoped probe — the common shape of a live trace, and
+// the shape the multiview report's attached-idle mode measures — is
+// rejected with two integer compares before the caller pays to build
+// the Event (clock reads, reason interning). Event construction and
+// per-spec matching happen only behind it.
+type Hook struct {
+	name string
+	// set holds the immutable attached-probe snapshot; nil when no
+	// probe is attached. The Registry swaps whole snapshots
+	// (copy-on-write), so Emit iterates without a lock.
+	set atomic.Pointer[attachSet]
+}
+
+// attachSet is an immutable snapshot of the probes attached to a hook.
+type attachSet struct {
+	probes []*Probe
+	// pidLo..pidHi is the union of the attached specs' pid windows (a
+	// spec without a pid filter widens it to the full int64 range):
+	// the aggregate first-stage filter behind Wants.
+	pidLo, pidHi int64
+}
+
+// newAttachSet snapshots probes and precomputes the aggregate pid
+// window.
+func newAttachSet(probes []*Probe) *attachSet {
+	s := &attachSet{probes: probes, pidLo: math.MaxInt64, pidHi: math.MinInt64}
+	for _, p := range probes {
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		if p.spec.HasPID {
+			lo, hi = p.spec.PIDLo, p.spec.PIDHi
+		}
+		if lo < s.pidLo {
+			s.pidLo = lo
+		}
+		if hi > s.pidHi {
+			s.pidHi = hi
+		}
+	}
+	return s
+}
+
+// Name returns the attach-point name ("kernel.open", ...).
+func (h *Hook) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Armed reports whether any probe is attached. Nil-safe: a nil hook
+// (nil registry, or unknown name) is never armed.
+func (h *Hook) Armed() bool {
+	return h != nil && h.set.Load() != nil
+}
+
+// Wants reports whether an event carrying the given pid could match
+// any attached probe: the cheap first stage of predicate evaluation,
+// meant to guard Event construction at the emission site. Nil-safe and
+// one atomic load when unattached; two extra integer compares when
+// armed.
+func (h *Hook) Wants(pid int64) bool {
+	if h == nil {
+		return false
+	}
+	set := h.set.Load()
+	return set != nil && pid >= set.pidLo && pid <= set.pidHi
+}
+
+// Emit matches ev against every attached probe and publishes it to the
+// rings of those that match. Call only when Armed() (calling unarmed
+// is safe, just wasted work building ev). Emit never blocks and never
+// allocates: the spec matcher is flat compares and a ring publish is a
+// slot copy.
+func (h *Hook) Emit(ev Event) {
+	set := h.set.Load()
+	if set == nil {
+		return
+	}
+	for _, p := range set.probes {
+		if p.spec.Match(&ev) {
+			p.matched.Add(1)
+			p.ring.Publish(ev)
+		}
+	}
+}

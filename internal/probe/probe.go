@@ -1,0 +1,315 @@
+// Package probe is Overhaul's attachable instrumentation layer,
+// modeled on the tracepoint + ring-buffer design of eBPF tracers.
+//
+// The repository's performance story (ROADMAP item 3, the libMicro
+// multiview methodology of SNIPPETS.md Snippet 1) requires observing
+// the decision path without taxing it. The probe layer delivers that
+// with three pieces:
+//
+//   - Hook: a named attach point compiled into a hot path (kernel
+//     open/decide, monitor evaluate/audit, xserver input, netlink
+//     send/recv, fleet dispatch). An unattached hook costs its caller
+//     exactly one atomic pointer load; event construction happens only
+//     behind an Armed() check.
+//
+//   - Spec: a small, safe predicate program — match on op kind, pid
+//     range, device class, verdict, session ID — compiled from a
+//     textual spec ("op=open dev=mic verdict=deny") into a flat,
+//     allocation-free matcher. There are no loops and no user code:
+//     a probe cannot block, recurse into, or perturb the hot path.
+//
+//   - Ring: a perf-buffer-like bounded MPSC ring. Publishing is
+//     lock-free and never blocks; a full ring drops the event and
+//     counts the drop, exactly like a perf buffer under a slow
+//     reader. One batched consumer drains it.
+//
+// A Registry owns the fixed set of hooks and the runtime
+// attach/detach/list surface (overhaul-top -probe, overhaul-multiview).
+package probe
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names the attach point class an event was emitted from.
+type Kind uint8
+
+// Event kinds, one per attach point.
+const (
+	KindNone     Kind = iota
+	KindOpen          // kernel.open: the augmented open(2) path
+	KindDecide        // kernel.decide: a permission decision record
+	KindEvaluate      // monitor.evaluate: the pure policy rule ran
+	KindAudit         // monitor.audit: an audit-ring append
+	KindInput         // xserver.input: authentic hardware input
+	KindSend          // netlink.send: a kernel→user channel message
+	KindRecv          // netlink.recv: a user→kernel channel message
+	KindDispatch      // fleet.dispatch: one ingress request routed
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	KindNone: "none", KindOpen: "open", KindDecide: "decide",
+	KindEvaluate: "evaluate", KindAudit: "audit", KindInput: "input",
+	KindSend: "send", KindRecv: "recv", KindDispatch: "dispatch",
+}
+
+// String names the kind ("open", "decide", ...).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "Kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// KindOf parses a kind name; KindNone for unknown names ("none" is not
+// a parseable kind: every emitted event has one).
+func KindOf(s string) Kind {
+	for k := KindOpen; k < kindCount; k++ {
+		if kindNames[k] == s {
+			return k
+		}
+	}
+	return KindNone
+}
+
+// Dev names the sensitive-device class of a decision event, mirroring
+// the monitor's operation vocabulary op ∈ {copy, paste, scr, mic, cam}
+// plus the catch-all device class.
+type Dev uint8
+
+// Device classes.
+const (
+	DevNone   Dev = iota
+	DevCopy       // clipboard copy
+	DevPaste      // clipboard paste
+	DevScreen     // screen capture
+	DevMic        // microphone
+	DevCam        // camera
+	DevOther      // any other sensitive device class
+
+	devCount
+)
+
+var devNames = [devCount]string{
+	DevNone: "none", DevCopy: "copy", DevPaste: "paste",
+	DevScreen: "scr", DevMic: "mic", DevCam: "cam", DevOther: "dev",
+}
+
+// String names the device class with the monitor's op spelling.
+func (d Dev) String() string {
+	if int(d) < len(devNames) {
+		return devNames[d]
+	}
+	return "Dev(" + strconv.Itoa(int(d)) + ")"
+}
+
+// DevOf parses a monitor op name ("copy", "paste", "scr", "mic",
+// "cam", "dev") into its device class; DevNone for anything else.
+func DevOf(s string) Dev {
+	for d := DevCopy; d < devCount; d++ {
+		if devNames[d] == s {
+			return d
+		}
+	}
+	return DevNone
+}
+
+// Verdict is a decision outcome carried by an event. VerdictNone marks
+// events from attach points that carry no decision (input, send, recv).
+type Verdict uint8
+
+// Verdicts.
+const (
+	VerdictNone Verdict = iota
+	VerdictGrant
+	VerdictDeny
+
+	verdictCount
+)
+
+var verdictNames = [verdictCount]string{
+	VerdictNone: "none", VerdictGrant: "grant", VerdictDeny: "deny",
+}
+
+// String names the verdict.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "Verdict(" + strconv.Itoa(int(v)) + ")"
+}
+
+// VerdictOf parses a verdict name; VerdictNone for anything else.
+func VerdictOf(s string) Verdict {
+	switch s {
+	case "grant":
+		return VerdictGrant
+	case "deny":
+		return VerdictDeny
+	default:
+		return VerdictNone
+	}
+}
+
+// Reason is an interned decision-reason code. Events are fixed-size and
+// pointer-free so a ring publish is one flat copy; the monitor's reason
+// strings are therefore interned to a code at emission time and
+// re-rendered by ReasonText. The fixed policy reasons and the stale
+// denial round-trip byte-exactly (the stale staleness is recomputed
+// from the event's timestamps and δ); only the degraded denial's
+// free-form cause is elided.
+type Reason uint8
+
+// Reason codes. The text constants below each code are the exact
+// monitor strings they intern; the probe ≡ audit oracle property test
+// in internal/monitor pins them against the policy's exported
+// constants so they cannot drift.
+const (
+	ReasonNone          Reason = iota
+	ReasonForceGrant           // "force-grant (benchmark mode)"
+	ReasonObserveOnly          // "observe-only mode"
+	ReasonDegraded             // "protection degraded: <cause>" (cause elided)
+	ReasonNoSuchProcess        // "no such process"
+	ReasonPtraceGuard          // "permissions disabled (ptrace guard)"
+	ReasonNoInteraction        // "no recorded user interaction"
+	ReasonStampAfterOp         // "interaction at or after operation"
+	ReasonWithinDelta          // "within temporal proximity threshold"
+	ReasonStale                // "interaction stale by <s> (δ=<d>)"
+	ReasonFailClosed           // "transient open failure: fail closed"
+	ReasonOther                // any reason string not interned above
+)
+
+// The monitor reason vocabulary, duplicated here because the monitor
+// imports this package (the oracle test asserts the strings match).
+const (
+	textForceGrant     = "force-grant (benchmark mode)"
+	textObserveOnly    = "observe-only mode"
+	textDegradedPrefix = "protection degraded: "
+	textNoSuchProcess  = "no such process"
+	textPtraceGuard    = "permissions disabled (ptrace guard)"
+	textNoInteraction  = "no recorded user interaction"
+	textStampAfterOp   = "interaction at or after operation"
+	textWithinDelta    = "within temporal proximity threshold"
+	textStalePrefix    = "interaction stale by "
+	textFailClosed     = "transient open failure: fail closed"
+)
+
+// ReasonOf interns a monitor reason string. Fixed reasons map to their
+// code; the dynamic degraded and stale reasons map by prefix; anything
+// else is ReasonOther. The switch is a handful of length-bucketed
+// string compares — cheap enough for an armed hot path, and never run
+// on an unarmed one.
+func ReasonOf(s string) Reason {
+	switch s {
+	case "":
+		return ReasonNone
+	case textForceGrant:
+		return ReasonForceGrant
+	case textObserveOnly:
+		return ReasonObserveOnly
+	case textNoSuchProcess:
+		return ReasonNoSuchProcess
+	case textPtraceGuard:
+		return ReasonPtraceGuard
+	case textNoInteraction:
+		return ReasonNoInteraction
+	case textStampAfterOp:
+		return ReasonStampAfterOp
+	case textWithinDelta:
+		return ReasonWithinDelta
+	case textFailClosed:
+		return ReasonFailClosed
+	}
+	if strings.HasPrefix(s, textDegradedPrefix) {
+		return ReasonDegraded
+	}
+	if strings.HasPrefix(s, textStalePrefix) {
+		return ReasonStale
+	}
+	return ReasonOther
+}
+
+// Event is one probe record: fixed-size and pointer-free, so a ring
+// publish is a single flat copy and matching allocates nothing.
+//
+// TimeNanos and StampNanos are coarse unix-nanosecond timestamps; a
+// zero StampNanos means "no interaction stamp" (the zero time.Time is
+// normalised to 0 at emission, not to its out-of-range UnixNano).
+// Session is 0 outside fleet dispatch. Seq is assigned by the ring at
+// publish time (position order), 0 before publication.
+type Event struct {
+	Seq        uint64
+	TimeNanos  int64
+	StampNanos int64
+	Session    uint64
+	PID        int64
+	Kind       Kind
+	Dev        Dev
+	Verdict    Verdict
+	Reason     Reason
+}
+
+// ReasonText renders the event's interned reason back into the
+// monitor's string vocabulary. threshold is δ, needed to reconstruct
+// the stale denial's formatted staleness; events whose reason carries
+// no dynamic part ignore it.
+func (ev Event) ReasonText(threshold time.Duration) string {
+	switch ev.Reason {
+	case ReasonNone:
+		return ""
+	case ReasonForceGrant:
+		return textForceGrant
+	case ReasonObserveOnly:
+		return textObserveOnly
+	case ReasonDegraded:
+		return textDegradedPrefix + "(cause elided)"
+	case ReasonNoSuchProcess:
+		return textNoSuchProcess
+	case ReasonPtraceGuard:
+		return textPtraceGuard
+	case ReasonNoInteraction:
+		return textNoInteraction
+	case ReasonStampAfterOp:
+		return textStampAfterOp
+	case ReasonWithinDelta:
+		return textWithinDelta
+	case ReasonStale:
+		stale := time.Duration(ev.TimeNanos-ev.StampNanos) - threshold
+		return textStalePrefix + stale.String() + " (δ=" + threshold.String() + ")"
+	case ReasonFailClosed:
+		return textFailClosed
+	default:
+		return "(unknown reason)"
+	}
+}
+
+// Format renders the event as one canonical line:
+//
+//	<kind> pid=P session=S dev=D verdict=V t=NANOS stamp=NANOS reason=TEXT
+//
+// This is the byte-comparable form the probe ≡ audit oracle test
+// diffs against the audit ring.
+func (ev Event) Format(threshold time.Duration) string {
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString(ev.Kind.String())
+	b.WriteString(" pid=")
+	b.WriteString(strconv.FormatInt(ev.PID, 10))
+	b.WriteString(" session=")
+	b.WriteString(strconv.FormatUint(ev.Session, 10))
+	b.WriteString(" dev=")
+	b.WriteString(ev.Dev.String())
+	b.WriteString(" verdict=")
+	b.WriteString(ev.Verdict.String())
+	b.WriteString(" t=")
+	b.WriteString(strconv.FormatInt(ev.TimeNanos, 10))
+	b.WriteString(" stamp=")
+	b.WriteString(strconv.FormatInt(ev.StampNanos, 10))
+	b.WriteString(" reason=")
+	b.WriteString(ev.ReasonText(threshold))
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 )
 
@@ -74,6 +75,13 @@ func (s *Server) HardwareClick(x, y int) WindowID {
 		span.Annotate("window", strconv.FormatUint(uint64(w.id), 10))
 	}
 	s.notifyInteraction(span.Context(), w, now)
+	if s.probeInput.Wants(int64(w.owner.pid)) {
+		s.probeInput.Emit(probe.Event{
+			TimeNanos: now.UnixNano(),
+			PID:       int64(w.owner.pid),
+			Kind:      probe.KindInput,
+		})
+	}
 	w.owner.deliver(Event{
 		Type:       ButtonPress,
 		Window:     w.id,
@@ -106,6 +114,13 @@ func (s *Server) HardwareKey(key string) WindowID {
 		span.Annotate("window", strconv.FormatUint(uint64(w.id), 10))
 	}
 	s.notifyInteraction(span.Context(), w, now)
+	if s.probeInput.Wants(int64(w.owner.pid)) {
+		s.probeInput.Emit(probe.Event{
+			TimeNanos: now.UnixNano(),
+			PID:       int64(w.owner.pid),
+			Kind:      probe.KindInput,
+		})
+	}
 	w.owner.deliver(Event{
 		Type:       KeyPress,
 		Window:     w.id,

@@ -9,6 +9,7 @@ import (
 
 	"overhaul/internal/clock"
 	"overhaul/internal/faultinject"
+	"overhaul/internal/probe"
 	"overhaul/internal/telemetry"
 )
 
@@ -65,6 +66,9 @@ type Config struct {
 	// Telemetry, when non-nil, receives input/notify/query/alert spans,
 	// counters, and flight events. Nil disables instrumentation.
 	Telemetry *telemetry.Recorder
+	// Probes, when non-nil, arms the xserver.input attach point, fired
+	// for every authentic hardware event dispatched to a window.
+	Probes *probe.Registry
 }
 
 // Stats counts server activity.
@@ -90,6 +94,9 @@ type Server struct {
 	policy Policy
 	cfg    Config
 	tel    *telemetry.Recorder // immutable after NewServer; nil-safe
+	// probeInput is the xserver.input attach point, resolved once;
+	// unattached cost is one atomic load per hardware event.
+	probeInput *probe.Hook
 
 	mu         sync.Mutex
 	clients    map[int]*Client // by connection id
@@ -165,6 +172,7 @@ func NewServer(clk clock.Clock, policy Policy, cfg Config) (*Server, error) {
 		policy:     policy,
 		cfg:        cfg,
 		tel:        cfg.Telemetry,
+		probeInput: cfg.Probes.Hook(probe.HookXServerInput),
 		clients:    make(map[int]*Client),
 		nextConn:   1,
 		windows:    make(map[WindowID]*window),
