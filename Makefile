@@ -86,13 +86,15 @@ fleet:
 	$(GO) run ./cmd/overhaul-top -fleet 64 -mix bot-storm > /dev/null
 
 # Short fuzz pass over the stamp-propagation invariants, the devfs
-# helper protocol codec, the audit-store segment codec, and the probe
-# spec compiler (parse → String → parse round trip).
+# helper protocol codec, the audit-store segment codecs (v1 JSONL and
+# v2 binary frames), and the probe spec compiler (parse → String →
+# parse round trip).
 fuzz:
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzMsgQueueStampPropagation$$' -fuzztime=10s
 	$(GO) test ./internal/ipc -run='^$$' -fuzz='^FuzzShmStampPropagation$$' -fuzztime=10s
 	$(GO) test ./internal/devfs -run='^$$' -fuzz='^FuzzMappingCodec$$' -fuzztime=10s
 	$(GO) test ./internal/auditstore -run='^$$' -fuzz='^FuzzSegmentDecode$$' -fuzztime=10s
+	$(GO) test ./internal/auditstore -run='^$$' -fuzz='^FuzzBinarySegmentDecode$$' -fuzztime=10s
 	$(GO) test ./internal/probe -run='^$$' -fuzz='^FuzzProbeSpec$$' -fuzztime=10s
 
 # Seeded chaos campaigns: all fault kinds armed, plus the mid-session
@@ -112,9 +114,14 @@ STOREDIR = /tmp/overhaul-store-smoke
 store:
 	rm -rf $(STOREDIR)
 	$(GO) run ./cmd/overhaul-chaos -seed 11 -steps 200 -store $(STOREDIR) \
-		-faults 'default,auditstore.append:error:prob=0.05,auditstore.rotate:crash:after=3:count=1,auditstore.compact:crash:after=1:count=1'
+		-faults 'default,auditstore.append:error:prob=0.05,auditstore.batch:error:prob=0.02,auditstore.batch:crash:prob=0.01,auditstore.rotate:crash:after=3:count=1,auditstore.compact:crash:after=1:count=1'
 	$(GO) run ./cmd/overhaul-top -store $(STOREDIR) -verdict deny -limit 10
+	$(GO) run ./cmd/overhaul-top -store $(STOREDIR) -cold -verdict deny -limit 10
 	$(GO) run ./cmd/overhaul-top -store $(STOREDIR) -since 5m -json > /dev/null
+	rm -rf $(STOREDIR)
+	$(GO) run ./cmd/overhaul-load -sessions 128 -duration 2s -store $(STOREDIR) -json > store-load.json
+	$(GO) run ./cmd/overhaul-benchjson -check store-load.json
+	@rm -f store-load.json
 	rm -rf $(STOREDIR)
 
 # Probe multiview overhead report: every probe-hooked hot path timed in

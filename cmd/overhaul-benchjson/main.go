@@ -252,6 +252,18 @@ func allocsOnly(name string) bool {
 	return strings.HasPrefix(name, "BenchmarkStore")
 }
 
+// zeroAllocRequired names the benchmarks whose allocation count is an
+// absolute contract, not merely no-worse-than-baseline: the v2 frame
+// encoder runs once per record inside every group commit, so a single
+// allocation there multiplies across everything the fleet ever
+// appends. Gated in both validate (the committed JSON) and compare
+// (fresh runs), so a regression cannot slip in by first regressing the
+// baseline.
+func zeroAllocRequired(name string) bool {
+	return name == "BenchmarkStoreEncodeV2" ||
+		strings.HasPrefix(name, "BenchmarkStoreEncodeV2/")
+}
+
 // compare prints a gated-benchmark comparison table and errors when any
 // current entry regresses beyond the policy above. Only names present
 // in both maps are compared: a freshly added benchmark has no baseline
@@ -273,6 +285,9 @@ func compare(baseline, current map[string]Entry, hostCPUs int, w io.Writer) erro
 		ratio := c.NsPerOp / b.NsPerOp
 		status := "ok"
 		switch {
+		case zeroAllocRequired(name) && c.AllocsPerOp != 0:
+			status = fmt.Sprintf("REGRESSION: allocs/op %d, contract requires 0", c.AllocsPerOp)
+			bad = append(bad, name)
 		case c.AllocsPerOp > b.AllocsPerOp:
 			status = fmt.Sprintf("REGRESSION: allocs/op %d > baseline %d", c.AllocsPerOp, b.AllocsPerOp)
 			bad = append(bad, name)
@@ -308,15 +323,42 @@ func readEntries(path string) (map[string]Entry, error) {
 	return entries, nil
 }
 
-// validate checks that an existing JSON file is a non-empty map of
-// well-formed entries.
+// StoreSection is the durable-store throughput report overhaul-load
+// -store emits alongside its benchmarks (the wrapped JSON shape).
+type StoreSection struct {
+	RecordsPerSec float64           `json:"records_per_sec"`
+	Records       int               `json:"records"`
+	Batches       uint64            `json:"batches"`
+	MaxBatch      int               `json:"max_batch"`
+	BatchHist     map[string]uint64 `json:"batch_size_hist"`
+	DroppedAcks   uint64            `json:"dropped_acks"`
+}
+
+// validate checks an existing JSON file: either the legacy flat map of
+// benchmark entries, or the wrapped {"benchmarks": ..., "store": ...}
+// shape overhaul-load -store emits, whose throughput section carries
+// its own invariants — real throughput, a consistent batch histogram,
+// and zero dropped acknowledgements (a dropped ack means a decision
+// the fleet audited never became durable, which the group-commit ack
+// contract forbids outside injected faults).
 func validate(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var entries map[string]Entry
-	if err := json.Unmarshal(data, &entries); err != nil {
+	var wrapped struct {
+		Benchmarks map[string]Entry `json:"benchmarks"`
+		Store      *StoreSection    `json:"store"`
+	}
+	entries := make(map[string]Entry)
+	if err := json.Unmarshal(data, &wrapped); err == nil && wrapped.Benchmarks != nil {
+		entries = wrapped.Benchmarks
+		if wrapped.Store != nil {
+			if err := validateStore(path, wrapped.Store); err != nil {
+				return err
+			}
+		}
+	} else if err := json.Unmarshal(data, &entries); err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
 	if len(entries) == 0 {
@@ -332,6 +374,33 @@ func validate(path string) error {
 		if e.AllocsPerOp < 0 {
 			return fmt.Errorf("%s: %s has negative allocs/op %d", path, name, e.AllocsPerOp)
 		}
+		if zeroAllocRequired(name) && e.AllocsPerOp != 0 {
+			return fmt.Errorf("%s: %s records %d allocs/op, contract requires 0", path, name, e.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
+// validateStore checks one throughput section's invariants.
+func validateStore(path string, s *StoreSection) error {
+	if s.Records <= 0 || s.RecordsPerSec <= 0 {
+		return fmt.Errorf("%s: store section has no throughput (%d records, %.1f records/sec)", path, s.Records, s.RecordsPerSec)
+	}
+	if s.Batches == 0 {
+		return fmt.Errorf("%s: store section has records but zero batches", path)
+	}
+	var histSum uint64
+	for label, n := range s.BatchHist {
+		if label == "" {
+			return fmt.Errorf("%s: store batch histogram has an unlabeled bucket", path)
+		}
+		histSum += n
+	}
+	if histSum != s.Batches {
+		return fmt.Errorf("%s: store batch histogram sums to %d, want %d batches", path, histSum, s.Batches)
+	}
+	if s.DroppedAcks != 0 {
+		return fmt.Errorf("%s: store reports %d dropped acks, want 0 (acknowledged records must be durable)", path, s.DroppedAcks)
 	}
 	return nil
 }

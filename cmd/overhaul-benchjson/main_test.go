@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -177,5 +179,68 @@ func TestCompareRequiresOverlap(t *testing.T) {
 	var out strings.Builder
 	if err := compare(baseline, current, 8, &out); err == nil {
 		t.Fatal("compare with disjoint benchmark sets succeeded, want error")
+	}
+}
+
+func TestCompareZeroAllocContract(t *testing.T) {
+	// The v2 frame encoder's 0-alloc contract is absolute: it fails
+	// even when the baseline itself had regressed to a nonzero count.
+	baseline := map[string]Entry{"BenchmarkStoreEncodeV2": {NsPerOp: 90, AllocsPerOp: 1}}
+	current := map[string]Entry{"BenchmarkStoreEncodeV2": {NsPerOp: 90, AllocsPerOp: 1}}
+	var out strings.Builder
+	if err := compare(baseline, current, 8, &out); err == nil {
+		t.Error("nonzero allocs on the encode bench passed, want failure")
+	}
+	current["BenchmarkStoreEncodeV2"] = Entry{NsPerOp: 95, AllocsPerOp: 0}
+	out.Reset()
+	if err := compare(baseline, current, 8, &out); err != nil {
+		t.Errorf("0-alloc encode bench failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestValidateWrappedStoreReport(t *testing.T) {
+	write := func(t *testing.T, body string) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "report.json")
+		if err := os.WriteFile(p, []byte(body), 0o600); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return p
+	}
+	bench := `"benchmarks": {"BenchmarkFleetLoad/metric=p50": {"ns_per_op": 1000, "allocs_per_op": 0}}`
+	good := `{` + bench + `, "store": {"records_per_sec": 5000, "records": 100,
+		"batches": 10, "max_batch": 32, "batch_size_hist": {"1": 4, "le32": 6}, "dropped_acks": 0}}`
+	if err := validate(write(t, good)); err != nil {
+		t.Fatalf("valid wrapped report rejected: %v", err)
+	}
+	// Legacy flat maps must keep validating.
+	if err := validate(write(t, `{"BenchmarkMicroDecide": {"ns_per_op": 100, "allocs_per_op": 0}}`)); err != nil {
+		t.Fatalf("legacy flat map rejected: %v", err)
+	}
+	bad := map[string]string{
+		"dropped acks": `{` + bench + `, "store": {"records_per_sec": 5000, "records": 100,
+			"batches": 10, "batch_size_hist": {"le32": 10}, "dropped_acks": 3}}`,
+		"hist mismatch": `{` + bench + `, "store": {"records_per_sec": 5000, "records": 100,
+			"batches": 10, "batch_size_hist": {"le32": 7}, "dropped_acks": 0}}`,
+		"no throughput": `{` + bench + `, "store": {"records_per_sec": 0, "records": 0,
+			"batches": 0, "batch_size_hist": {}, "dropped_acks": 0}}`,
+		"zero batches": `{` + bench + `, "store": {"records_per_sec": 5000, "records": 100,
+			"batches": 0, "batch_size_hist": {}, "dropped_acks": 0}}`,
+	}
+	for name, body := range bad {
+		if err := validate(write(t, body)); err == nil {
+			t.Errorf("%s: invalid store section passed validation", name)
+		}
+	}
+}
+
+func TestValidateEncodeBenchZeroAlloc(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bench.json")
+	body := `{"BenchmarkStoreEncodeV2": {"ns_per_op": 90, "allocs_per_op": 2}}`
+	if err := os.WriteFile(p, []byte(body), 0o600); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := validate(p); err == nil {
+		t.Error("committed JSON with allocating encode bench passed validation")
 	}
 }

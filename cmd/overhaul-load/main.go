@@ -5,7 +5,8 @@
 // Usage:
 //
 //	overhaul-load [-sessions n] [-duration d] [-mix name] [-workers n]
-//	              [-seed n] [-json]
+//	              [-seed n] [-json] [-store dir] [-batch-records n]
+//	              [-batch-bytes n] [-flush-interval d] [-sink-batch n]
 //
 // The generator is open-loop: every event has a scheduled arrival time
 // drawn from the mix's arrival process before the run starts ticking,
@@ -26,6 +27,18 @@
 // (BenchmarkFleetLoad/mix=…/sessions=…/metric=…) with ns_per_op
 // values, the exact shape overhaul-benchjson -check validates — CI's
 // fleet smoke job pipes one through it.
+//
+// With -store DIR every session's decisions additionally sink into a
+// shared durable audit store through per-session batching sinks
+// (auditstore.BatchSink → FileStore group commit). The store's
+// group-commit bounds are exposed as -batch-records/-batch-bytes and
+// the leader linger as -flush-interval; -sink-batch sets how many
+// decisions a session buffers before handing the store one batch. The
+// report gains a throughput section (records/sec, batch-size
+// histogram, dropped-ack count) and the -json output becomes the
+// wrapped {"benchmarks": …, "store": …} shape, which
+// overhaul-benchjson -check also validates — including that
+// dropped_acks is zero.
 package main
 
 import (
@@ -38,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"overhaul/internal/auditstore"
 	"overhaul/internal/clock"
 	"overhaul/internal/fleet"
 	"overhaul/internal/monitor"
@@ -59,6 +73,11 @@ func run() error {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "generator workers (sessions are partitioned across them)")
 	seed := flag.Int64("seed", 1, "base seed for the per-session traffic streams")
 	asJSON := flag.Bool("json", false, "emit the report as benchjson-compatible JSON")
+	storeDir := flag.String("store", "", "sink every decision into a durable audit store at this directory and report its throughput")
+	batchRecords := flag.Int("batch-records", auditstore.DefaultBatchRecords, "store group-commit bound: records per durable batch")
+	batchBytes := flag.Int("batch-bytes", auditstore.DefaultBatchBytes, "store group-commit bound: encoded bytes per durable batch")
+	flushInterval := flag.Duration("flush-interval", 0, "store group-commit linger: how long a leader waits for followers (0 = commit immediately)")
+	sinkBatch := flag.Int("sink-batch", 32, "decisions a session buffers before handing the store one batch")
 	flag.Parse()
 
 	if *sessions <= 0 {
@@ -74,18 +93,86 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var scfg *storeConfig
+	if *storeDir != "" {
+		scfg = &storeConfig{
+			dir: *storeDir,
+			opts: auditstore.Options{
+				BatchRecords:  *batchRecords,
+				BatchBytes:    *batchBytes,
+				FlushInterval: *flushInterval,
+			},
+			sinkBatch: *sinkBatch,
+		}
+	}
 
-	rep, err := generate(mix, *sessions, *workers, *duration, *seed)
+	rep, err := generate(mix, *sessions, *workers, *duration, *seed, scfg)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep.benchEntries(mix.Name, *sessions))
+		bench := rep.benchEntries(mix.Name, *sessions)
+		if rep.store != nil {
+			// The wrapped shape: benchmarks plus the store throughput
+			// section overhaul-benchjson -check validates.
+			return enc.Encode(map[string]any{
+				"benchmarks": bench,
+				"store":      rep.store.section(),
+			})
+		}
+		return enc.Encode(bench)
 	}
 	rep.print(os.Stdout, mix.Name, *sessions, *workers)
 	return nil
+}
+
+// storeConfig is the optional durable-sink setup for a run.
+type storeConfig struct {
+	dir       string
+	opts      auditstore.Options
+	sinkBatch int
+}
+
+// storeReport is what the durable sink did during the run.
+type storeReport struct {
+	records     int
+	elapsed     time.Duration
+	flushTime   time.Duration
+	stats       auditstore.BatchStats
+	droppedAcks uint64
+}
+
+// StoreSection is the JSON throughput section, shared by name with
+// overhaul-benchjson's validator.
+type StoreSection struct {
+	RecordsPerSec float64           `json:"records_per_sec"`
+	Records       int               `json:"records"`
+	Batches       uint64            `json:"batches"`
+	MaxBatch      int               `json:"max_batch"`
+	BatchHist     map[string]uint64 `json:"batch_size_hist"`
+	DroppedAcks   uint64            `json:"dropped_acks"`
+}
+
+func (sr *storeReport) section() StoreSection {
+	hist := make(map[string]uint64)
+	for i, n := range sr.stats.SizeHist {
+		if n > 0 {
+			hist[auditstore.BatchBucketLabel(i)] = n
+		}
+	}
+	sec := StoreSection{
+		Records:     sr.records,
+		Batches:     sr.stats.Batches,
+		MaxBatch:    sr.stats.MaxBatch,
+		BatchHist:   hist,
+		DroppedAcks: sr.droppedAcks,
+	}
+	if sr.elapsed > 0 {
+		sec.RecordsPerSec = float64(sr.records) / sr.elapsed.Seconds()
+	}
+	return sec
 }
 
 // report is the outcome of one load run.
@@ -97,6 +184,7 @@ type report struct {
 	notifies  uint64
 	lat       *telemetry.LatencyHist
 	stats     fleet.FleetStats
+	store     *storeReport // nil without -store
 }
 
 // loadSession is one session's generator-side state: its event stream
@@ -121,10 +209,21 @@ func (h *sessionHeap) Pop() any          { old := *h; n := len(old); x := old[n-
 
 // generate boots the fleet, partitions sessions across workers, and
 // runs the open-loop load for the configured duration.
-func generate(mix workload.FleetMix, sessions, workers int, duration time.Duration, seed int64) (*report, error) {
+func generate(mix workload.FleetMix, sessions, workers int, duration time.Duration, seed int64, scfg *storeConfig) (*report, error) {
 	f, err := fleet.New(fleet.Config{Policy: monitor.Policy{Enforce: true}})
 	if err != nil {
 		return nil, err
+	}
+
+	var st *auditstore.FileStore
+	var sinkStats auditstore.SinkStats
+	var sinks []*auditstore.BatchSink
+	if scfg != nil {
+		st, err = auditstore.Open(scfg.dir, scfg.opts)
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close() //overhaul:allow errdrop store close after the run's flush already counted failures
 	}
 
 	clk := clock.System{}
@@ -135,6 +234,11 @@ func generate(mix workload.FleetMix, sessions, workers int, duration time.Durati
 		pid, err := s.Spawn()
 		if err != nil {
 			return nil, err
+		}
+		if st != nil {
+			bs := auditstore.NewBatchSink(st, s.ID(), scfg.sinkBatch, &sinkStats)
+			s.SetAuditSink(bs.Sink())
+			sinks = append(sinks, bs)
 		}
 		booted[i] = &loadSession{
 			sess:   s,
@@ -216,6 +320,24 @@ func generate(mix workload.FleetMix, sessions, workers int, duration time.Durati
 		rep.decisions += counts[w].decisions
 		rep.notifies += counts[w].notifies
 	}
+	if st != nil {
+		flushStart := clk.Now()
+		for _, bs := range sinks {
+			bs.Flush()
+		}
+		flushTime := clk.Now().Sub(flushStart)
+		records, err := st.Count()
+		if err != nil {
+			return nil, err
+		}
+		rep.store = &storeReport{
+			records:     records,
+			elapsed:     elapsed + flushTime,
+			flushTime:   flushTime,
+			stats:       st.BatchStats(),
+			droppedAcks: sinkStats.Errors.Load(),
+		}
+	}
 	return rep, nil
 }
 
@@ -265,4 +387,17 @@ func (r *report) print(w *os.File, mix string, sessions, workers int) {
 		r.stats.Grants, r.stats.Denials, r.stats.DroppedAudit)
 	fmt.Fprintf(w, "  latency (scheduled→done): p50=%v p90=%v p99=%v p999=%v max=%v\n",
 		s.P50, s.P90, s.P99, s.P999, s.Max)
+	if r.store != nil {
+		sec := r.store.section()
+		fmt.Fprintf(w, "  durable store: %d records in %v (%.0f records/sec), %d batches (max %d), final flush %v\n",
+			sec.Records, r.store.elapsed.Round(time.Millisecond), sec.RecordsPerSec,
+			sec.Batches, sec.MaxBatch, r.store.flushTime.Round(time.Microsecond))
+		fmt.Fprintf(w, "  batch sizes:")
+		for i := 0; i < len(r.store.stats.SizeHist); i++ {
+			if n := r.store.stats.SizeHist[i]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", auditstore.BatchBucketLabel(i), n)
+			}
+		}
+		fmt.Fprintf(w, "\n  dropped acks: %d\n", sec.DroppedAcks)
+	}
 }

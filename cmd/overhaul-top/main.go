@@ -70,6 +70,7 @@ func run() int {
 	fleetMix := flag.String("mix", "poisson-desks", "fleet mode: traffic mix to replay")
 	session := flag.Uint64("session", 0, "fleet/store mode: restrict to this one session")
 	storeDir := flag.String("store", "", "query a durable audit store directory (with -fleet: sink every session into it first)")
+	cold := flag.Bool("cold", false, "store query: stream sealed segments directly (footer seek, no index build)")
 	since := flag.String("since", "", "store query: RFC3339 instant, or a duration back from the newest record (e.g. 5m)")
 	pid := flag.Int("pid", 0, "store query: only this pid")
 	verdict := flag.String("verdict", "", "store query: only this verdict (grant|deny)")
@@ -87,6 +88,9 @@ func run() int {
 		return runFleet(*fleetN, *fleetEvents, *fleetMix, *session, *jsonOut, *storeDir)
 	}
 	if *storeDir != "" {
+		if *cold {
+			return runColdQuery(*storeDir, q, *jsonOut)
+		}
 		return runStoreQuery(*storeDir, q, *jsonOut)
 	}
 	if *session != 0 {

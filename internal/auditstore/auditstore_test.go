@@ -264,7 +264,7 @@ func TestFileStoreRotationAndCompaction(t *testing.T) {
 		t.Fatalf("close: %v", err)
 	}
 
-	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		t.Fatalf("glob: %v", err)
 	}
@@ -372,7 +372,7 @@ func TestFileStoreTornTailReported(t *testing.T) {
 
 	// Corrupt the active segment with a torn half-frame, the way a
 	// power cut mid-write would.
-	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil || len(names) == 0 {
 		t.Fatalf("glob: %v (%d segments)", err, len(names))
 	}

@@ -1,0 +1,334 @@
+package auditstore_test
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"overhaul/internal/auditstore"
+	"overhaul/internal/clock"
+	"overhaul/internal/faultinject"
+)
+
+// TestBatchFaultWindows extends the crash matrix with the two
+// group-commit windows (auditstore.batch). Serial appends commit as
+// one-record batches, so the windows are deterministic: each Append
+// evaluates the point twice — once after the batch is drained but
+// before its write (window A), once after the write but before the
+// acknowledgement (window B). A fault at window A must lose the whole
+// batch (recovered == acked); a crash at window B loses only the
+// acknowledgement — the batch is durable, so recovery returns exactly
+// one record past the acked prefix.
+func TestBatchFaultWindows(t *testing.T) {
+	specs := []struct {
+		name  string
+		rule  faultinject.Rule
+		extra int // records recovery may return beyond the acked prefix
+	}{
+		// After=10 lands on the 6th append's window A (evals 0..9 cover
+		// appends 1–5); After=11 lands on its window B.
+		{"torn-pre-write", faultinject.Rule{Point: faultinject.PointStoreBatch, Kind: faultinject.KindError, After: 10, Count: 1}, 0},
+		{"crash-pre-write", faultinject.Rule{Point: faultinject.PointStoreBatch, Kind: faultinject.KindCrash, After: 10, Count: 1}, 0},
+		{"crash-pre-ack", faultinject.Rule{Point: faultinject.PointStoreBatch, Kind: faultinject.KindCrash, After: 11, Count: 1}, 1},
+	}
+	segSizes := []int{1, 3, 8, 32}
+	const total = 40
+
+	for _, spec := range specs {
+		for _, segRecs := range segSizes {
+			spec, segRecs := spec, segRecs
+			t.Run(spec.name+"/seg"+itoa(segRecs), func(t *testing.T) {
+				dir := t.TempDir()
+				inj, err := faultinject.New(int64(segRecs)*77+int64(len(spec.name)), spec.rule)
+				if err != nil {
+					t.Fatalf("injector: %v", err)
+				}
+				st, err := auditstore.Open(dir, auditstore.Options{
+					SegmentRecords: segRecs, CompactSealed: 3, Hook: inj.Hook(),
+				})
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+
+				acked := 0
+				sawFail := false
+				for i := 0; i < total; i++ {
+					if _, err := st.Append(mkRecord(i)); err != nil {
+						if !errors.Is(err, auditstore.ErrStoreFailed) {
+							t.Fatalf("append %d: %v, want ErrStoreFailed", i, err)
+						}
+						sawFail = true
+						break
+					}
+					acked++
+				}
+				if !sawFail {
+					t.Fatalf("batch fault never fired in %d appends", total)
+				}
+				if acked != 5 {
+					t.Fatalf("acked %d appends before the window, want 5 (cadence drifted)", acked)
+				}
+				if err := st.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+
+				st2, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: segRecs, CompactSealed: 3})
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				recovered, err := st2.Count()
+				if err != nil {
+					t.Fatalf("count: %v", err)
+				}
+				if recovered != acked+spec.extra {
+					t.Fatalf("recovered %d records, want acked %d + %d", recovered, acked, spec.extra)
+				}
+				checkPrefix(t, st2, recovered)
+				for i := recovered; i < total; i++ {
+					if _, err := st2.Append(mkRecord(i)); err != nil {
+						t.Fatalf("append %d after recovery: %v", i, err)
+					}
+				}
+				checkPrefix(t, st2, total)
+				if err := st2.Close(); err != nil {
+					t.Fatalf("close recovered: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchCrashConcurrent drives concurrent appenders into a
+// probabilistic batch fault and checks the group-commit ack contract:
+// every acknowledged record survives recovery, and the recovered
+// stream is a gap-free prefix of the submitted one.
+func TestBatchCrashConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 60
+	for _, kind := range []faultinject.Kind{faultinject.KindError, faultinject.KindCrash} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			inj, err := faultinject.New(42, faultinject.Rule{
+				Point: faultinject.PointStoreBatch, Kind: kind, Prob: 0.05,
+			})
+			if err != nil {
+				t.Fatalf("injector: %v", err)
+			}
+			st, err := auditstore.Open(dir, auditstore.Options{
+				SegmentRecords: 16, CompactSealed: 3, Hook: inj.Hook(), BatchRecords: 8,
+			})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+
+			var mu sync.Mutex
+			ackedSeqs := map[uint64]bool{}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						seq, err := st.Append(mkRecord(w*perWorker + i))
+						if err != nil {
+							return
+						}
+						mu.Lock()
+						ackedSeqs[seq] = true
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			if len(inj.Events()) == 0 {
+				t.Fatal("batch fault never fired")
+			}
+			if err := st.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			st2, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 16, CompactSealed: 3})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer st2.Close() //overhaul:allow errdrop test cleanup
+			recovered, err := st2.Count()
+			if err != nil {
+				t.Fatalf("count: %v", err)
+			}
+			// Every acked sequence number is in the recovered prefix.
+			for seq := range ackedSeqs {
+				if _, ok, err := st2.Get(seq); err != nil || !ok {
+					t.Fatalf("acked seq %d missing after recovery (recovered %d)", seq, recovered)
+				}
+			}
+			// The prefix is gap-free: sequences 1..recovered all present.
+			for seq := uint64(1); seq <= uint64(recovered); seq++ {
+				if _, ok, err := st2.Get(seq); err != nil || !ok {
+					t.Fatalf("gap at seq %d in recovered prefix of %d", seq, recovered)
+				}
+			}
+			if recovered < len(ackedSeqs) {
+				t.Fatalf("recovered %d < %d acked", recovered, len(ackedSeqs))
+			}
+		})
+	}
+}
+
+// TestGroupCommitAppendBatch pins AppendBatch semantics: contiguous
+// sequences, one ack for the lot, and batch statistics that reflect
+// the BatchRecords bound.
+func TestGroupCommitAppendBatch(t *testing.T) {
+	st, err := auditstore.Open(t.TempDir(), auditstore.Options{BatchRecords: 32})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close() //overhaul:allow errdrop test cleanup
+
+	recs := make([]auditstore.Record, 100)
+	for i := range recs {
+		recs[i] = mkRecord(i)
+	}
+	last, err := st.AppendBatch(recs)
+	if err != nil {
+		t.Fatalf("append batch: %v", err)
+	}
+	if last != 100 {
+		t.Fatalf("last seq %d, want 100", last)
+	}
+	checkPrefix(t, st, 100)
+
+	stats := st.BatchStats()
+	if stats.Records != 100 {
+		t.Fatalf("stats.Records = %d, want 100", stats.Records)
+	}
+	if stats.Batches != 4 { // 32+32+32+4
+		t.Fatalf("stats.Batches = %d, want 4", stats.Batches)
+	}
+	if stats.MaxBatch != 32 {
+		t.Fatalf("stats.MaxBatch = %d, want 32", stats.MaxBatch)
+	}
+	var histSum uint64
+	for _, n := range stats.SizeHist {
+		histSum += n
+	}
+	if histSum != stats.Batches {
+		t.Fatalf("size histogram sums to %d, want %d", histSum, stats.Batches)
+	}
+
+	// An empty batch is a no-op acknowledging the current durable seq.
+	if seq, err := st.AppendBatch(nil); err != nil || seq != 100 {
+		t.Fatalf("empty batch: seq=%d err=%v, want 100", seq, err)
+	}
+
+	// Sequence pinning: a wrong non-zero Seq rejects the whole batch.
+	bad := []auditstore.Record{mkRecord(0)}
+	bad[0].Seq = 7
+	if _, err := st.AppendBatch(bad); !errors.Is(err, auditstore.ErrSeqMismatch) {
+		t.Fatalf("mismatched batch seq: %v, want ErrSeqMismatch", err)
+	}
+}
+
+// TestGroupCommitConcurrent floods the store from many goroutines and
+// checks the commit accounting: everything acked, everything counted,
+// the histogram consistent, and no batch beyond the configured bound.
+func TestGroupCommitConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 50
+	st, err := auditstore.Open(t.TempDir(), auditstore.Options{
+		SegmentRecords: 64, BatchRecords: 16,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close() //overhaul:allow errdrop test cleanup
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := st.Append(mkRecord(w*perWorker + i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	count, err := st.Count()
+	if err != nil || count != workers*perWorker {
+		t.Fatalf("count = %d err=%v, want %d", count, err, workers*perWorker)
+	}
+	stats := st.BatchStats()
+	if stats.Records != uint64(workers*perWorker) {
+		t.Fatalf("stats.Records = %d, want %d", stats.Records, workers*perWorker)
+	}
+	if stats.MaxBatch > 16 {
+		t.Fatalf("stats.MaxBatch = %d exceeds BatchRecords 16", stats.MaxBatch)
+	}
+	var histSum uint64
+	for _, n := range stats.SizeHist {
+		histSum += n
+	}
+	if histSum != stats.Batches {
+		t.Fatalf("size histogram sums to %d, want %d", histSum, stats.Batches)
+	}
+}
+
+// TestGroupCommitFlushInterval exercises the linger path on the
+// virtual clock: a lone append lingers until the flush deadline and
+// then commits as a singleton batch.
+func TestGroupCommitFlushInterval(t *testing.T) {
+	clk := clock.NewSimulated()
+	st, err := auditstore.Open(t.TempDir(), auditstore.Options{
+		BatchRecords: 8, FlushInterval: 10 * time.Millisecond, Clock: clk,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close() //overhaul:allow errdrop test cleanup
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Append(mkRecord(0))
+		done <- err
+	}()
+	// The leader is lingering on the simulated clock; advance it until
+	// the deadline passes and the batch commits.
+	deadline := time.After(5 * time.Second) //overhaul:allow clockcheck watchdog for a test that otherwise hangs; the store itself runs on the simulated clock
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			stats := st.BatchStats()
+			if stats.Batches != 1 || stats.Records != 1 {
+				t.Fatalf("stats = %+v, want one singleton batch", stats)
+			}
+			checkPrefix(t, st, 1)
+			return
+		case <-deadline:
+			t.Fatal("append never completed under the simulated clock")
+		default:
+			clk.Advance(time.Millisecond)
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestBatchBucketLabels pins the histogram bucket naming the load
+// generator's throughput report prints.
+func TestBatchBucketLabels(t *testing.T) {
+	want := []string{"1", "2", "le4", "le8", "le16", "le32", "le64", "le128", "gt128"}
+	for i, w := range want {
+		if got := auditstore.BatchBucketLabel(i); got != w {
+			t.Errorf("bucket %d label = %q, want %q", i, got, w)
+		}
+	}
+}

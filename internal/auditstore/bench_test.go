@@ -83,6 +83,61 @@ func BenchmarkStoreGet(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreEncodeV2 measures one record through the v2 binary
+// frame encoder into a reused buffer — the per-record cost inside a
+// group commit. The 0-alloc figure is load-bearing: overhaul-benchjson
+// hard-gates it, because one allocation here multiplies across every
+// record the fleet ever appends.
+func BenchmarkStoreEncodeV2(b *testing.B) {
+	recs := make([]auditstore.Record, 64)
+	for i := range recs {
+		recs[i] = mkRecord(i)
+		recs[i].Seq = uint64(i + 1)
+	}
+	var enc auditstore.FrameEncoder
+	buf := make([]byte, 0, 1<<12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.AppendRecord(buf[:0], &recs[i%len(recs)])
+		if err != nil {
+			b.Fatalf("encode: %v", err)
+		}
+	}
+}
+
+// BenchmarkStoreScanSince measures a time-bounded tail query — the
+// "what happened in the last minute" shape. The since bound lands 90%
+// into the stream, so a seek (binary search on the time-ordered index)
+// touches ~10% of the records a full pass would.
+func BenchmarkStoreScanSince(b *testing.B) {
+	for _, backend := range []string{"mem", "jsonl"} {
+		for _, n := range benchScales {
+			b.Run(fmt.Sprintf("%s/%d", backend, n), func(b *testing.B) {
+				st := benchStore(b, backend, n)
+				defer st.Close() //overhaul:allow errdrop bench cleanup
+				q := auditstore.Query{
+					Since:   mkRecord(n * 9 / 10).Time,
+					Verdict: "deny",
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					matched := 0
+					err := st.Scan(q, func(auditstore.Record) bool {
+						matched++
+						return true
+					})
+					if err != nil || matched == 0 {
+						b.Fatalf("scan since: matched=%d err=%v", matched, err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkStoreScan(b *testing.B) {
 	// Scan measures a full filtered pass: the deny posting list (~1/3
 	// of records) plus a reason substring check — the shape an

@@ -2,27 +2,34 @@ package auditstore
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"overhaul/internal/clock"
 	"overhaul/internal/faultinject"
 )
 
-// Segment files are named seg-<8 hex file id>.jsonl. The id is a
+// Segment files are named seg-<8 hex file id>.seg (binary format v2)
+// or seg-<8 hex file id>.jsonl (the v1 JSONL format, still read and
+// recovered transparently; new segments are always v2). The id is a
 // monotonically increasing file counter, *not* a sequence number:
 // compaction writes merged records into a fresh, higher id so its
 // output can never collide with a source file, and recovery orders
 // overlapping segments by (first sequence, id). Compaction staging
 // uses a ".tmp" suffix; a leftover tmp file is a crashed compaction
-// and is discarded on open.
+// and is discarded on open. Compaction and normalization rewrite
+// their v1 inputs as v2, so a mixed directory converges to v2.
 const (
-	segPrefix = "seg-"
-	segSuffix = ".jsonl"
-	tmpSuffix = ".tmp"
+	segPrefix   = "seg-"
+	segSuffix   = ".jsonl"
+	segSuffixV2 = ".seg"
+	tmpSuffix   = ".tmp"
 )
 
 // Options parameterises a FileStore.
@@ -34,11 +41,28 @@ type Options struct {
 	// count reaches this threshold. Zero selects DefaultCompactSealed;
 	// negative disables automatic compaction.
 	CompactSealed int
+	// BatchRecords caps how many queued appends one group commit may
+	// drain into a single segment write. Zero selects
+	// DefaultBatchRecords.
+	BatchRecords int
+	// BatchBytes caps the encoded size of one group-commit batch.
+	// Zero selects DefaultBatchBytes.
+	BatchBytes int
+	// FlushInterval makes the commit leader linger up to this long on
+	// the store clock before cutting a short batch, trading ack
+	// latency for batch size under concurrent load. Zero commits as
+	// soon as the queue is drained into a batch. The linger busy-yields
+	// on the virtual clock, so simulated-clock tests must advance the
+	// clock from another goroutine.
+	FlushInterval time.Duration
+	// Clock is the time source for FlushInterval. Nil selects the
+	// system clock.
+	Clock clock.Clock
 	// Hook is the fault-injection hook consulted at every write seam
-	// (append, rotation, compaction). Nil never injects. Recovery
-	// (Open) runs fault-free by construction: reopening is the repair
-	// path, and a repair path that can be re-broken mid-repair would
-	// turn every injected crash into an unbounded crash loop.
+	// (append, batch commit, rotation, compaction). Nil never injects.
+	// Recovery (Open) runs fault-free by construction: reopening is the
+	// repair path, and a repair path that can be re-broken mid-repair
+	// would turn every injected crash into an unbounded crash loop.
 	Hook faultinject.Hook
 	// Sync fsyncs segment data at rotation, compaction, and Close.
 	Sync bool
@@ -48,14 +72,19 @@ type Options struct {
 const (
 	DefaultSegmentRecords = 256
 	DefaultCompactSealed  = 8
+	DefaultBatchRecords   = 256
+	DefaultBatchBytes     = 1 << 20
 )
 
 // Recovery reports what Open found and did. A store that came back
 // with anything other than a clean, contiguous, CRC-verified stream
 // says so here — never a silent gap.
 type Recovery struct {
-	// Segments is the number of segment files scanned.
-	Segments int
+	// Segments is the number of segment files scanned; SegmentsV1 of
+	// them were v1 JSONL, SegmentsV2 binary v2.
+	Segments   int
+	SegmentsV1 int
+	SegmentsV2 int
 	// Records is the size of the recovered consistent prefix.
 	Records int
 	// LastSeq is the last sequence number in the recovered prefix.
@@ -88,26 +117,52 @@ type segmentInfo struct {
 	recs int
 }
 
-// FileStore is the durable backend: an append-only JSONL segment log
-// with a MemStore in front of it as the query index. Writes go to the
-// segment first and the index second, so the index only ever reflects
-// durable records. After a torn write or an injected crash every
-// operation fails with ErrStoreFailed until the directory is reopened:
-// Open replays the segments to a consistent, CRC-verified prefix and
-// reports the exact truncation point. It is safe for concurrent use.
+// FileStore is the durable backend: an append-only binary segment log
+// with a MemStore in front of it as the query index. Concurrent
+// appends are group-committed: callers enqueue under the store mutex,
+// the first-comer becomes the commit leader and drains the queue into
+// one framed segment write per batch, and an append is acknowledged
+// only when its batch is durable. Writes go to the segment first and
+// the index second, so the index only ever reflects durable records.
+// After a torn write or an injected crash every operation fails with
+// ErrStoreFailed until the directory is reopened: Open replays the
+// segments to a consistent, CRC-verified prefix and reports the exact
+// truncation point. It is safe for concurrent use.
 type FileStore struct {
-	mu       sync.Mutex
+	// mu guards the queue/acknowledgement state below and the Recovery
+	// report; commitDone is signalled on batch durability, failure,
+	// and leadership release.
+	mu         sync.Mutex
+	commitDone sync.Cond
+	queue      []Record
+	queueBytes int
+	lastSeq    uint64 // last assigned sequence number
+	durableSeq uint64 // last durably committed sequence number
+	committing bool   // a commit leader (or exclusive op) owns the file state
+	failed     error
+	closed     bool
+	stats      BatchStats
+
 	dir      string
 	opts     Options
 	mem      *MemStore
-	cur      *os.File
-	curID    uint64
-	curRecs  int
-	sealed   []segmentInfo
-	nextID   uint64
-	failed   error
-	closed   bool
 	recovery Recovery
+
+	// File state below is owned by whichever goroutine holds
+	// committing (the group-commit leader, Compact, Close) and by Open
+	// before the store is published — never accessed under mu alone.
+	cur       *os.File
+	curID     uint64
+	curRecs   int
+	curOff    uint64       // bytes written to the active segment
+	curIdx    []blockEntry // sparse block index of the active segment
+	curMax    int64        // max record-time nanos seen in the active segment
+	sealed    []segmentInfo
+	nextID    uint64
+	enc       FrameEncoder
+	wbuf      []byte // reusable batch write buffer
+	frameOffs []int  // reusable per-batch frame offsets into wbuf
+	batch     []Record
 }
 
 // Open opens (creating if needed) a store directory, recovering it to
@@ -128,13 +183,25 @@ func Open(dir string, opts Options) (*FileStore, error) {
 	if opts.CompactSealed == 0 {
 		opts.CompactSealed = DefaultCompactSealed
 	}
+	if opts.BatchRecords <= 0 {
+		opts.BatchRecords = DefaultBatchRecords
+	}
+	if opts.BatchBytes <= 0 {
+		opts.BatchBytes = DefaultBatchBytes
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.System{}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("auditstore: open %s: %w", dir, err)
 	}
-	fs := &FileStore{dir: dir, opts: opts, mem: NewMemStore(), nextID: 1}
+	fs := &FileStore{dir: dir, opts: opts, mem: NewMemStore(), nextID: 1, curMax: math.MinInt64}
+	fs.commitDone.L = &fs.mu
 	if err := fs.recover(); err != nil {
 		return nil, err
 	}
+	fs.lastSeq = fs.mem.LastSeq()
+	fs.durableSeq = fs.lastSeq
 	return fs, nil
 }
 
@@ -153,32 +220,44 @@ func (fs *FileStore) Recovery() Recovery {
 	return fs.recovery
 }
 
-// segPath renders the segment file path for a file id.
+// segPath renders the (v2) segment file path for a file id.
 func (fs *FileStore) segPath(id uint64) string {
-	return filepath.Join(fs.dir, fmt.Sprintf("%s%08x%s", segPrefix, id, segSuffix))
+	return filepath.Join(fs.dir, fmt.Sprintf("%s%08x%s", segPrefix, id, segSuffixV2))
 }
 
-// parseSegID extracts the file id from a segment file name.
-func parseSegID(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
-		return 0, false
+// parseSegID extracts the file id from a segment file name of either
+// format; v1 reports true.
+func parseSegID(name string) (id uint64, v1 bool, ok bool) {
+	if !strings.HasPrefix(name, segPrefix) {
+		return 0, false, false
 	}
-	hexID := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
-	if len(hexID) != 8 {
-		return 0, false
+	rest := strings.TrimPrefix(name, segPrefix)
+	switch {
+	case strings.HasSuffix(rest, segSuffix):
+		v1 = true
+		rest = strings.TrimSuffix(rest, segSuffix)
+	case strings.HasSuffix(rest, segSuffixV2):
+		rest = strings.TrimSuffix(rest, segSuffixV2)
+	default:
+		return 0, false, false
 	}
-	id, err := strconv.ParseUint(hexID, 16, 64)
-	return id, err == nil
+	if len(rest) != 8 {
+		return 0, false, false
+	}
+	id, err := strconv.ParseUint(rest, 16, 64)
+	return id, v1, err == nil
 }
 
 // loadedSegment is one decoded segment during recovery.
 type loadedSegment struct {
-	id    uint64
-	path  string
-	recs  []Record
-	offs  []int
-	trunc *Truncation
-	size  int
+	id     uint64
+	path   string
+	v1     bool
+	recs   []Record
+	offs   []int
+	trunc  *Truncation
+	footer []blockEntry // non-nil when a sealed v2 segment carries its index
+	size   int
 }
 
 // recover scans the directory and rebuilds a consistent store state.
@@ -201,7 +280,7 @@ func (fs *FileStore) recover() error {
 			rec.RemovedFiles = append(rec.RemovedFiles, name)
 			continue
 		}
-		id, ok := parseSegID(name)
+		id, v1, ok := parseSegID(name)
 		if !ok {
 			continue // not ours; leave foreign files alone
 		}
@@ -209,11 +288,16 @@ func (fs *FileStore) recover() error {
 		if err != nil {
 			return fmt.Errorf("auditstore: recover %s: %w", fs.dir, err)
 		}
-		recs, offs, _, trunc := decodeSegmentOffsets(data)
-		segs = append(segs, loadedSegment{
-			id: id, path: filepath.Join(fs.dir, name),
-			recs: recs, offs: offs, trunc: trunc, size: len(data),
-		})
+		seg := loadedSegment{id: id, path: filepath.Join(fs.dir, name), v1: v1, size: len(data)}
+		if v1 {
+			seg.recs, seg.offs, _, seg.trunc = decodeSegmentOffsets(data)
+			rec.SegmentsV1++
+		} else {
+			seg.recs, seg.offs, _, seg.trunc = decodeBinarySegmentOffsets(data, []int{})
+			seg.footer = parseFooter(data)
+			rec.SegmentsV2++
+		}
+		segs = append(segs, seg)
 		if id >= fs.nextID {
 			fs.nextID = id + 1
 		}
@@ -226,7 +310,10 @@ func (fs *FileStore) recover() error {
 		if si != sj {
 			return si < sj
 		}
-		return segs[i].id < segs[j].id
+		if segs[i].id != segs[j].id {
+			return segs[i].id < segs[j].id
+		}
+		return segs[i].v1 && !segs[j].v1
 	})
 
 	// Merge into the longest contiguous, verified prefix.
@@ -298,19 +385,38 @@ func (fs *FileStore) recover() error {
 		return fs.normalize(segs)
 	}
 	// Clean open: adopt the layout as it stands. The newest segment
-	// stays active if it has room; everything else is sealed.
+	// stays active if it is v2, unsealed (no footer), and has room;
+	// everything else — including every v1 segment, which the v2
+	// writer never appends to — is sealed.
 	for i, seg := range segs {
-		if i == len(segs)-1 && len(seg.recs) < fs.opts.SegmentRecords {
+		if i == len(segs)-1 && !seg.v1 && seg.footer == nil && len(seg.recs) < fs.opts.SegmentRecords {
 			f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return fmt.Errorf("auditstore: recover %s: %w", fs.dir, err)
 			}
 			fs.cur, fs.curID, fs.curRecs = f, seg.id, len(seg.recs)
+			fs.curOff = uint64(seg.size)
+			fs.rebuildActiveIndex(seg)
 			continue
 		}
 		fs.sealed = append(fs.sealed, segmentInfo{id: seg.id, path: seg.path, recs: len(seg.recs)})
 	}
 	return nil
+}
+
+// rebuildActiveIndex reconstructs the in-progress block index of an
+// adopted active segment from its decoded records and offsets.
+func (fs *FileStore) rebuildActiveIndex(seg loadedSegment) {
+	fs.curIdx = fs.curIdx[:0]
+	fs.curMax = math.MinInt64
+	for i, r := range seg.recs {
+		if i%indexEvery == 0 {
+			fs.curIdx = append(fs.curIdx, blockEntry{seq: r.Seq, off: uint64(seg.offs[i]), maxBefore: fs.curMax})
+		}
+		if tn, ok, err := timeNanos(r.Time); ok && err == nil && tn > fs.curMax {
+			fs.curMax = tn
+		}
+	}
 }
 
 // firstSeq returns the segment's first sequence number, or the maximum
@@ -366,29 +472,51 @@ func (fs *FileStore) normalize(old []loadedSegment) error {
 	return nil
 }
 
+// encodeRange renders index records [from, to) as one complete sealed
+// v2 segment (header, frames, footer with block index) in memory.
+// Only the recovery and compaction paths use it; the append hot path
+// streams through the reusable group-commit buffers instead.
+func (fs *FileStore) encodeRange(from, to int) ([]byte, error) {
+	buf := append([]byte(nil), segMagicV2...)
+	var enc FrameEncoder
+	var entries []blockEntry
+	maxSoFar := int64(math.MinInt64)
+	lastSeq := uint64(0)
+	for i := from; i < to; i++ {
+		r, ok, err := fs.mem.Get(fs.mem.base + uint64(i))
+		if err != nil || !ok {
+			return nil, fmt.Errorf("segment stage: index record %d missing (%v)", i, err)
+		}
+		if (i-from)%indexEvery == 0 {
+			entries = append(entries, blockEntry{seq: r.Seq, off: uint64(len(buf)), maxBefore: maxSoFar})
+		}
+		if buf, err = enc.AppendRecord(buf, &r); err != nil {
+			return nil, err
+		}
+		if tn, ok, err := timeNanos(r.Time); ok && err == nil && tn > maxSoFar {
+			maxSoFar = tn
+		}
+		lastSeq = r.Seq
+	}
+	entries = append(entries, blockEntry{seq: lastSeq + 1, off: uint64(len(buf)), maxBefore: maxSoFar})
+	return appendFooter(buf, entries), nil
+}
+
 // writeSegment stages records [from, to) of the index into path via a
 // tmp file and an atomic rename.
 func (fs *FileStore) writeSegment(path string, from, to int) error {
+	buf, err := fs.encodeRange(from, to)
+	if err != nil {
+		return err
+	}
 	tmp := path + tmpSuffix
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	for i := from; i < to; i++ {
-		r, ok, err := fs.mem.Get(fs.mem.base + uint64(i))
-		if err != nil || !ok {
-			f.Close() //overhaul:allow errdrop best-effort close before reporting the lookup failure
-			return fmt.Errorf("segment stage: index record %d missing (%v)", i, err)
-		}
-		line, err := EncodeRecord(r)
-		if err != nil {
-			f.Close() //overhaul:allow errdrop best-effort close before reporting the encode failure
-			return err
-		}
-		if _, err := f.Write(line); err != nil {
-			f.Close() //overhaul:allow errdrop best-effort close before reporting the write failure
-			return err
-		}
+	if _, err := f.Write(buf); err != nil {
+		f.Close() //overhaul:allow errdrop best-effort close before reporting the write failure
+		return err
 	}
 	if fs.opts.Sync {
 		if err := f.Sync(); err != nil {
@@ -402,10 +530,12 @@ func (fs *FileStore) writeSegment(path string, from, to int) error {
 	return os.Rename(tmp, path)
 }
 
-// fail marks the store broken and returns the wrapped error. Every
-// later operation repeats it until the directory is reopened.
-func (fs *FileStore) fail(context string, cause error) error {
-	fs.failed = fmt.Errorf("%w: %s: %v", ErrStoreFailed, context, cause)
+// failLocked marks the store broken. Every later operation repeats the
+// failure until the directory is reopened. Callers hold mu and own the
+// file state (they are the commit leader or an exclusive op), so
+// releasing the active handle here is race-free.
+func (fs *FileStore) failLocked(cause error) error {
+	fs.failed = fmt.Errorf("%w: %v", ErrStoreFailed, cause)
 	if fs.cur != nil {
 		fs.cur.Close() //overhaul:allow errdrop the store is already failed; the handle is released best-effort
 		fs.cur = nil
@@ -413,130 +543,124 @@ func (fs *FileStore) fail(context string, cause error) error {
 	return fs.failed
 }
 
-// check returns the standing failure, if any.
-func (fs *FileStore) check() error {
+// checkLocked returns the standing failure, if any.
+func (fs *FileStore) checkLocked() error {
 	if fs.closed {
 		return ErrClosed
 	}
 	return fs.failed
 }
 
-// Append implements Store: frame the record, evaluate the torn-write
-// fault point, write it to the active segment, and only then index it
-// — so the index never claims a record the log does not hold. A full
-// active segment rotates *before* the write, so a crash mid-rotation
-// never loses an acknowledged record.
-func (fs *FileStore) Append(r Record) (uint64, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.check(); err != nil {
-		return 0, err
-	}
-	if fs.curRecs >= fs.opts.SegmentRecords && fs.cur != nil {
-		if err := fs.rotateLocked(); err != nil {
-			return 0, err
-		}
-	}
-	if fs.cur == nil {
-		if err := fs.openActiveLocked(); err != nil {
-			return 0, err
-		}
-	}
-	seq := fs.mem.LastSeq() + 1
-	if r.Seq != 0 && r.Seq != seq {
-		return 0, ErrSeqMismatch
-	}
-	r.Seq = seq
-	line, err := EncodeRecord(r)
-	if err != nil {
-		return 0, err
-	}
-	if f := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreAppend); f.Injected() {
-		if f.Kind == faultinject.KindError {
-			// Torn write: the process died (or the disk lied) mid-line.
-			// Half the frame reaches the log; recovery must cut it.
-			if _, werr := fs.cur.Write(line[:len(line)/2]); werr != nil {
-				return 0, fs.fail("append (torn)", werr)
-			}
-		}
-		return 0, fs.fail("append", f.Err)
-	}
-	if _, err := fs.cur.Write(line); err != nil {
-		return 0, fs.fail("append", err)
-	}
-	if _, err := fs.mem.Append(r); err != nil {
-		return 0, fs.fail("append index", err)
-	}
-	fs.curRecs++
-	return seq, nil
-}
-
-// openActiveLocked creates a fresh active segment file.
-func (fs *FileStore) openActiveLocked() error {
+// openActive creates a fresh active segment file and writes its
+// header. Leader-owned.
+func (fs *FileStore) openActive() error {
 	id := fs.nextID
 	path := fs.segPath(id)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
-		return fs.fail("create segment", err)
+		return fmt.Errorf("create segment: %w", err)
+	}
+	if _, err := f.WriteString(segMagicV2); err != nil {
+		f.Close() //overhaul:allow errdrop best-effort close before reporting the header write failure
+		return fmt.Errorf("segment header: %w", err)
 	}
 	fs.nextID++
 	fs.cur, fs.curID, fs.curRecs = f, id, 0
+	fs.curOff = uint64(len(segMagicV2))
+	fs.curIdx = fs.curIdx[:0]
+	fs.curMax = math.MinInt64
 	return nil
 }
 
-// rotateLocked seals the active segment and opens a fresh one,
-// evaluating the crash fault point at each protocol window (before and
-// after the seal), then triggers compaction when enough sealed
-// segments accumulated.
-func (fs *FileStore) rotateLocked() error {
-	if f := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreRotate); f.Injected() {
-		return fs.fail("rotate (pre-seal)", f.Err)
+// sealActive writes the active segment's footer (block index plus
+// sentinel entry) and closes it, moving it to the sealed list.
+// Leader-owned.
+func (fs *FileStore) sealActive() error {
+	entries := append(fs.curIdx, blockEntry{seq: fs.mem.LastSeq() + 1, off: fs.curOff, maxBefore: fs.curMax})
+	fs.wbuf = appendFooter(fs.wbuf[:0], entries)
+	if _, err := fs.cur.Write(fs.wbuf); err != nil {
+		return fmt.Errorf("seal footer: %w", err)
 	}
 	if fs.opts.Sync {
 		if err := fs.cur.Sync(); err != nil {
-			return fs.fail("rotate sync", err)
+			return fmt.Errorf("seal sync: %w", err)
 		}
 	}
 	if err := fs.cur.Close(); err != nil {
-		return fs.fail("rotate seal", err)
+		return fmt.Errorf("seal close: %w", err)
 	}
 	fs.sealed = append(fs.sealed, segmentInfo{id: fs.curID, path: fs.segPath(fs.curID), recs: fs.curRecs})
 	fs.cur, fs.curRecs = nil, 0
+	fs.curIdx = fs.curIdx[:0]
+	return nil
+}
+
+// rotateSeg seals the active segment and opens a fresh one, evaluating
+// the crash fault point at each protocol window (before and after the
+// seal), then triggers compaction when enough sealed segments
+// accumulated. Leader-owned.
+func (fs *FileStore) rotateSeg() error {
 	if f := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreRotate); f.Injected() {
-		return fs.fail("rotate (post-seal)", f.Err)
+		return fmt.Errorf("rotate (pre-seal): %w", f.Err)
 	}
-	if err := fs.openActiveLocked(); err != nil {
+	if err := fs.sealActive(); err != nil {
+		return fmt.Errorf("rotate: %w", err)
+	}
+	if f := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreRotate); f.Injected() {
+		return fmt.Errorf("rotate (post-seal): %w", f.Err)
+	}
+	if err := fs.openActive(); err != nil {
 		return err
 	}
 	if fs.opts.CompactSealed > 0 && len(fs.sealed) >= fs.opts.CompactSealed {
-		return fs.compactLocked()
+		return fs.compactSeg()
 	}
 	return nil
 }
 
 // Compact merges every sealed segment into one. The active segment is
 // left alone. Compaction never drops records — the audit trail is the
-// product — it only reduces file count and normalizes ordering.
+// product — it only reduces file count and normalizes ordering; sealed
+// v1 segments are rewritten in the v2 format.
 func (fs *FileStore) Compact() error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.check(); err != nil {
+	for fs.committing {
+		fs.commitDone.Wait()
+	}
+	if err := fs.checkLocked(); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	if len(fs.sealed) < 2 {
+		fs.mu.Unlock()
 		return nil
 	}
-	return fs.compactLocked()
+	fs.committing = true
+	fs.mu.Unlock()
+
+	err := fs.compactSeg()
+
+	fs.mu.Lock()
+	if err != nil && fs.failed == nil {
+		err = fs.failLocked(err)
+	} else if err != nil {
+		err = fs.failed
+	}
+	fs.committing = false
+	fs.commitDone.Broadcast()
+	fs.mu.Unlock()
+	return err
 }
 
-// compactLocked merges the sealed segments into a fresh, higher file
-// id via stage → fsync → rename → cleanup, evaluating the crash fault
+// compactSeg merges the sealed segments into a fresh, higher file id
+// via stage → fsync → rename → cleanup, evaluating the crash fault
 // point at each window. Every window leaves a recoverable directory:
 // a torn or unrenamed tmp is discarded on open, and a rename without
 // cleanup leaves duplicates that recovery deduplicates by sequence.
-func (fs *FileStore) compactLocked() error {
+// Leader-owned.
+func (fs *FileStore) compactSeg() error {
 	if f := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreCompact); f.Injected() {
-		return fs.fail("compact (begin)", f.Err)
+		return fmt.Errorf("compact (begin): %w", f.Err)
 	}
 	total := 0
 	for _, s := range fs.sealed {
@@ -546,76 +670,65 @@ func (fs *FileStore) compactLocked() error {
 	path := fs.segPath(id)
 	tmp := path + tmpSuffix
 
+	buf, err := fs.encodeRange(0, total)
+	if err != nil {
+		return fmt.Errorf("compact stage: %w", err)
+	}
 	// Stage in two halves with a torn-tmp crash window between them.
-	half := total / 2
+	half := len(buf) / 2
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fs.fail("compact stage", err)
+		return fmt.Errorf("compact stage: %w", err)
 	}
-	if err := fs.writeRange(f, 0, half); err != nil {
+	if _, err := f.Write(buf[:half]); err != nil {
 		f.Close() //overhaul:allow errdrop the store is already failed; the handle is released best-effort
-		return fs.fail("compact stage", err)
+		return fmt.Errorf("compact stage: %w", err)
 	}
 	if fl := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreCompact); fl.Injected() {
 		f.Close() //overhaul:allow errdrop the store is already failed; the torn tmp is the injected state under test
-		return fs.fail("compact (torn tmp)", fl.Err)
+		return fmt.Errorf("compact (torn tmp): %w", fl.Err)
 	}
-	if err := fs.writeRange(f, half, total); err != nil {
+	if _, err := f.Write(buf[half:]); err != nil {
 		f.Close() //overhaul:allow errdrop the store is already failed; the handle is released best-effort
-		return fs.fail("compact stage", err)
+		return fmt.Errorf("compact stage: %w", err)
 	}
 	if fs.opts.Sync {
 		if err := f.Sync(); err != nil {
 			f.Close() //overhaul:allow errdrop the store is already failed; the handle is released best-effort
-			return fs.fail("compact sync", err)
+			return fmt.Errorf("compact sync: %w", err)
 		}
 	}
 	if err := f.Close(); err != nil {
-		return fs.fail("compact stage", err)
+		return fmt.Errorf("compact stage: %w", err)
 	}
 	if fl := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreCompact); fl.Injected() {
-		return fs.fail("compact (pre-rename)", fl.Err)
+		return fmt.Errorf("compact (pre-rename): %w", fl.Err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fs.fail("compact rename", err)
+		return fmt.Errorf("compact rename: %w", err)
 	}
 	fs.nextID++
 	if fl := faultinject.Eval(fs.opts.Hook, faultinject.PointStoreCompact); fl.Injected() {
-		return fs.fail("compact (pre-cleanup)", fl.Err)
+		return fmt.Errorf("compact (pre-cleanup): %w", fl.Err)
 	}
 	for _, s := range fs.sealed {
 		if err := os.Remove(s.path); err != nil {
-			return fs.fail("compact cleanup", err)
+			return fmt.Errorf("compact cleanup: %w", err)
 		}
 	}
 	fs.sealed = []segmentInfo{{id: id, path: path, recs: total}}
 	return nil
 }
 
-// writeRange streams index records [from, to) (positions among the
-// sealed records, which are always the oldest) into w.
-func (fs *FileStore) writeRange(w *os.File, from, to int) error {
-	for i := from; i < to; i++ {
-		r, ok, err := fs.mem.Get(fs.mem.base + uint64(i))
-		if err != nil || !ok {
-			return fmt.Errorf("compact: index record %d missing (%v)", i, err)
-		}
-		line, err := EncodeRecord(r)
-		if err != nil {
-			return err
-		}
-		if _, err := w.Write(line); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // SegmentCount returns (sealed, active) segment counts — observability
-// for tests and the dashboard.
+// for tests and the dashboard. It waits out any in-flight commit so
+// the counts are a consistent snapshot.
 func (fs *FileStore) SegmentCount() (sealed int, active int) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	for fs.committing {
+		fs.commitDone.Wait()
+	}
 	sealed = len(fs.sealed)
 	if fs.cur != nil {
 		active = 1
@@ -627,7 +740,7 @@ func (fs *FileStore) SegmentCount() (sealed int, active int) {
 // that cannot vouch for its tail must not answer as if it could.
 func (fs *FileStore) Get(seq uint64) (Record, bool, error) {
 	fs.mu.Lock()
-	err := fs.check()
+	err := fs.checkLocked()
 	fs.mu.Unlock()
 	if err != nil {
 		return Record{}, false, err
@@ -638,7 +751,7 @@ func (fs *FileStore) Get(seq uint64) (Record, bool, error) {
 // Scan implements Store.
 func (fs *FileStore) Scan(q Query, yield func(Record) bool) error {
 	fs.mu.Lock()
-	err := fs.check()
+	err := fs.checkLocked()
 	fs.mu.Unlock()
 	if err != nil {
 		return err
@@ -646,10 +759,21 @@ func (fs *FileStore) Scan(q Query, yield func(Record) bool) error {
 	return fs.mem.Scan(q, yield)
 }
 
+// Iter implements Iterable: a streaming scan over the durable prefix.
+func (fs *FileStore) Iter(q Query) (*Iterator, error) {
+	fs.mu.Lock()
+	err := fs.checkLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return fs.mem.Iter(q)
+}
+
 // Count implements Store.
 func (fs *FileStore) Count() (int, error) {
 	fs.mu.Lock()
-	err := fs.check()
+	err := fs.checkLocked()
 	fs.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -657,9 +781,11 @@ func (fs *FileStore) Count() (int, error) {
 	return fs.mem.Count()
 }
 
-// Close implements Store: the active segment is flushed and released.
-// Closing a failed store releases resources without clearing the
-// failure (reopen recovers).
+// Close implements Store: in-flight commits are waited out, then the
+// active segment is flushed and released. Queued appends that never
+// made it into a durable batch fail with ErrClosed — they were never
+// acknowledged. Closing a failed store releases resources without
+// clearing the failure (reopen recovers).
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -667,6 +793,10 @@ func (fs *FileStore) Close() error {
 		return ErrClosed
 	}
 	fs.closed = true
+	fs.commitDone.Broadcast()
+	for fs.committing {
+		fs.commitDone.Wait()
+	}
 	if fs.cur != nil {
 		if fs.opts.Sync {
 			if err := fs.cur.Sync(); err != nil {

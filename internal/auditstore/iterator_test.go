@@ -1,0 +1,127 @@
+package auditstore_test
+
+import (
+	"testing"
+
+	"overhaul/internal/auditstore"
+)
+
+// iterStores builds the two Iterable backends preloaded with n records.
+func iterStores(t *testing.T, n int) map[string]auditstore.Store {
+	t.Helper()
+	mem := auditstore.NewMemStore()
+	fillStore(t, mem, n)
+	fs, err := auditstore.Open(t.TempDir(), auditstore.Options{SegmentRecords: 32})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { fs.Close() }) //overhaul:allow errdrop test cleanup
+	fillStore(t, fs, n)
+	return map[string]auditstore.Store{"mem": mem, "file": fs}
+}
+
+// TestIterMatchesScan pins the pull iterator against the push scan:
+// for every backend and every planner shape in the query grid, Iter +
+// Next yields exactly the Scan result set, in order.
+func TestIterMatchesScan(t *testing.T) {
+	for name, st := range iterStores(t, 60) {
+		it, ok := st.(auditstore.Iterable)
+		if !ok {
+			t.Fatalf("%s store is not Iterable", name)
+		}
+		for qi, q := range coldQueries() {
+			want, err := auditstore.ScanAll(st, q)
+			if err != nil {
+				t.Fatalf("%s query %d scan: %v", name, qi, err)
+			}
+			iter, err := it.Iter(q)
+			if err != nil {
+				t.Fatalf("%s query %d iter: %v", name, qi, err)
+			}
+			var got []auditstore.Record
+			var r auditstore.Record
+			for iter.Next(&r) {
+				got = append(got, r)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: iter %d records, scan %d", name, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s query %d record %d diverged:\n iter %+v\n scan %+v",
+						name, qi, i, got[i], want[i])
+				}
+			}
+			// An exhausted iterator stays exhausted.
+			if iter.Next(&r) {
+				t.Fatalf("%s query %d: Next true after exhaustion", name, qi)
+			}
+		}
+	}
+}
+
+// TestIterNextZeroAlloc pins the streaming claim: advancing a live
+// iterator into a caller-owned Record allocates nothing.
+func TestIterNextZeroAlloc(t *testing.T) {
+	mem := auditstore.NewMemStore()
+	fillStore(t, mem, 10000)
+	for _, q := range []auditstore.Query{
+		{},
+		{Verdict: "deny"},
+		{Verdict: "deny", Reason: "recent"},
+		{PID: 101, Verdict: "grant"},
+	} {
+		iter, err := mem.Iter(q)
+		if err != nil {
+			t.Fatalf("iter: %v", err)
+		}
+		var r auditstore.Record
+		if !iter.Next(&r) { // warm: first advance may touch the plan
+			t.Fatalf("query %+v matched nothing", q)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if !iter.Next(&r) {
+				t.Fatal("iterator exhausted mid-measurement")
+			}
+		}); n != 0 {
+			t.Fatalf("query %+v: Next allocates %v/op, want 0", q, n)
+		}
+	}
+}
+
+// TestIterResumable checks an iterator can be drained incrementally —
+// the cursor holds across calls, which is what lets the CLI stream
+// records without materialising the result set.
+func TestIterResumable(t *testing.T) {
+	mem := auditstore.NewMemStore()
+	fillStore(t, mem, 30)
+	iter, err := mem.Iter(auditstore.Query{Verdict: "deny"})
+	if err != nil {
+		t.Fatalf("iter: %v", err)
+	}
+	want, err := auditstore.ScanAll(mem, auditstore.Query{Verdict: "deny"})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	var got []auditstore.Record
+	for {
+		// Pull in uneven chunks.
+		var r auditstore.Record
+		pulled := 0
+		for pulled < 1+len(got)%3 && iter.Next(&r) {
+			got = append(got, r)
+			pulled++
+		}
+		if pulled == 0 {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chunked drain: %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d diverged", i)
+		}
+	}
+}

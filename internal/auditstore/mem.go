@@ -1,7 +1,6 @@
 package auditstore
 
 import (
-	"sort"
 	"sync"
 )
 
@@ -110,57 +109,21 @@ func (m *MemStore) LastSeq() uint64 {
 
 // Scan implements Store. The narrowest applicable secondary index
 // drives the iteration: a pid or verdict posting list when the query
-// pins one, else the sequence-ordered slice itself, entered by binary
-// search on time when the stream is time-ordered and Since is set.
+// pins one, their galloping-merge intersection when it pins both,
+// else the sequence-ordered slice itself, entered by binary search on
+// time when the stream is time-ordered and Since is set. Candidates
+// are filtered in place — no Record is copied until it is actually
+// yielded.
 func (m *MemStore) Scan(q Query, yield func(Record) bool) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
 		return ErrClosed
 	}
-	matched := 0
-	emit := func(r Record) bool {
-		if !q.Matches(r) {
-			return true
-		}
-		matched++
-		if !yield(r) {
-			return false
-		}
-		return q.Limit == 0 || matched < q.Limit
-	}
-	// Posting-list path: pick the shorter of the applicable lists.
-	var posting []int
-	havePosting := false
-	if q.PID != 0 {
-		posting, havePosting = m.byPID[q.PID], true
-	}
-	if q.Verdict != "" {
-		if vl, ok := m.byVerdict[q.Verdict]; ok && (!havePosting || len(vl) < len(posting)) {
-			posting, havePosting = vl, true
-		} else if !ok {
-			return nil
-		}
-	}
-	if havePosting {
-		for _, pos := range posting {
-			if !emit(m.recs[pos]) {
-				return nil
-			}
-		}
-		return nil
-	}
-	start := 0
-	if !q.Since.IsZero() && m.timeOrdered {
-		start = sort.Search(len(m.recs), func(i int) bool {
-			return !m.recs[i].Time.Before(q.Since)
-		})
-	}
-	for _, r := range m.recs[start:] {
-		if !emit(r) {
-			return nil
-		}
-	}
+	var it Iterator
+	it.q = q
+	m.planLocked(q, &it)
+	it.drain(yield)
 	return nil
 }
 

@@ -1,0 +1,380 @@
+package auditstore_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"overhaul/internal/auditstore"
+	"overhaul/internal/faultinject"
+)
+
+// writeV1Segments hand-writes legacy JSONL segment files holding
+// records start..start+count-1 of the mkRecord stream (seqs start+1..),
+// perSeg records per file, exactly as a pre-upgrade store left them.
+func writeV1Segments(t *testing.T, dir string, count, perSeg int) {
+	t.Helper()
+	id := uint64(1)
+	for at := 0; at < count; at += perSeg {
+		var data []byte
+		for i := at; i < at+perSeg && i < count; i++ {
+			r := mkRecord(i)
+			r.Seq = uint64(i + 1)
+			line, err := auditstore.EncodeRecord(r)
+			if err != nil {
+				t.Fatalf("encode v1 record %d: %v", i, err)
+			}
+			data = append(data, line...)
+		}
+		name := filepath.Join(dir, fmt.Sprintf("seg-%08x.jsonl", id))
+		if err := os.WriteFile(name, data, 0o600); err != nil {
+			t.Fatalf("write v1 segment: %v", err)
+		}
+		id++
+	}
+}
+
+// TestMixedFormatRecovery opens a directory of legacy v1 JSONL
+// segments, appends through the v2 path, and checks both formats
+// coexist across reopen with the stream intact.
+func TestMixedFormatRecovery(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segments(t, dir, 20, 5)
+
+	st, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 5, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("open v1 dir: %v", err)
+	}
+	rec := st.Recovery()
+	if rec.SegmentsV1 != 4 || rec.SegmentsV2 != 0 || rec.Records != 20 || !rec.Clean {
+		t.Fatalf("v1 recovery = %+v, want 4 v1 segments, 20 records, clean", rec)
+	}
+	checkPrefix(t, st, 20)
+	for i := 20; i < 40; i++ {
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 5, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("reopen mixed dir: %v", err)
+	}
+	rec = st2.Recovery()
+	if rec.SegmentsV1 == 0 || rec.SegmentsV2 == 0 {
+		t.Fatalf("mixed recovery = %+v, want both formats present", rec)
+	}
+	if !rec.Clean || rec.Records != 40 {
+		t.Fatalf("mixed recovery = %+v, want clean 40 records", rec)
+	}
+	checkPrefix(t, st2, 40)
+	if err := st2.Close(); err != nil {
+		t.Fatalf("close mixed: %v", err)
+	}
+}
+
+// TestMixedFormatCompactionUpgrade pins the upgrade path: Compact on a
+// mixed directory rewrites every v1 segment into v2 without changing a
+// single record, and the upgraded directory opens clean.
+func TestMixedFormatCompactionUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segments(t, dir, 20, 5)
+
+	st, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 5, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 20; i < 33; i++ {
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	before, err := auditstore.ScanAll(st, auditstore.Query{})
+	if err != nil {
+		t.Fatalf("scan before: %v", err)
+	}
+
+	if err := st.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	v1Left, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(v1Left) != 0 {
+		t.Fatalf("%d v1 segments survive compaction: %v", len(v1Left), v1Left)
+	}
+
+	after, err := auditstore.ScanAll(st, auditstore.Query{})
+	if err != nil {
+		t.Fatalf("scan after: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("compaction changed record count: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		b, err1 := auditstore.EncodeRecord(before[i])
+		a, err2 := auditstore.EncodeRecord(after[i])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("encode: %v / %v", err1, err2)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("record %d changed across upgrade:\n before %s\n after %s", i, b, a)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 5, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("reopen upgraded: %v", err)
+	}
+	rec := st2.Recovery()
+	if !rec.Clean || rec.SegmentsV1 != 0 || rec.Records != 33 {
+		t.Fatalf("upgraded recovery = %+v, want clean all-v2 with 33 records", rec)
+	}
+	checkPrefix(t, st2, 33)
+	if err := st2.Close(); err != nil {
+		t.Fatalf("close upgraded: %v", err)
+	}
+}
+
+// TestMixedFormatCrash runs a deterministic batch-window crash against
+// a directory that still holds v1 segments: the exact-acked-prefix
+// contract must hold across formats.
+func TestMixedFormatCrash(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segments(t, dir, 20, 5)
+
+	inj, err := faultinject.New(7, faultinject.Rule{
+		Point: faultinject.PointStoreBatch, Kind: faultinject.KindCrash, After: 10, Count: 1,
+	})
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	st, err := auditstore.Open(dir, auditstore.Options{
+		SegmentRecords: 5, CompactSealed: -1, Hook: inj.Hook(),
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	acked := 20
+	for i := 20; i < 40; i++ {
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			if !errors.Is(err, auditstore.ErrStoreFailed) {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			break
+		}
+		acked++
+	}
+	if acked != 25 { // 5 v2 appends acked before the 6th hits window A
+		t.Fatalf("acked %d, want 25", acked)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 5, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	checkPrefix(t, st2, acked)
+	if err := st2.Close(); err != nil {
+		t.Fatalf("close recovered: %v", err)
+	}
+}
+
+// coldQueries is the grid both the cold scanner and the iterator are
+// checked against — every planner shape: full scan, single posting,
+// intersection, time bounds, residual filters, limits.
+func coldQueries() []auditstore.Query {
+	mid := testBase.Add(700 * time.Millisecond)
+	late := testBase.Add(1500 * time.Millisecond)
+	return []auditstore.Query{
+		{},
+		{Verdict: "deny"},
+		{Verdict: "grant"},
+		{PID: 101},
+		{PID: 103, Verdict: "deny"},
+		{PID: 9999},
+		{Since: mid},
+		{Since: mid, Verdict: "deny"},
+		{Until: mid},
+		{Since: mid, Until: late, PID: 102},
+		{Reason: "recent"},
+		{Verdict: "deny", Reason: "recent"},
+		{Session: 2},
+		{Session: 3, Verdict: "grant"},
+		{Limit: 7},
+		{Verdict: "deny", Limit: 3},
+		{Since: mid, Limit: 5},
+	}
+}
+
+// TestColdScanMatchesStore pins ScanSegments against the warm path:
+// for a mixed-format directory with sealed and active segments, every
+// query in the grid returns byte-identical records in both paths.
+func TestColdScanMatchesStore(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segments(t, dir, 10, 4)
+	st, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 8, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 10; i < 45; i++ { // sealed v2 segments plus a partial active one
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+
+	for qi, q := range coldQueries() {
+		warm, err := auditstore.ScanAll(st, q)
+		if err != nil {
+			t.Fatalf("query %d warm scan: %v", qi, err)
+		}
+		var cold []auditstore.Record
+		stats, err := auditstore.ScanSegments(dir, q, func(r auditstore.Record) bool {
+			cold = append(cold, r)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("query %d cold scan: %v", qi, err)
+		}
+		if stats.Truncated {
+			t.Fatalf("query %d cold scan reports truncation on a healthy dir: %+v", qi, stats)
+		}
+		if len(cold) != len(warm) {
+			t.Fatalf("query %d: cold %d records, warm %d", qi, len(cold), len(warm))
+		}
+		for i := range warm {
+			w, err1 := auditstore.EncodeRecord(warm[i])
+			c, err2 := auditstore.EncodeRecord(cold[i])
+			if err1 != nil || err2 != nil {
+				t.Fatalf("encode: %v / %v", err1, err2)
+			}
+			if string(w) != string(c) {
+				t.Fatalf("query %d record %d diverged:\n warm %s\n cold %s", qi, i, w, c)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestColdScanSkipsSegments checks the footer fast path: a late -since
+// bound must skip whole sealed segments without decoding them.
+func TestColdScanSkipsSegments(t *testing.T) {
+	dir := t.TempDir()
+	st, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 8, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	fillStore(t, st, 80) // 10 sealed v2 segments
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	q := auditstore.Query{Since: testBase.Add(3 * time.Second)} // records 60+
+	var got []auditstore.Record
+	stats, err := auditstore.ScanSegments(dir, q, func(r auditstore.Record) bool {
+		got = append(got, r)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("cold scan: %v", err)
+	}
+	if stats.SkippedSegments == 0 {
+		t.Fatalf("no segments skipped for a late since bound: %+v", stats)
+	}
+	if len(got) != 20 {
+		t.Fatalf("got %d records, want 20 (stats %+v)", len(got), stats)
+	}
+	for i, r := range got {
+		if want := uint64(61 + i); r.Seq != want {
+			t.Fatalf("record %d seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+}
+
+// TestColdScanReportsTruncation checks a torn tail surfaces in the
+// cold stats with its file and reason, while the consistent prefix
+// still streams.
+func TestColdScanReportsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	inj, err := faultinject.New(3, faultinject.Rule{
+		Point: faultinject.PointStoreAppend, Kind: faultinject.KindError, After: 12, Count: 1,
+	})
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	st, err := auditstore.Open(dir, auditstore.Options{
+		SegmentRecords: 64, CompactSealed: -1, Hook: inj.Hook(),
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	acked := 0
+	for i := 0; i < 30; i++ {
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			break
+		}
+		acked++
+	}
+	if acked == 0 || acked == 30 {
+		t.Fatalf("torn fault never fired usefully (acked %d)", acked)
+	}
+	_ = st.Close() // the store is failed; Close only releases it
+
+	var got []auditstore.Record
+	stats, err := auditstore.ScanSegments(dir, auditstore.Query{}, func(r auditstore.Record) bool {
+		got = append(got, r)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("cold scan: %v", err)
+	}
+	if !stats.Truncated || stats.TruncatedFile == "" || stats.Reason == "" {
+		t.Fatalf("torn tail not reported: %+v", stats)
+	}
+	if len(got) != acked {
+		t.Fatalf("cold scan streamed %d records, want the %d acked", len(got), acked)
+	}
+}
+
+// TestSegmentsNewest pins the relative -since anchor: the newest
+// record instant across all segments, straight from footers where
+// available.
+func TestSegmentsNewest(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segments(t, dir, 10, 4)
+	st, err := auditstore.Open(dir, auditstore.Options{SegmentRecords: 8, CompactSealed: -1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 10; i < 30; i++ {
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	newest, err := auditstore.SegmentsNewest(dir)
+	if err != nil {
+		t.Fatalf("newest: %v", err)
+	}
+	want := mkRecord(29).Time
+	if !newest.Equal(want) {
+		t.Fatalf("newest = %v, want %v", newest, want)
+	}
+}

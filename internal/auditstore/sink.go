@@ -97,3 +97,86 @@ func SessionSink(st Store, session uint64, stats *SinkStats) func(monitor.Decisi
 		}
 	}
 }
+
+// BatchAppender is the optional store capability BatchSink exploits:
+// commit a contiguous run of records with one durable acknowledgement
+// (FileStore's group commit).
+type BatchAppender interface {
+	Store
+	AppendBatch([]Record) (uint64, error)
+}
+
+// BatchSink buffers a session's decisions and commits them in batches:
+// the durable-ack wait is paid once per batch instead of once per
+// decision, which is what lets a thousand sessions share one store at
+// load-generator rates. Decisions are appended to the store in sink
+// order; a batch is cut when the buffer reaches its limit, and Flush
+// cuts whatever is pending (call it before reading the store or
+// exiting). Errors are counted like SessionSink's, never returned into
+// the decision path — each failed flush adds its batched record count
+// to stats.Errors as dropped acknowledgements.
+type BatchSink struct {
+	mu      sync.Mutex
+	st      Store
+	ba      BatchAppender // non-nil when st commits batches natively
+	session uint64
+	limit   int
+	buf     []Record
+	stats   *SinkStats
+}
+
+// NewBatchSink builds a batching sink over st for one session. limit
+// is the records-per-flush bound (values < 1 mean 1: degenerate to
+// per-decision appends). If st implements BatchAppender, flushes use
+// one AppendBatch; otherwise they fall back to per-record appends.
+func NewBatchSink(st Store, session uint64, limit int, stats *SinkStats) *BatchSink {
+	if limit < 1 {
+		limit = 1
+	}
+	b := &BatchSink{st: st, session: session, limit: limit, stats: stats,
+		buf: make([]Record, 0, limit)}
+	b.ba, _ = st.(BatchAppender)
+	return b
+}
+
+// Sink returns the fleet.Session.SetAuditSink callback.
+func (b *BatchSink) Sink() func(monitor.Decision) {
+	return func(d monitor.Decision) {
+		b.mu.Lock()
+		b.buf = append(b.buf, FromDecision(d, b.session))
+		if len(b.buf) >= b.limit {
+			b.flushLocked()
+		}
+		b.mu.Unlock()
+	}
+}
+
+// Flush commits any buffered decisions now.
+func (b *BatchSink) Flush() {
+	b.mu.Lock()
+	if len(b.buf) > 0 {
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+}
+
+func (b *BatchSink) flushLocked() {
+	n := uint64(len(b.buf))
+	var err error
+	if b.ba != nil {
+		_, err = b.ba.AppendBatch(b.buf)
+	} else {
+		for _, r := range b.buf {
+			if _, err = b.st.Append(r); err != nil {
+				break
+			}
+		}
+	}
+	b.buf = b.buf[:0]
+	if b.stats != nil {
+		b.stats.Appends.Add(n)
+		if err != nil {
+			b.stats.Errors.Add(n)
+		}
+	}
+}

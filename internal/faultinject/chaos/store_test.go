@@ -7,12 +7,14 @@ import (
 )
 
 // storeRules arms every auditstore fault point hard enough that a
-// default-length campaign hits torn appends, a rotation crash, and a
-// compaction crash.
+// default-length campaign hits torn appends, group-commit window
+// faults, a rotation crash, and a compaction crash.
 func storeRules() []faultinject.Rule {
 	return append(faultinject.DefaultRules(),
 		faultinject.Rule{Point: faultinject.PointStoreAppend, Kind: faultinject.KindError, Prob: 0.02},
 		faultinject.Rule{Point: faultinject.PointStoreAppend, Kind: faultinject.KindCrash, Prob: 0.01},
+		faultinject.Rule{Point: faultinject.PointStoreBatch, Kind: faultinject.KindError, Prob: 0.01},
+		faultinject.Rule{Point: faultinject.PointStoreBatch, Kind: faultinject.KindCrash, Prob: 0.005},
 		faultinject.Rule{Point: faultinject.PointStoreRotate, Kind: faultinject.KindCrash, After: 2, Count: 1},
 		faultinject.Rule{Point: faultinject.PointStoreCompact, Kind: faultinject.KindCrash, After: 1, Count: 1},
 	)

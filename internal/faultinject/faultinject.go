@@ -85,6 +85,14 @@ const (
 	// tmp; staged but not renamed; renamed but sources not yet
 	// removed). Injectable: crash.
 	PointStoreCompact Point = "auditstore.compact"
+	// PointStoreBatch covers the audit store's group commit, evaluated
+	// at each batch window (drained but not written; written but not
+	// acknowledged). Injectable: error (torn mid-batch write: half the
+	// batch buffer reaches the segment) and crash (pre-write: the whole
+	// batch is lost; post-write: the batch is durable but its appenders
+	// never see the acknowledgement). Either way the store fails closed
+	// until reopened and no acknowledged record is ever lost.
+	PointStoreBatch Point = "auditstore.batch"
 	// PointProbeRing covers the probe perf-ring's batched reader.
 	// Injectable: error (reader stall: one batch read returns nothing
 	// and consumes nothing, so publishers keep filling the ring until
@@ -106,6 +114,7 @@ func Points() []Point {
 		PointStoreAppend,
 		PointStoreRotate,
 		PointStoreCompact,
+		PointStoreBatch,
 		PointProbeRing,
 	}
 }

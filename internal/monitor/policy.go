@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -59,9 +60,13 @@ const (
 )
 
 // Evaluate applies the rule to one query and returns the verdict with
-// its human-readable reason. Every path except the stale-stamp denial
-// (which formats the staleness into its reason, exactly like the
-// pre-extraction code) is allocation-free.
+// its human-readable reason. Every path is allocation-free in steady
+// state: the stale-stamp denial quantizes its staleness to two
+// significant figures and hands out an interned string, so a fleet
+// denying at rate does not allocate one reason per denial — and equal
+// (staleness, δ) pairs produce the identical string value across all
+// sessions, which the fleet ≡ standalone equivalence property relies
+// on.
 func (p Policy) Evaluate(q Query) (Verdict, string) {
 	switch {
 	case p.Force:
@@ -87,8 +92,64 @@ func (p Policy) Evaluate(q Query) (Verdict, string) {
 	case q.OpTime.Sub(q.Stamp) < p.Threshold:
 		return VerdictGrant, ReasonWithinDelta
 	default:
-		return VerdictDeny, fmt.Sprintf("interaction stale by %v (δ=%v)", q.OpTime.Sub(q.Stamp)-p.Threshold, p.Threshold)
+		return VerdictDeny, staleReason(q.OpTime.Sub(q.Stamp)-p.Threshold, p.Threshold)
 	}
+}
+
+// QuantizeStale rounds a staleness down to two significant figures
+// (3.25s → 3.2s, 987ms → 980ms), the resolution the stale-denial
+// reason reports. Coarsening the dynamic part is what makes the reason
+// cacheable: a session denying continuously produces a handful of
+// distinct reasons instead of one per nanosecond. Exported so the
+// probe layer's ReasonText (which cannot import this package) is
+// pinned against it by test.
+func QuantizeStale(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	q := time.Duration(1)
+	for d/q >= 100 {
+		q *= 10
+	}
+	return d - d%q
+}
+
+// staleKey identifies one interned stale reason.
+type staleKey struct {
+	stale, threshold time.Duration
+}
+
+// staleReasons caches formatted stale-denial reasons. Bounded: δ is
+// per-policy constant and quantized stalenesses cluster, so the cache
+// saturates at a few dozen entries in practice; the cap only guards
+// against an adversarial spread of thresholds.
+var staleReasons struct {
+	sync.RWMutex
+	m map[staleKey]string
+}
+
+const staleReasonCacheCap = 4096
+
+// staleReason returns the interned reason string for a stale denial,
+// formatting and caching it on first sight of the (staleness, δ) pair.
+func staleReason(stale, threshold time.Duration) string {
+	k := staleKey{QuantizeStale(stale), threshold}
+	staleReasons.RLock()
+	s, ok := staleReasons.m[k]
+	staleReasons.RUnlock()
+	if ok {
+		return s
+	}
+	s = fmt.Sprintf("interaction stale by %v (δ=%v)", k.stale, threshold)
+	staleReasons.Lock()
+	if staleReasons.m == nil {
+		staleReasons.m = make(map[staleKey]string, 64)
+	}
+	if len(staleReasons.m) < staleReasonCacheCap {
+		staleReasons.m[k] = s
+	}
+	staleReasons.Unlock()
+	return s
 }
 
 // DegradedDenial reports whether a decision under this policy counts as

@@ -198,6 +198,22 @@ const (
 	textFailClosed     = "transient open failure: fail closed"
 )
 
+// quantizeStale mirrors monitor.QuantizeStale — staleness rounded down
+// to two significant figures, the resolution the policy's interned
+// stale reasons report. Duplicated for the same reason as the text
+// vocabulary above; the oracle test pins the two implementations
+// together.
+func quantizeStale(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	q := time.Duration(1)
+	for d/q >= 100 {
+		q *= 10
+	}
+	return d - d%q
+}
+
 // ReasonOf interns a monitor reason string. Fixed reasons map to their
 // code; the dynamic degraded and stale reasons map by prefix; anything
 // else is ReasonOther. The switch is a handful of length-bucketed
@@ -278,7 +294,7 @@ func (ev Event) ReasonText(threshold time.Duration) string {
 	case ReasonWithinDelta:
 		return textWithinDelta
 	case ReasonStale:
-		stale := time.Duration(ev.TimeNanos-ev.StampNanos) - threshold
+		stale := quantizeStale(time.Duration(ev.TimeNanos-ev.StampNanos) - threshold)
 		return textStalePrefix + stale.String() + " (δ=" + threshold.String() + ")"
 	case ReasonFailClosed:
 		return textFailClosed

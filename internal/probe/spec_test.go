@@ -154,7 +154,7 @@ func TestStaleReasonReconstruction(t *testing.T) {
 		TimeNanos:  op.UnixNano(),
 		StampNanos: stamp.UnixNano(),
 	}
-	want := "interaction stale by 3.25s (δ=2s)"
+	want := "interaction stale by 3.2s (δ=2s)"
 	if got := ev.ReasonText(delta); got != want {
 		t.Fatalf("ReasonText = %q, want %q", got, want)
 	}
