@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"time"
 
+	"overhaul/internal/clock"
 	"overhaul/internal/faultinject"
 )
 
@@ -121,6 +123,7 @@ func (fs *FileStore) Append(r Record) (uint64, error) {
 	fs.lastSeq = seq
 	fs.queue = append(fs.queue, r)
 	fs.queueBytes += estimateSize(&r)
+	fs.wakeLingerLocked()
 	//overhaul:allow lockordercheck group-commit leader handoff: awaitDurableLocked either waits on the condvar (which releases mu) or leads via runCommitsLocked, which explicitly unlocks before the segment write and relocks to acknowledge — mu is never acquired while held
 	if err := fs.awaitDurableLocked(seq); err != nil {
 		fs.mu.Unlock()
@@ -165,6 +168,7 @@ func (fs *FileStore) AppendBatch(recs []Record) (uint64, error) {
 		fs.queue = append(fs.queue, r)
 		fs.queueBytes += estimateSize(&r)
 	}
+	fs.wakeLingerLocked()
 	if err := fs.awaitDurableLocked(last); err != nil {
 		fs.mu.Unlock()
 		return 0, err
@@ -174,16 +178,27 @@ func (fs *FileStore) AppendBatch(recs []Record) (uint64, error) {
 }
 
 // awaitDurableLocked blocks until sequence seq is durable, becoming
-// the commit leader if none is active. Called and returns with mu
-// held.
+// the commit leader whenever none is active. Leadership is re-checked
+// on every wake-up: an exclusive op (Compact, a finished leader) may
+// release the committing flag with this record still queued, and a
+// follower that only ever waited would then block forever — so a
+// woken follower that finds no leader promotes itself and commits the
+// queue. Called and returns with mu held.
 func (fs *FileStore) awaitDurableLocked(seq uint64) error {
-	if !fs.committing {
-		fs.committing = true
-		fs.runCommitsLocked()
-	} else {
-		for fs.durableSeq < seq && fs.failed == nil && !fs.closed {
-			fs.commitDone.Wait()
+	for fs.durableSeq < seq && fs.failed == nil && !fs.closed {
+		if !fs.committing {
+			if len(fs.queue) == 0 {
+				// Nothing queued yet seq is not durable: a failure
+				// path drained without recording — impossible by
+				// construction, but fail closed below rather than
+				// spin claiming empty leadership.
+				break
+			}
+			fs.committing = true
+			fs.runCommitsLocked()
+			continue
 		}
+		fs.commitDone.Wait()
 	}
 	if fs.durableSeq >= seq {
 		return nil
@@ -229,8 +244,13 @@ func (fs *FileStore) runCommitsLocked() {
 }
 
 // lingerLocked waits up to FlushInterval on the store clock for the
-// queue to fill a whole batch, yielding the scheduler between polls.
-// mu is held on entry and exit, released while yielding.
+// queue to fill a whole batch. On the system clock the leader sleeps
+// on a real timer and is woken early by an enqueue or Close (via
+// wakeLingerLocked), so a sparse appender costs no CPU during the
+// linger window. A virtual clock has no timer to sleep on, so that
+// path keeps the yield-poll: simulated-clock tests advance the clock
+// from another goroutine, and the yield lets it run. mu is held on
+// entry and exit, released while sleeping or yielding.
 func (fs *FileStore) lingerLocked() {
 	if fs.opts.FlushInterval <= 0 {
 		return
@@ -241,13 +261,44 @@ func (fs *FileStore) lingerLocked() {
 	if full() {
 		return
 	}
+	_, timed := fs.opts.Clock.(clock.System)
 	deadline := fs.opts.Clock.Now().Add(fs.opts.FlushInterval)
 	for !full() && fs.failed == nil && !fs.closed {
-		fs.mu.Unlock()
-		runtime.Gosched()
-		fs.mu.Lock()
-		if !fs.opts.Clock.Now().Before(deadline) {
+		remain := deadline.Sub(fs.opts.Clock.Now())
+		if remain <= 0 {
 			return
+		}
+		if timed {
+			select {
+			case <-fs.lingerWake: // drain a stale token from a prior round
+			default:
+			}
+			fs.lingering = true
+			fs.mu.Unlock()
+			t := time.NewTimer(remain) //overhaul:allow clockcheck the linger deadline is measured on the injected store clock; the timer only bounds the real-time sleep when that clock IS the system clock
+			select {
+			case <-fs.lingerWake:
+			case <-t.C:
+			}
+			t.Stop()
+			fs.mu.Lock()
+			fs.lingering = false
+		} else {
+			fs.mu.Unlock()
+			runtime.Gosched()
+			fs.mu.Lock()
+		}
+	}
+}
+
+// wakeLingerLocked pokes a leader sleeping in lingerLocked so it
+// re-examines the queue (or the closed flag) immediately. Called with
+// mu held; the buffered send never blocks.
+func (fs *FileStore) wakeLingerLocked() {
+	if fs.lingering {
+		select {
+		case fs.lingerWake <- struct{}{}:
+		default:
 		}
 	}
 }

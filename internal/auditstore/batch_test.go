@@ -322,6 +322,137 @@ func TestGroupCommitFlushInterval(t *testing.T) {
 	}
 }
 
+// TestAppendDuringCompactCompletes pins the leadership hand-off: an
+// Append that enqueues while Compact owns the committing flag must be
+// promoted to commit leader when Compact releases it. A follower that
+// only ever waited on commitDone would block forever here — Compact
+// returns with a non-empty queue and no leader — so this test hangs
+// on its watchdog without the promotion loop in awaitDurableLocked.
+func TestAppendDuringCompactCompletes(t *testing.T) {
+	compacting := make(chan struct{})
+	appendRunning := make(chan struct{})
+	var once sync.Once
+	hook := func(p faultinject.Point) faultinject.Fault {
+		if p == faultinject.PointStoreCompact {
+			once.Do(func() {
+				close(compacting)
+				<-appendRunning
+				// Let the appender enqueue and park on the condition
+				// variable while Compact still owns leadership.
+				time.Sleep(100 * time.Millisecond) //overhaul:allow clockcheck real-time pause widens the Compact window the racing Append must land in; no store clock is in play
+			})
+		}
+		return faultinject.Fault{}
+	}
+	st, err := auditstore.Open(t.TempDir(), auditstore.Options{
+		SegmentRecords: 2, CompactSealed: -1, Hook: hook,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close() //overhaul:allow errdrop test cleanup
+
+	// Seal two segments so Compact has work to do.
+	const seeded = 6
+	for i := 0; i < seeded; i++ {
+		if _, err := st.Append(mkRecord(i)); err != nil {
+			t.Fatalf("seed append %d: %v", i, err)
+		}
+	}
+	if sealed, _ := st.SegmentCount(); sealed < 2 {
+		t.Fatalf("sealed %d segments, want >= 2", sealed)
+	}
+
+	compactDone := make(chan error, 1)
+	go func() { compactDone <- st.Compact() }()
+	<-compacting
+	appendDone := make(chan error, 1)
+	go func() {
+		close(appendRunning)
+		_, err := st.Append(mkRecord(seeded))
+		appendDone <- err
+	}()
+
+	watchdog := time.After(10 * time.Second) //overhaul:allow clockcheck watchdog for a test that otherwise hangs; the store itself never reads this clock
+	select {
+	case err := <-appendDone:
+		if err != nil {
+			t.Fatalf("append racing compact: %v", err)
+		}
+	case <-watchdog:
+		t.Fatal("append hung after Compact released leadership with a non-empty queue")
+	}
+	select {
+	case err := <-compactDone:
+		if err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+	case <-watchdog:
+		t.Fatal("compact never returned")
+	}
+	checkPrefix(t, st, seeded+1)
+}
+
+// TestGroupCommitFlushIntervalSystemClock exercises the timer-based
+// linger: on the system clock a lone append sleeps out FlushInterval
+// (no yield-polling) and then commits as a singleton batch, and Close
+// wakes a lingering leader early instead of waiting out its timer.
+func TestGroupCommitFlushIntervalSystemClock(t *testing.T) {
+	st, err := auditstore.Open(t.TempDir(), auditstore.Options{
+		BatchRecords: 8, FlushInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Append(mkRecord(0))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	case <-time.After(10 * time.Second): //overhaul:allow clockcheck watchdog for a test that otherwise hangs; FlushInterval here intentionally runs on the real system clock
+		t.Fatal("append never completed its linger on the system clock")
+	}
+	if stats := st.BatchStats(); stats.Batches != 1 || stats.Records != 1 {
+		t.Fatalf("stats = %+v, want one singleton batch", stats)
+	}
+	checkPrefix(t, st, 1)
+
+	// A leader lingering with a long interval must be woken by Close.
+	st2, err := auditstore.Open(t.TempDir(), auditstore.Options{
+		BatchRecords: 8, FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := st2.Append(mkRecord(0))
+		done2 <- err
+	}()
+	time.Sleep(20 * time.Millisecond) //overhaul:allow clockcheck give the appender real time to start its hour-long real-clock linger before Close interrupts it
+	if err := st2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done2:
+		if err == nil {
+			// The linger may have raced Close and committed first;
+			// either outcome is legal, a hang is not.
+			return
+		}
+		if !errors.Is(err, auditstore.ErrClosed) {
+			t.Fatalf("append interrupted by close: %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second): //overhaul:allow clockcheck watchdog: without the linger wake-up this append sleeps a full hour
+		t.Fatal("Close did not wake the lingering commit leader")
+	}
+}
+
 // TestBatchBucketLabels pins the histogram bucket naming the load
 // generator's throughput report prints.
 func TestBatchBucketLabels(t *testing.T) {

@@ -136,6 +136,11 @@ type FileStore struct {
 	commitDone sync.Cond
 	queue      []Record
 	queueBytes int
+	// lingering marks a leader asleep in lingerLocked on a real timer;
+	// lingerWake (buffered, capacity 1) wakes it early on enqueue or
+	// Close so the linger never outlives the reason for it.
+	lingering  bool
+	lingerWake chan struct{}
 	lastSeq    uint64 // last assigned sequence number
 	durableSeq uint64 // last durably committed sequence number
 	committing bool   // a commit leader (or exclusive op) owns the file state
@@ -195,7 +200,8 @@ func Open(dir string, opts Options) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("auditstore: open %s: %w", dir, err)
 	}
-	fs := &FileStore{dir: dir, opts: opts, mem: NewMemStore(), nextID: 1, curMax: math.MinInt64}
+	fs := &FileStore{dir: dir, opts: opts, mem: NewMemStore(), nextID: 1, curMax: math.MinInt64,
+		lingerWake: make(chan struct{}, 1)}
 	fs.commitDone.L = &fs.mu
 	if err := fs.recover(); err != nil {
 		return nil, err
@@ -793,6 +799,7 @@ func (fs *FileStore) Close() error {
 		return ErrClosed
 	}
 	fs.closed = true
+	fs.wakeLingerLocked()
 	fs.commitDone.Broadcast()
 	for fs.committing {
 		fs.commitDone.Wait()

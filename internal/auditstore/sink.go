@@ -113,8 +113,8 @@ type BatchAppender interface {
 // order; a batch is cut when the buffer reaches its limit, and Flush
 // cuts whatever is pending (call it before reading the store or
 // exiting). Errors are counted like SessionSink's, never returned into
-// the decision path — each failed flush adds its batched record count
-// to stats.Errors as dropped acknowledgements.
+// the decision path — a failed flush counts every record that was not
+// durably acknowledged in stats.Errors as a dropped acknowledgement.
 type BatchSink struct {
 	mu      sync.Mutex
 	st      Store
@@ -162,21 +162,28 @@ func (b *BatchSink) Flush() {
 
 func (b *BatchSink) flushLocked() {
 	n := uint64(len(b.buf))
-	var err error
+	attempted, dropped := n, uint64(0)
 	if b.ba != nil {
-		_, err = b.ba.AppendBatch(b.buf)
+		if _, err := b.ba.AppendBatch(b.buf); err != nil {
+			dropped = n // the batch commits atomically: nothing was acked
+		}
 	} else {
+		var acked uint64
+		attempted = 0
 		for _, r := range b.buf {
-			if _, err = b.st.Append(r); err != nil {
+			attempted++
+			if _, err := b.st.Append(r); err != nil {
+				// acked records are durable; the failed one and the
+				// never-attempted rest are dropped acknowledgements.
+				dropped = n - acked
 				break
 			}
+			acked++
 		}
 	}
 	b.buf = b.buf[:0]
 	if b.stats != nil {
-		b.stats.Appends.Add(n)
-		if err != nil {
-			b.stats.Errors.Add(n)
-		}
+		b.stats.Appends.Add(attempted)
+		b.stats.Errors.Add(dropped)
 	}
 }
